@@ -1,0 +1,48 @@
+// Ablation: dead-reckoning predictor quality (the authors' companion work
+// on interest modeling [16] shows prediction accuracy can be greatly
+// improved; here we sweep the cheapest knob — velocity damping).
+//
+// A better predictor shrinks the honest deviation area ā, which tightens
+// the ā + σ_a verification threshold — so guidance lies of a fixed
+// magnitude stand out more. The sweep reports the honest calibration and
+// the Fig. 6 guidance-detection outcome per predictor.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sim/detection.hpp"
+
+using namespace watchmen;
+
+int main() {
+  bench::print_header("Ablation", "Dead-reckoning predictor (velocity damping)");
+  const game::GameMap map = game::make_longest_yard();
+  const game::GameTrace trace = bench::standard_trace(32, 1200, 42);
+
+  std::printf("%-12s %14s %14s %12s %10s\n", "damping", "honest mean", "threshold",
+              "detection", "FP-rate");
+  for (double damping : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    core::SessionOptions opts;
+    opts.net = core::NetProfile::kKing;
+    opts.loss_rate = 0.01;
+    opts.watchmen.dr_damping = damping;
+    opts.watchmen.guidance_tolerance =
+        sim::calibrate_guidance_tolerance(trace, map, opts);
+
+    sim::DetectionConfig dc;
+    dc.session = opts;
+    const auto out =
+        sim::run_detection(trace, map, sim::Verification::kGuidance, dc);
+    std::printf("%-12.1f %11.0f u·s %11.0f u·s %11.1f%% %9.2f%%\n", damping,
+                opts.watchmen.guidance_tolerance.mean,
+                opts.watchmen.guidance_tolerance.threshold(),
+                100 * out.success(), 100 * out.fp_rate());
+  }
+
+  std::printf("\n-> damping the predicted velocity cuts the honest deviation "
+              "area (players turn every second or two), tightening the "
+              "calibrated threshold; detection of fixed-magnitude guidance "
+              "lies improves correspondingly. The companion work's goal-aware "
+              "predictors push further in the same direction.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation: interest-management parameters — IS size (top-K) and vision
+// cone half-angle. These trade rendering fidelity and bandwidth against
+// information exposure (DESIGN.md §5): a bigger IS/cone means more players
+// receive detailed information a cheater can pool.
+
+#include <cstdio>
+
+#include "baseline/exposure.hpp"
+#include "bench_common.hpp"
+#include "sim/bandwidth.hpp"
+
+using namespace watchmen;
+
+int main() {
+  bench::print_header("Ablation", "IS size and vision-cone angle");
+  const game::GameMap map = game::make_longest_yard();
+  const game::GameTrace trace = bench::standard_trace(48, 1200, 42);
+  const core::ProxySchedule schedule(trace.seed, trace.n_players);
+  const sim::WireSizes wire = sim::WireSizes::measure();
+
+  std::printf("--- IS size (top-K), cone fixed at default ---\n");
+  std::printf("%-6s %12s %14s %16s %14s\n", "K", "avg|IS|",
+              "freq-exposed", "infreq-only", "upload kbps");
+  std::printf("%-6s %12s %14s %16s %14s\n", "", "", "(coalition=4)",
+              "(coalition=4)", "(n=48)");
+  for (std::size_t k : {1, 3, 5, 8, 12}) {
+    interest::InterestConfig cfg;
+    cfg.is_size = k;
+    const baseline::WatchmenExposure model(map, cfg, schedule);
+    const auto frac = baseline::measure_coalition_exposure(model, trace, 4);
+    const auto sizes = sim::measure_set_sizes(trace, map, cfg, 40);
+    const double freq_exposed =
+        frac[static_cast<int>(baseline::ExposureCategory::kFreqOnly)] +
+        frac[static_cast<int>(baseline::ExposureCategory::kFreqPlusDr)] +
+        frac[static_cast<int>(baseline::ExposureCategory::kComplete)];
+    std::printf("%-6zu %12.2f %13.1f%% %15.1f%% %14.0f\n", k, sizes.avg_is,
+                100 * freq_exposed,
+                100 * frac[static_cast<int>(baseline::ExposureCategory::kInfreqOnly)],
+                sim::watchmen_upload_kbps(48, sizes, wire));
+  }
+
+  std::printf("\n--- vision-cone half-angle, K = 5 ---\n");
+  std::printf("%-10s %12s %14s %16s\n", "angle", "avg|VS|", "DR-exposed",
+              "infreq-only");
+  for (double deg : {45.0, 60.0, 75.0, 90.0, 120.0}) {
+    interest::InterestConfig cfg;
+    cfg.vision.half_angle = deg * 3.14159265358979 / 180.0;
+    const baseline::WatchmenExposure model(map, cfg, schedule);
+    const auto frac = baseline::measure_coalition_exposure(model, trace, 4);
+    const auto sizes = sim::measure_set_sizes(trace, map, cfg, 40);
+    const double dr_exposed =
+        frac[static_cast<int>(baseline::ExposureCategory::kDrOnly)] +
+        frac[static_cast<int>(baseline::ExposureCategory::kFreqPlusDr)];
+    std::printf("±%-9.0f %12.1f %13.1f%% %15.1f%%\n", deg,
+                sizes.vs_fraction * 47.0, 100 * dr_exposed,
+                100 * frac[static_cast<int>(baseline::ExposureCategory::kInfreqOnly)]);
+  }
+
+  std::printf("\n-> K=5 (the paper's choice, matching human attention span) "
+              "keeps frequent exposure low; the ±60°+slack cone bounds the "
+              "DR leak while covering the real field of view\n");
+  return 0;
+}

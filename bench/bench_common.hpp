@@ -1,0 +1,41 @@
+#pragma once
+// Shared helpers for the reproduction benches (one binary per paper
+// table/figure; see DESIGN.md §4).
+
+#include <cstdio>
+#include <string>
+
+#include "game/map.hpp"
+#include "game/trace.hpp"
+
+namespace watchmen::bench {
+
+/// The paper's standard workload: a 48-player deathmatch on the
+/// q3dm17-style map. `frames` defaults to 2 simulated minutes.
+inline game::GameTrace standard_trace(std::size_t n_players = 48,
+                                      std::size_t n_frames = 2400,
+                                      std::uint64_t seed = 42,
+                                      std::size_t n_humans = SIZE_MAX) {
+  const game::GameMap map = game::make_longest_yard();
+  game::SessionConfig cfg;
+  cfg.n_players = n_players;
+  cfg.n_humans = n_humans == SIZE_MAX ? n_players : n_humans;
+  cfg.n_frames = n_frames;
+  cfg.seed = seed;
+  return game::record_session(map, cfg);
+}
+
+inline void print_header(const char* id, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("==============================================================\n");
+}
+
+inline void print_bar(double fraction, int width = 40) {
+  const int fill = static_cast<int>(fraction * width + 0.5);
+  std::fputc('[', stdout);
+  for (int i = 0; i < width; ++i) std::fputc(i < fill ? '#' : ' ', stdout);
+  std::fputc(']', stdout);
+}
+
+}  // namespace watchmen::bench

@@ -1,0 +1,126 @@
+// Fig. 1 reproduction: heatmap of player positions in a q3dm17-style
+// deathmatch. (a) human-like players, (b) NPC bots on predetermined paths.
+//
+// The paper's point: presence is exponentially concentrated around
+// strategic spots and items, so fixed-radius AOI filtering cannot bound
+// the number of players in an area — the motivation for the
+// multi-resolution subscription model. We print a log-normalized ASCII
+// heatmap plus concentration statistics (Gini coefficient, top-cell
+// shares), and show NPCs concentrate even more than humans.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+using namespace watchmen;
+
+namespace {
+
+constexpr int kGrid = 32;
+
+std::vector<double> occupancy_grid(const game::GameTrace& trace,
+                                   const game::GameMap& map) {
+  std::vector<double> grid(kGrid * kGrid, 0.0);
+  const Vec3 lo = map.bounds_min();
+  const Vec3 hi = map.bounds_max();
+  for (const auto& frame : trace.frames) {
+    for (const auto& a : frame.avatars) {
+      if (!a.alive) continue;
+      const int gx = std::clamp(
+          static_cast<int>((a.pos.x - lo.x) / (hi.x - lo.x) * kGrid), 0, kGrid - 1);
+      const int gy = std::clamp(
+          static_cast<int>((a.pos.y - lo.y) / (hi.y - lo.y) * kGrid), 0, kGrid - 1);
+      grid[gy * kGrid + gx] += 1.0;
+    }
+  }
+  return grid;
+}
+
+void print_heatmap(const std::vector<double>& grid) {
+  // Log-normalized shading, darker = more presence (as in the paper).
+  const double maxv = *std::max_element(grid.begin(), grid.end());
+  const char* shades = " .:-=+*#%@";
+  for (int y = kGrid - 1; y >= 0; --y) {
+    std::fputs("  ", stdout);
+    for (int x = 0; x < kGrid; ++x) {
+      const double v = grid[y * kGrid + x];
+      const double t = v > 0 ? std::log1p(v) / std::log1p(maxv) : 0.0;
+      std::fputc(shades[std::clamp(static_cast<int>(t * 9.999), 0, 9)], stdout);
+    }
+    std::fputc('\n', stdout);
+  }
+}
+
+double top_share(const std::vector<double>& grid, double cell_fraction) {
+  std::vector<double> sorted = grid;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const double total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+  double acc = 0.0;
+  const auto k = static_cast<std::size_t>(
+                     static_cast<double>(sorted.size()) * cell_fraction) +
+                 1;
+  for (std::size_t i = 0; i < std::min(k, sorted.size()); ++i) acc += sorted[i];
+  return acc / total;
+}
+
+void report(const char* label, const std::vector<double>& grid) {
+  std::printf("\n(%s)\n", label);
+  print_heatmap(grid);
+  std::printf("  concentration: gini=%.3f  top1%%cells=%.1f%%  top5%%=%.1f%%  "
+              "top10%%=%.1f%% of presence\n",
+              gini(grid), 100 * top_share(grid, 0.01),
+              100 * top_share(grid, 0.05), 100 * top_share(grid, 0.10));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 1", "Heatmap of player positions (q3dm17-like map)");
+  const game::GameMap map = game::make_longest_yard();
+
+  // (a) Human-like players.
+  const game::GameTrace humans = bench::standard_trace(48, 2400, 42, 48);
+  const auto human_grid = occupancy_grid(humans, map);
+  report("a: human movements", human_grid);
+
+  // (b) NPC bots on predetermined patrol paths.
+  const game::GameTrace bots = bench::standard_trace(48, 2400, 42, 0);
+  const auto bot_grid = occupancy_grid(bots, map);
+  report("b: NPC movements", bot_grid);
+
+  // Paper claim: NPCs worsen the *peak* concentration (predetermined paths
+  // and camped locations) — the quantity that breaks AOI fan-out bounds.
+  const double npc_peak = top_share(bot_grid, 0.01);
+  const double human_peak = top_share(human_grid, 0.01);
+  std::printf("\nNPC top-1%%-cell share (%.1f%%) vs human (%.1f%%): %s\n",
+              100 * npc_peak, 100 * human_peak,
+              npc_peak > human_peak
+                  ? "NPCs pile onto fewer spots, as the paper observes"
+                  : "unexpected: NPCs concentrate less");
+
+  // AOI consequence: players inside a fixed 512-unit radius around the
+  // busiest cell, per frame — the unbounded-AOI problem.
+  const game::GameMap& m = map;
+  const auto busiest =
+      std::max_element(human_grid.begin(), human_grid.end()) - human_grid.begin();
+  const double cx = (static_cast<double>(busiest % kGrid) + 0.5) / kGrid *
+                        (m.bounds_max().x - m.bounds_min().x) + m.bounds_min().x;
+  const double cy = (static_cast<double>(busiest / kGrid) + 0.5) / kGrid *
+                        (m.bounds_max().y - m.bounds_min().y) + m.bounds_min().y;
+  RunningStats in_aoi;
+  for (const auto& frame : humans.frames) {
+    int count = 0;
+    for (const auto& a : frame.avatars) {
+      if (a.alive && std::hypot(a.pos.x - cx, a.pos.y - cy) < 512.0) ++count;
+    }
+    in_aoi.add(count);
+  }
+  std::printf("players inside a fixed 512u AOI at the hotspot: avg=%.1f max=%.0f "
+              "(of 48) -> AOI filtering cannot bound update fan-out\n",
+              in_aoi.mean(), in_aoi.max());
+  return 0;
+}

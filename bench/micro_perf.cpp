@@ -1,0 +1,142 @@
+// Micro-benchmarks (google-benchmark): the per-message and per-frame costs
+// that determine whether Watchmen's security layer fits in a 50 ms frame
+// budget — signing/verification, wire encode/decode, set computation,
+// proxy-schedule evaluation, and network event throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "core/messages.hpp"
+#include "core/proxy_schedule.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sig.hpp"
+#include "game/trace.hpp"
+#include "interest/delta.hpp"
+#include "interest/sets.hpp"
+#include "net/network.hpp"
+
+using namespace watchmen;
+
+namespace {
+
+game::AvatarState sample_state() {
+  game::AvatarState s;
+  s.pos = {1024.125, 512.5, 96};
+  s.vel = {320, -100, 12};
+  s.yaw = 1.5;
+  s.health = 92;
+  s.armor = 50;
+  s.ammo = 77;
+  s.frags = 3;
+  return s;
+}
+
+void BM_Sha256_88B(benchmark::State& state) {
+  std::vector<std::uint8_t> msg(88, 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(msg));
+  }
+}
+BENCHMARK(BM_Sha256_88B);
+
+void BM_Sign(benchmark::State& state) {
+  const auto kp = crypto::KeyPair::generate(42);
+  std::vector<std::uint8_t> msg(88, 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sign(kp, msg));
+  }
+}
+BENCHMARK(BM_Sign);
+
+void BM_Verify(benchmark::State& state) {
+  const auto kp = crypto::KeyPair::generate(42);
+  std::vector<std::uint8_t> msg(88, 0x5a);
+  const auto sig = crypto::sign(kp, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::verify(kp.public_key, msg, sig));
+  }
+}
+BENCHMARK(BM_Verify);
+
+void BM_SealOpen(benchmark::State& state) {
+  const crypto::KeyRegistry keys(42, 4);
+  core::MsgHeader h;
+  h.origin = 1;
+  h.subject = 1;
+  h.frame = 1234;
+  const auto body = core::encode_state_body(sample_state());
+  for (auto _ : state) {
+    const auto wire = core::seal(h, body, keys.key_pair(1));
+    benchmark::DoNotOptimize(core::open(wire, keys));
+  }
+}
+BENCHMARK(BM_SealOpen);
+
+void BM_DeltaEncode(benchmark::State& state) {
+  const auto prev = sample_state();
+  auto cur = prev;
+  cur.pos.x += 14.0;
+  cur.health -= 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interest::encode_delta(prev, cur));
+  }
+}
+BENCHMARK(BM_DeltaEncode);
+
+void BM_ComputeSets(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const game::GameMap map = game::make_longest_yard();
+  game::SessionConfig cfg;
+  cfg.n_players = n;
+  cfg.n_frames = 60;
+  const game::GameTrace trace = game::record_session(map, cfg);
+  const auto& avatars = trace.frames.back().avatars;
+  const interest::InterestConfig icfg;
+  PlayerId who = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        interest::compute_sets(who, avatars, map, 59, nullptr, icfg));
+    who = (who + 1) % n;
+  }
+}
+BENCHMARK(BM_ComputeSets)->Arg(16)->Arg(48)->Arg(128);
+
+void BM_ProxyOf(benchmark::State& state) {
+  const core::ProxySchedule sched(42, 48);
+  std::int64_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.proxy_of(7, round++));
+  }
+}
+BENCHMARK(BM_ProxyOf);
+
+void BM_NetworkSendDeliver(benchmark::State& state) {
+  net::SimNetwork net(16, std::make_unique<net::FixedLatency>(1.0), 0.0, 1);
+  std::uint64_t delivered = 0;
+  for (PlayerId p = 0; p < 16; ++p) {
+    net.set_handler(p, [&](const net::Envelope&) { ++delivered; });
+  }
+  auto payload = std::make_shared<const std::vector<std::uint8_t>>(88, 0x5a);
+  TimeMs t = 0;
+  for (auto _ : state) {
+    net.send(0, 1, payload);
+    net.run_until(++t + 2);
+  }
+  benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_NetworkSendDeliver);
+
+void BM_WorldStep48(benchmark::State& state) {
+  const game::GameMap map = game::make_longest_yard();
+  game::GameWorld world(map, 48, 42);
+  auto roster = game::make_roster(map, 48, 48, 42);
+  std::vector<game::PlayerInput> in(48);
+  for (auto _ : state) {
+    for (PlayerId p = 0; p < 48; ++p) in[p] = roster[p]->decide(p, world);
+    benchmark::DoNotOptimize(world.step(in));
+  }
+}
+BENCHMARK(BM_WorldStep48);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// §II/§VI reproduction: bandwidth scaling per architecture.
+//
+// Paper anchors: centralized Quake III costs ~120·n kbps at the server;
+// a naive P2P design grows per-player upload linearly in n (quadratic in
+// total); multi-resolution schemes (Donnybrook, Watchmen) keep per-player
+// upload nearly flat, which is what lets the game scale to hundreds of
+// players on asymmetric consumer uplinks.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sim/bandwidth.hpp"
+
+using namespace watchmen;
+
+int main() {
+  bench::print_header("Sec. VI", "Per-player upload bandwidth vs player count");
+  const game::GameMap map = game::make_longest_yard();
+
+  // Set sizes measured from the standard 48-player trace, extrapolated by
+  // density for other n.
+  const game::GameTrace trace = bench::standard_trace(48, 1200, 42);
+  const interest::InterestConfig icfg;
+  const sim::SetSizeStats sizes = sim::measure_set_sizes(trace, map, icfg);
+  const sim::WireSizes wire = sim::WireSizes::measure();
+
+  std::printf("measured on the 48-player trace: avg IS=%.2f, VS=%.1f%% of "
+              "others, PVS=%.1f%% of others\n",
+              sizes.avg_is, 100 * sizes.vs_fraction, 100 * sizes.pvs_fraction);
+  std::printf("wire sizes (bits incl. UDP/IP): state=%.0f pos=%.0f guidance=%.0f "
+              "subscribe=%.0f\n\n",
+              wire.state_update, wire.position_update, wire.guidance,
+              wire.subscribe);
+
+  std::printf("%-6s %14s %14s %14s %18s\n", "n", "naive-P2P", "donnybrook",
+              "watchmen", "C/S server total");
+  std::printf("%-6s %14s %14s %14s %18s\n", "", "(kbps/player)", "(kbps/player)",
+              "(kbps/player)", "(kbps)");
+  for (std::size_t n : {8, 16, 32, 48, 64, 128, 256, 512}) {
+    std::printf("%-6zu %14.0f %14.0f %14.0f %18.0f\n", n,
+                sim::naive_p2p_upload_kbps(n, wire),
+                sim::donnybrook_upload_kbps(n, sizes, wire),
+                sim::watchmen_upload_kbps(n, sizes, wire),
+                sim::client_server_server_kbps(n, sizes, wire));
+  }
+
+  std::printf("\nC/S sanity: server total at n=48 is %.0f kbps = %.0f·n kbps "
+              "(paper: ~120·n kbps for centralized Quake III)\n",
+              sim::client_server_server_kbps(48, sizes, wire),
+              sim::client_server_server_kbps(48, sizes, wire) / 48.0);
+
+  // Cross-check the analytic Watchmen number against the packet simulation.
+  core::SessionOptions opts;
+  opts.net = core::NetProfile::kKing;
+  opts.loss_rate = 0.01;
+  const double measured = sim::watchmen_measured_kbps(trace, map, opts);
+  std::printf("\npacket-level simulation at n=48: %.0f kbps/player "
+              "(analytic steady-state floor: %.0f kbps/player)\n",
+              measured, sim::watchmen_upload_kbps(48, sizes, wire));
+  std::printf("the gap is the cost of subscriber retention: proxies keep "
+              "fanning out to every subscriber of the last 2 s (the IS union "
+              "over the retention window exceeds the instantaneous top-5), "
+              "trading bandwidth for zero re-subscription latency (§VI)\n");
+  std::printf("\n-> naive P2P upload grows ~linearly per player (quadratic "
+              "total); Watchmen stays within consumer uplinks at hundreds of "
+              "players, paying a modest premium over Donnybrook for the "
+              "signed 2-hop indirection\n");
+  return 0;
+}

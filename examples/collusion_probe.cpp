@@ -1,0 +1,63 @@
+// Collusion probe: how much a growing coalition of cheaters learns about
+// the rest of the game under three architectures. A compact tour of the
+// exposure models behind the paper's Fig. 4.
+
+#include <cstdio>
+#include <memory>
+
+#include "baseline/exposure.hpp"
+#include "game/map.hpp"
+#include "game/trace.hpp"
+
+using namespace watchmen;
+using baseline::ExposureCategory;
+
+int main() {
+  const game::GameMap map = game::make_longest_yard();
+  game::SessionConfig cfg;
+  cfg.n_players = 48;
+  cfg.n_frames = 1200;
+  cfg.seed = 99;
+  const game::GameTrace trace = game::record_session(map, cfg);
+
+  const interest::InterestConfig icfg;
+  const core::ProxySchedule schedule(trace.seed, trace.n_players);
+
+  const baseline::ClientServerExposure cs(map);
+  const baseline::DonnybrookExposure db(map, icfg);
+  const baseline::WatchmenExposure wm(map, icfg, schedule);
+
+  std::printf("How much can a coalition of c cheaters see?\n");
+  std::printf("left: %% of honest players with detailed (frequent-or-better) "
+              "info;  right: %% effectively hidden (1 Hz position or less)\n\n");
+  std::printf("%-4s | %13s | %13s | %13s\n", "c", "client-server",
+              "donnybrook", "watchmen");
+  for (std::size_t c = 1; c <= 12; ++c) {
+    auto probe = [&](const baseline::ExposureModel& m) {
+      const auto f = baseline::measure_coalition_exposure(m, trace, c, 20);
+      const double rich = f[static_cast<int>(ExposureCategory::kComplete)] +
+                          f[static_cast<int>(ExposureCategory::kFreqPlusDr)] +
+                          f[static_cast<int>(ExposureCategory::kFreqOnly)];
+      const double hidden = f[static_cast<int>(ExposureCategory::kInfreqOnly)] +
+                            f[static_cast<int>(ExposureCategory::kNothing)];
+      return std::make_pair(rich, hidden);
+    };
+    const auto [csr, csh] = probe(cs);
+    const auto [dbr, dbh] = probe(db);
+    const auto [wmr, wmh] = probe(wm);
+    std::printf("%-4zu | %4.0f%% / %4.0f%% | %4.0f%% / %4.0f%% | %4.0f%% / %4.0f%%\n",
+                c, 100 * csr, 100 * csh, 100 * dbr, 100 * dbh, 100 * wmr,
+                100 * wmh);
+  }
+
+  std::printf(
+      "\nInterpretation: the C/S column shows what rendering inherently "
+      "requires (frequent info about visible players) — but everything a "
+      "coalition cannot see stays completely hidden. Donnybrook leaks dead "
+      "reckoning about every player to everyone, so nobody is ever hidden "
+      "from a coalition. Watchmen tracks the C/S pattern: detail only where "
+      "attention demands it, and a growing hidden fraction collapses only "
+      "slowly with coalition size — plus the short-lived random proxy as the "
+      "one (rotating, verifiable) complete view.\n");
+  return 0;
+}

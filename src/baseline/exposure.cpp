@@ -1,0 +1,194 @@
+#include "baseline/exposure.hpp"
+
+#include <algorithm>
+
+#include "interest/attention.hpp"
+#include "interest/vision.hpp"
+#include "util/rng.hpp"
+
+namespace watchmen::baseline {
+
+const char* to_string(ExposureCategory c) {
+  switch (c) {
+    case ExposureCategory::kComplete: return "complete";
+    case ExposureCategory::kFreqPlusDr: return "freq+dr";
+    case ExposureCategory::kFreqOnly: return "freq";
+    case ExposureCategory::kDrOnly: return "dr";
+    case ExposureCategory::kInfreqOnly: return "infreq";
+    case ExposureCategory::kNothing: return "nothing";
+  }
+  return "?";
+}
+
+ExposureCategory categorize(const InfoVector& v) {
+  if (v.complete) return ExposureCategory::kComplete;
+  if (v.frequent && v.dead_reckoning) return ExposureCategory::kFreqPlusDr;
+  if (v.frequent) return ExposureCategory::kFreqOnly;
+  if (v.dead_reckoning) return ExposureCategory::kDrOnly;
+  if (v.infrequent) return ExposureCategory::kInfreqOnly;
+  return ExposureCategory::kNothing;
+}
+
+void ClientServerExposure::fill_row(PlayerId observer,
+                                    const game::TraceFrame& tf, Frame,
+                                    const interest::InteractionFn&,
+                                    std::span<InfoVector> out) const {
+  const game::AvatarState& me = tf.avatars[observer];
+  for (PlayerId q = 0; q < tf.avatars.size(); ++q) {
+    if (q == observer) continue;
+    // The server pushes frequent updates only for PVS-visible avatars and
+    // nothing otherwise.
+    if (me.alive && tf.avatars[q].alive &&
+        map_->visible(me.eye(), tf.avatars[q].eye())) {
+      out[q].frequent = true;
+    }
+  }
+}
+
+bool DonnybrookExposure::is_forwarder(PlayerId node, PlayerId subject,
+                                      std::size_t n_players) const {
+  if (node == subject || n_players < 2) return false;
+  for (std::size_t i = 0; i < forwarders_; ++i) {
+    const std::uint64_t h = mix64(seed_ ^ mix64(0xf02d + subject) ^ mix64(i));
+    PlayerId fwd = static_cast<PlayerId>(h % (n_players - 1));
+    if (fwd >= subject) ++fwd;  // skip self
+    if (fwd == node) return true;
+  }
+  return false;
+}
+
+void DonnybrookExposure::fill_row(PlayerId observer, const game::TraceFrame& tf,
+                                  Frame f,
+                                  const interest::InteractionFn& last_interaction,
+                                  std::span<InfoVector> out) const {
+  const game::AvatarState& me = tf.avatars[observer];
+
+  // Forwarder exposure: a relay sees the full stream it multicasts.
+  for (PlayerId q = 0; q < tf.avatars.size(); ++q) {
+    if (q != observer && is_forwarder(observer, q, tf.avatars.size())) {
+      out[q].frequent = true;
+      out[q].dead_reckoning = true;
+    }
+  }
+  // Donnybrook's interest set: top-K by attention over all players (no
+  // vision-cone restriction). Everyone else sends dead reckoning.
+  struct Scored {
+    PlayerId id;
+    double a;
+  };
+  std::vector<Scored> scored;
+  for (PlayerId q = 0; q < tf.avatars.size(); ++q) {
+    if (q == observer) continue;
+    out[q].dead_reckoning = true;  // DR about everybody by default
+    if (!me.alive || !tf.avatars[q].alive) continue;
+    const Frame li = last_interaction ? last_interaction(observer, q)
+                                      : Frame{-10000};
+    scored.push_back({q, interest::attention_score(me, tf.avatars[q], f, li,
+                                                   cfg_.vision, cfg_.attention)});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    return a.a != b.a ? a.a > b.a : a.id < b.id;
+  });
+  for (std::size_t i = 0; i < std::min(cfg_.is_size, scored.size()); ++i) {
+    out[scored[i].id].frequent = true;
+  }
+}
+
+void WatchmenExposure::fill_row(PlayerId observer, const game::TraceFrame& tf,
+                                Frame f,
+                                const interest::InteractionFn& last_interaction,
+                                std::span<InfoVector> out) const {
+  // Everyone gets at least the default infrequent position updates.
+  for (PlayerId q = 0; q < tf.avatars.size(); ++q) {
+    if (q != observer) out[q].infrequent = true;
+  }
+  // Complete info about the player this observer proxies right now.
+  for (PlayerId q : schedule_->proxied_by(observer, schedule_->round_of(f))) {
+    out[q].complete = true;
+  }
+  // IS -> frequent; VS -> dead reckoning.
+  const interest::PlayerSets sets =
+      interest::compute_sets(observer, tf.avatars, *map_, f, last_interaction,
+                             cfg_);
+  for (PlayerId q : sets.interest) out[q].frequent = true;
+  for (PlayerId q : sets.vision) out[q].dead_reckoning = true;
+}
+
+std::array<double, kNumExposureCategories> measure_coalition_exposure(
+    const ExposureModel& model, const game::GameTrace& trace,
+    std::size_t coalition_size, std::size_t stride) {
+  std::array<double, kNumExposureCategories> acc{};
+  const std::size_t n = trace.n_players;
+  game::TraceReplayer rep(trace);
+
+  std::size_t samples = 0;
+  std::vector<InfoVector> row(n);
+  std::vector<InfoVector> joint(n);
+  for (std::size_t fi = 0; fi < trace.num_frames(); fi += stride) {
+    rep.seek(fi);
+    const game::TraceFrame& tf = trace.frames[fi];
+    std::fill(joint.begin(), joint.end(), InfoVector{});
+    for (PlayerId c = 0; c < coalition_size; ++c) {
+      std::fill(row.begin(), row.end(), InfoVector{});
+      model.fill_row(c, tf, static_cast<Frame>(fi),
+                     [&](PlayerId a, PlayerId b) {
+                       return rep.last_interaction(a, b);
+                     },
+                     row);
+      for (PlayerId q = 0; q < n; ++q) joint[q].merge(row[q]);
+    }
+    for (PlayerId q = static_cast<PlayerId>(coalition_size); q < n; ++q) {
+      acc[static_cast<std::size_t>(categorize(joint[q]))] += 1.0;
+      ++samples;
+    }
+  }
+  if (samples > 0) {
+    for (double& v : acc) v /= static_cast<double>(samples);
+  }
+  return acc;
+}
+
+WitnessCounts measure_witnesses(const game::GameTrace& trace,
+                                const game::GameMap& map,
+                                const interest::InterestConfig& cfg,
+                                const core::ProxySchedule& schedule,
+                                std::size_t coalition_size,
+                                std::size_t stride) {
+  WitnessCounts out;
+  const std::size_t n = trace.n_players;
+  game::TraceReplayer rep(trace);
+  std::size_t samples = 0;
+
+  for (std::size_t fi = 0; fi < trace.num_frames(); fi += stride) {
+    rep.seek(fi);
+    const game::TraceFrame& tf = trace.frames[fi];
+    const auto f = static_cast<Frame>(fi);
+
+    // Sets of every honest player, computed once per sampled frame.
+    std::vector<interest::PlayerSets> honest_sets(n);
+    for (PlayerId h = static_cast<PlayerId>(coalition_size); h < n; ++h) {
+      honest_sets[h] = interest::compute_sets(
+          h, tf.avatars, map, f,
+          [&](PlayerId a, PlayerId b) { return rep.last_interaction(a, b); },
+          cfg);
+    }
+
+    for (PlayerId cheater = 0; cheater < coalition_size; ++cheater) {
+      const PlayerId proxy = schedule.proxy_of(cheater, schedule.round_of(f));
+      if (proxy >= coalition_size) out.proxies += 1.0;
+      for (PlayerId h = static_cast<PlayerId>(coalition_size); h < n; ++h) {
+        if (honest_sets[h].in_interest(cheater)) out.is_witnesses += 1.0;
+        if (honest_sets[h].in_vision(cheater)) out.vs_witnesses += 1.0;
+      }
+      ++samples;
+    }
+  }
+  if (samples > 0) {
+    out.proxies /= static_cast<double>(samples);
+    out.is_witnesses /= static_cast<double>(samples);
+    out.vs_witnesses /= static_cast<double>(samples);
+  }
+  return out;
+}
+
+}  // namespace watchmen::baseline

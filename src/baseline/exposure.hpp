@@ -1,0 +1,159 @@
+#pragma once
+// Information-exposure models (paper §VII, "Information Disclosure &
+// Collusion", Fig. 4 and Fig. 5).
+//
+// For each (observer, subject) pair at a frame, an architecture determines
+// which kinds of information the observer holds about the subject:
+//   complete        — a proxy about its proxied player (Watchmen only)
+//   frequent        — full state updates every frame (IS / server push)
+//   dead reckoning  — guidance messages (VS / Donnybrook's everyone-else)
+//   infrequent      — 1-per-second position-only updates
+// A coalition's knowledge about a subject is the union of its members'.
+// Categories match the stacked histogram of Fig. 4.
+
+#include <array>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/proxy_schedule.hpp"
+#include "game/trace.hpp"
+#include "interest/sets.hpp"
+
+namespace watchmen::baseline {
+
+struct InfoVector {
+  bool complete = false;
+  bool frequent = false;
+  bool dead_reckoning = false;
+  bool infrequent = false;
+
+  void merge(const InfoVector& o) {
+    complete |= o.complete;
+    frequent |= o.frequent;
+    dead_reckoning |= o.dead_reckoning;
+    infrequent |= o.infrequent;
+  }
+};
+
+/// Stacked-histogram categories of Fig. 4, ordered most- to least-informative.
+enum class ExposureCategory : std::uint8_t {
+  kComplete = 0,
+  kFreqPlusDr = 1,
+  kFreqOnly = 2,
+  kDrOnly = 3,
+  kInfreqOnly = 4,
+  kNothing = 5,
+};
+constexpr int kNumExposureCategories = 6;
+
+const char* to_string(ExposureCategory c);
+
+ExposureCategory categorize(const InfoVector& v);
+
+/// Architecture-specific exposure model: what does `observer` know about
+/// every other player at a given trace frame?
+class ExposureModel {
+ public:
+  virtual ~ExposureModel() = default;
+  virtual std::string name() const = 0;
+  /// Fills out[q] for every subject q (out has n_players entries; the
+  /// observer's own entry is left untouched).
+  virtual void fill_row(PlayerId observer, const game::TraceFrame& tf, Frame f,
+                        const interest::InteractionFn& last_interaction,
+                        std::span<InfoVector> out) const = 0;
+};
+
+/// Optimal client/server: frequent updates for avatars in the observer's
+/// PVS (map visibility from its position), nothing for the rest. This is
+/// the minimum-information baseline of Fig. 4.
+class ClientServerExposure final : public ExposureModel {
+ public:
+  explicit ClientServerExposure(const game::GameMap& map) : map_(&map) {}
+  std::string name() const override { return "client-server"; }
+  void fill_row(PlayerId observer, const game::TraceFrame& tf, Frame f,
+                const interest::InteractionFn& last_interaction,
+                std::span<InfoVector> out) const override;
+
+ private:
+  const game::GameMap* map_;
+};
+
+/// Donnybrook: frequent updates for the top-5 attention set, dead-reckoning
+/// messages for *all* other players (its defining trait — and its exposure
+/// weakness).
+///
+/// With `forwarders > 0`, each player's traffic is additionally relayed by
+/// that many fixed forwarder nodes (high-bandwidth clients multicasting for
+/// low-bandwidth ones); a forwarder sees everything it relays. The paper
+/// notes this is "a large and additional source of information exposure"
+/// and calls its forwarder-free numbers a lower bound — this model lets the
+/// bench quantify the gap.
+class DonnybrookExposure final : public ExposureModel {
+ public:
+  DonnybrookExposure(const game::GameMap& map, interest::InterestConfig cfg,
+                     std::size_t forwarders = 0, std::uint64_t seed = 42)
+      : map_(&map), cfg_(cfg), forwarders_(forwarders), seed_(seed) {}
+  std::string name() const override {
+    return forwarders_ == 0 ? "donnybrook" : "donnybrook+fwd";
+  }
+  void fill_row(PlayerId observer, const game::TraceFrame& tf, Frame f,
+                const interest::InteractionFn& last_interaction,
+                std::span<InfoVector> out) const override;
+
+  /// True if `node` serves as one of `subject`'s forwarders (a fixed,
+  /// seed-derived assignment, as forwarder pools are in practice).
+  bool is_forwarder(PlayerId node, PlayerId subject, std::size_t n_players) const;
+
+ private:
+  const game::GameMap* map_;
+  interest::InterestConfig cfg_;
+  std::size_t forwarders_;
+  std::uint64_t seed_;
+};
+
+/// Watchmen: complete info about proxied players; frequent for IS; dead
+/// reckoning for VS; infrequent position updates for everyone else.
+class WatchmenExposure final : public ExposureModel {
+ public:
+  WatchmenExposure(const game::GameMap& map, interest::InterestConfig cfg,
+                   const core::ProxySchedule& schedule)
+      : map_(&map), cfg_(cfg), schedule_(&schedule) {}
+  std::string name() const override { return "watchmen"; }
+  void fill_row(PlayerId observer, const game::TraceFrame& tf, Frame f,
+                const interest::InteractionFn& last_interaction,
+                std::span<InfoVector> out) const override;
+
+ private:
+  const game::GameMap* map_;
+  interest::InterestConfig cfg_;
+  const core::ProxySchedule* schedule_;
+};
+
+// ------------------------------------------------------------- experiments
+
+/// Fig. 4: fraction of honest players in each exposure category for a
+/// coalition of the first `coalition_size` players, averaged over the trace
+/// (sampled every `stride` frames).
+std::array<double, kNumExposureCategories> measure_coalition_exposure(
+    const ExposureModel& model, const game::GameTrace& trace,
+    std::size_t coalition_size, std::size_t stride = 10);
+
+/// Fig. 5: average number of honest players that hold each level of
+/// information about a member of the coalition (proxy / IS / VS), i.e. the
+/// witnesses available to verify a cheater's actions.
+struct WitnessCounts {
+  double proxies = 0.0;         ///< honest proxies (0 or 1 per frame)
+  double is_witnesses = 0.0;    ///< honest players with the cheater in IS
+  double vs_witnesses = 0.0;    ///< honest players with the cheater in VS
+};
+
+WitnessCounts measure_witnesses(const game::GameTrace& trace,
+                                const game::GameMap& map,
+                                const interest::InterestConfig& cfg,
+                                const core::ProxySchedule& schedule,
+                                std::size_t coalition_size,
+                                std::size_t stride = 10);
+
+}  // namespace watchmen::baseline

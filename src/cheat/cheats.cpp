@@ -1,0 +1,315 @@
+#include "cheat/cheats.hpp"
+
+#include <algorithm>
+
+#include "game/physics.hpp"
+
+namespace watchmen::cheat {
+
+const char* to_string(CheatType t) {
+  switch (t) {
+    case CheatType::kEscaping: return "escaping";
+    case CheatType::kTimeCheat: return "time-cheat";
+    case CheatType::kFastRate: return "fast-rate";
+    case CheatType::kSuppressCorrect: return "suppress-correct";
+    case CheatType::kReplay: return "replay";
+    case CheatType::kBlindOpponent: return "blind-opponent";
+    case CheatType::kSpoofing: return "spoofing";
+    case CheatType::kConsistencyCheat: return "consistency";
+    case CheatType::kSpeedHack: return "speed-hack";
+    case CheatType::kGuidanceLie: return "guidance-lie";
+    case CheatType::kFakeKill: return "fake-kill";
+    case CheatType::kBogusISSub: return "bogus-is-sub";
+    case CheatType::kBogusVSSub: return "bogus-vs-sub";
+    case CheatType::kProxyTamper: return "proxy-tamper";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------- SpeedHack
+
+SpeedHackCheat::SpeedHackCheat(std::uint64_t seed, double rate,
+                               double speed_factor)
+    : rng_(substream_seed(seed, 0x5350eedULL)), rate_(rate),
+      factor_(speed_factor) {}
+
+game::AvatarState SpeedHackCheat::mutate_state(const game::AvatarState& s,
+                                               Frame f) {
+  if (!s.alive || !rng_.chance(rate_)) return s;
+  game::AvatarState out = s;
+  const double jump =
+      factor_ * game::max_legal_horizontal(1);  // far beyond one frame's budget
+  const double dir = rng_.uniform(0.0, 6.283185);
+  out.pos.x += jump * std::cos(dir);
+  out.pos.y += jump * std::sin(dir);
+  log_cheat(f);
+  return out;
+}
+
+// ---------------------------------------------------------- GuidanceLie
+
+GuidanceLieCheat::GuidanceLieCheat(std::uint64_t seed, double rate, double mag)
+    : rng_(substream_seed(seed, 0x6c1eULL)), rate_(rate), mag_(mag) {}
+
+interest::Guidance GuidanceLieCheat::mutate_guidance(const interest::Guidance& g,
+                                                     Frame f) {
+  if (!rng_.chance(rate_)) return g;
+  interest::Guidance out = g;
+  // Predict motion away from the real trajectory at mag x the run speed
+  // (opposite to the real velocity, or a random direction when standing
+  // still); witnesses simulating the avatar render it far from where it
+  // really goes.
+  Vec3 dir = -g.vel.normalized();
+  if (dir.norm2() < 0.25) {
+    const double a = rng_.uniform(0.0, 6.283185);
+    dir = {std::cos(a), std::sin(a), 0.0};
+  }
+  const double lie_speed = mag_ * 320.0;
+  out.vel = dir * lie_speed;
+  const double seg_s = static_cast<double>(interest::kGuidancePeriodFrames) *
+                       (static_cast<double>(kFrameMs) / 1000.0);
+  for (std::size_t i = 0; i < out.waypoints.size(); ++i) {
+    const double t = seg_s * static_cast<double>(i + 1);
+    out.waypoints[i] = g.pos + dir * (lie_speed * t);
+  }
+  log_cheat(f);
+  return out;
+}
+
+// ---------------------------------------------------------- FakeKill
+
+FakeKillCheat::FakeKillCheat(std::uint64_t seed, double rate, PlayerId self,
+                             std::size_t n_players)
+    : rng_(substream_seed(seed, 0xfa4eULL)), rate_(rate), self_(self),
+      n_(n_players) {}
+
+std::vector<core::KillClaim> FakeKillCheat::bogus_kill_claims(Frame f) {
+  if (!rng_.chance(rate_)) return {};
+  core::KillClaim claim;
+  do {
+    claim.victim = static_cast<PlayerId>(rng_.below(n_));
+  } while (claim.victim == self_);
+  claim.weapon = game::WeaponKind::kMachineGun;
+  // Implausible: machine-gun kill far beyond its range.
+  claim.distance = rng_.uniform(4000.0, 9000.0);
+  claim.victim_pos = {rng_.uniform(0.0, 2048.0), rng_.uniform(0.0, 2048.0), 0.0};
+  log_cheat(f);
+  return {claim};
+}
+
+// ---------------------------------------------------------- BogusSubscription
+
+BogusSubscriptionCheat::BogusSubscriptionCheat(std::uint64_t seed, double rate,
+                                               PlayerId self,
+                                               const game::GameTrace& trace,
+                                               const game::GameMap& map,
+                                               interest::SetKind level,
+                                               interest::InterestConfig cfg)
+    : rng_(substream_seed(seed, 0xb09d5ULL)), rate_(rate), self_(self),
+      trace_(&trace), map_(&map), level_(level), cfg_(cfg) {}
+
+std::vector<std::pair<PlayerId, interest::SetKind>>
+BogusSubscriptionCheat::bogus_subscriptions(Frame f) {
+  if (!rng_.chance(rate_)) return {};
+  if (static_cast<std::size_t>(f) >= trace_->num_frames()) return {};
+
+  // Pick a target clearly outside our vision cone (the information we are
+  // not entitled to): behind us or across the map, per the ground truth —
+  // the rate-analysis / maphack information harvest.
+  const auto& avatars = trace_->frames[static_cast<std::size_t>(f)].avatars;
+  const game::AvatarState& me = avatars[self_];
+  // Dead players have no sets to subscribe from, and verifiers give a grace
+  // window around respawns — a smart cheater wouldn't waste messages there.
+  if (!me.alive) {
+    last_dead_ = f;
+    return {};
+  }
+  if (f - last_dead_ < 55) return {};
+  std::vector<PlayerId> invisible;
+  for (PlayerId q = 0; q < avatars.size(); ++q) {
+    if (q == self_ || !avatars[q].alive) continue;
+    if (interest::cone_deviation(me, avatars[q].eye(), cfg_.vision) > 1200.0) {
+      invisible.push_back(q);
+    }
+  }
+  if (invisible.empty()) return {};
+  const PlayerId target = invisible[rng_.below(invisible.size())];
+  log_cheat(f);
+  return {{target, level_}};
+}
+
+// ---------------------------------------------------------- FastRate
+
+FastRateCheat::FastRateCheat(int extra, Frame from, Frame until)
+    : extra_(extra), from_(from), until_(until) {}
+
+int FastRateCheat::extra_state_updates(Frame f) {
+  if (f < from_ || f > until_) return 0;
+  log_cheat(f);
+  return extra_;
+}
+
+// ---------------------------------------------------------- SuppressCorrect
+
+SuppressCorrectCheat::SuppressCorrectCheat(Frame period, Frame burst)
+    : period_(period), burst_(burst) {}
+
+bool SuppressCorrectCheat::send_state_update(Frame f) {
+  const bool suppress = (f % period_) < burst_;
+  if (suppress) log_cheat(f);
+  return !suppress;
+}
+
+// ---------------------------------------------------------- Escape
+
+EscapeCheat::EscapeCheat(Frame when) : when_(when) {}
+
+bool EscapeCheat::send_state_update(Frame f) {
+  if (f < when_) return true;
+  log_cheat(f);
+  return false;
+}
+
+Frame EscapeCheat::send_delay(Frame f) {
+  // After escaping, delay "forever" so periodic messages never leave either.
+  return f >= when_ ? Frame{1} << 40 : 0;
+}
+
+// ---------------------------------------------------------- TimeCheat
+
+TimeCheat::TimeCheat(Frame delay, Frame from, Frame until)
+    : delay_(delay), from_(from), until_(until) {}
+
+Frame TimeCheat::send_delay(Frame f) {
+  if (f < from_ || f > until_) return 0;
+  log_cheat(f);
+  return delay_;
+}
+
+// ---------------------------------------------------------- MaliciousProxy
+
+MaliciousProxyCheat::MaliciousProxyCheat(bool tamper, double rate,
+                                         std::uint64_t seed)
+    : rng_(substream_seed(seed, 0xbadb07ULL)), tamper_(tamper), rate_(rate) {}
+
+bool MaliciousProxyCheat::proxy_drop_forward(PlayerId, Frame f) {
+  if (tamper_) return false;
+  if (!rng_.chance(rate_)) return false;
+  log_cheat(f);
+  return true;
+}
+
+bool MaliciousProxyCheat::proxy_tamper_forward(PlayerId, Frame f) {
+  if (!tamper_) return false;
+  if (!rng_.chance(rate_)) return false;
+  log_cheat(f);
+  return true;
+}
+
+// ---------------------------------------------------------- Replay
+
+ReplayCheat::ReplayCheat(std::uint64_t seed, double rate)
+    : rng_(substream_seed(seed, 0x4e91a7ULL)), rate_(rate) {}
+
+void ReplayCheat::on_received_wire(std::span<const std::uint8_t> wire) {
+  if (captured_.size() < 4096) captured_.emplace_back(wire.begin(), wire.end());
+}
+
+std::vector<std::vector<std::uint8_t>> ReplayCheat::replayed_messages(Frame f) {
+  if (captured_.size() < 10 || !rng_.chance(rate_)) return {};
+  log_cheat(f);
+  // Replay something old enough to be clearly stale.
+  const std::size_t idx = rng_.below(std::max<std::size_t>(1, captured_.size() / 2));
+  return {captured_[idx]};
+}
+
+// ---------------------------------------------------------- Spoof
+
+SpoofCheat::SpoofCheat(std::uint64_t seed, double rate, PlayerId self,
+                       PlayerId victim, const crypto::KeyRegistry& keys)
+    : rng_(substream_seed(seed, 0x5b00fULL)), rate_(rate), self_(self),
+      victim_(victim), keys_(&keys) {}
+
+std::vector<std::vector<std::uint8_t>> SpoofCheat::replayed_messages(Frame f) {
+  if (!rng_.chance(rate_)) return {};
+  // Claim to be the victim; we do not hold the victim's key, so we sign with
+  // our own — receivers' signature verification rejects it.
+  core::MsgHeader h;
+  h.type = core::MsgType::kStateUpdate;
+  h.origin = victim_;
+  h.subject = victim_;
+  h.frame = f;
+  h.seq = static_cast<std::uint32_t>(f);
+  game::AvatarState fake;
+  fake.pos = {rng_.uniform(0.0, 2048.0), rng_.uniform(0.0, 2048.0), 0.0};
+  log_cheat(f);
+  return {core::seal(h, core::encode_state_body(fake), keys_->key_pair(self_))};
+}
+
+// ---------------------------------------------------------- Aimbot
+
+AimbotCheat::AimbotCheat(PlayerId self, const game::GameTrace& trace,
+                         const game::GameMap& map, double range)
+    : self_(self), trace_(&trace), map_(&map), range_(range) {}
+
+game::AvatarState AimbotCheat::mutate_state(const game::AvatarState& s,
+                                            Frame f) {
+  if (!s.alive || static_cast<std::size_t>(f) >= trace_->num_frames()) return s;
+  const auto& avatars = trace_->frames[static_cast<std::size_t>(f)].avatars;
+
+  // Lock onto the nearest visible enemy with machine precision.
+  PlayerId target = kInvalidPlayer;
+  double best = range_;
+  for (PlayerId q = 0; q < avatars.size(); ++q) {
+    if (q == self_ || !avatars[q].alive) continue;
+    const double d = s.eye().distance(avatars[q].eye());
+    if (d < best && map_->visible(s.eye(), avatars[q].eye())) {
+      target = q;
+      best = d;
+    }
+  }
+  if (target == kInvalidPlayer) return s;
+
+  game::AvatarState out = s;
+  const Vec3 to_target = avatars[target].eye() - s.eye();
+  out.yaw = std::atan2(to_target.y, to_target.x);
+  const double h = std::hypot(to_target.x, to_target.y);
+  out.pitch = std::atan2(to_target.z, std::max(h, 1.0));
+  log_cheat(f);
+  return out;
+}
+
+// ---------------------------------------------------------- Consistency
+
+ConsistencyCheat::ConsistencyCheat(std::uint64_t seed, double rate,
+                                   PlayerId self, std::size_t n_players,
+                                   const crypto::KeyRegistry& keys)
+    : rng_(substream_seed(seed, 0xc0515ULL)), rate_(rate), self_(self),
+      n_(n_players), keys_(&keys) {}
+
+std::vector<std::pair<PlayerId, std::vector<std::uint8_t>>>
+ConsistencyCheat::direct_messages(Frame f) {
+  if (!rng_.chance(rate_)) return {};
+  // Two different recipients, two different claimed positions.
+  std::vector<std::pair<PlayerId, std::vector<std::uint8_t>>> out;
+  for (int i = 0; i < 2; ++i) {
+    PlayerId to;
+    do {
+      to = static_cast<PlayerId>(rng_.below(n_));
+    } while (to == self_);
+    core::MsgHeader h;
+    h.type = core::MsgType::kStateUpdate;
+    h.origin = self_;
+    h.subject = self_;
+    h.frame = f;
+    h.seq = seq_++;
+    game::AvatarState s;
+    s.pos = {rng_.uniform(0.0, 2048.0), rng_.uniform(0.0, 2048.0), 0.0};
+    out.emplace_back(
+        to, core::seal(h, core::encode_state_body(s), keys_->key_pair(self_)));
+  }
+  log_cheat(f);
+  return out;
+}
+
+}  // namespace watchmen::cheat

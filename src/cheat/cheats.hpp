@@ -1,0 +1,242 @@
+#pragma once
+// Concrete cheats from the paper's Table I, implemented as Misbehavior
+// profiles pluggable into a WatchmenPeer. Each profile logs the frames at
+// which it actually cheated, so the experiment harness can attribute
+// detections to injected cheat messages (Fig. 6 methodology: a cheater
+// sends up to 10 % invalid messages; we measure per-message detection).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/misbehavior.hpp"
+#include "game/trace.hpp"
+#include "interest/sets.hpp"
+#include "util/rng.hpp"
+
+namespace watchmen::cheat {
+
+/// Table I taxonomy.
+enum class CheatType : std::uint8_t {
+  kEscaping = 0,        ///< terminate connection to escape imminent loss
+  kTimeCheat = 1,       ///< look-ahead: delay updates
+  kFastRate = 2,        ///< faster-than-real event generation
+  kSuppressCorrect = 3, ///< drop consecutive updates, then a (stale) one
+  kReplay = 4,          ///< resend signed updates of a different player
+  kBlindOpponent = 5,   ///< drop updates to opponents (as malicious proxy)
+  kSpoofing = 6,        ///< pretend to be a different player
+  kConsistencyCheat = 7,///< send different updates to different players
+  kSpeedHack = 8,       ///< invalid position updates (too-fast moves)
+  kGuidanceLie = 9,     ///< wrong dead-reckoning predictions
+  kFakeKill = 10,       ///< undue kill claims
+  kBogusISSub = 11,     ///< IS-subscribe to players out of sight (maphack)
+  kBogusVSSub = 12,     ///< VS-subscribe to players out of sight
+  kProxyTamper = 13,    ///< as proxy: tamper with forwarded messages
+};
+constexpr int kNumCheatTypes = 14;
+
+const char* to_string(CheatType t);
+
+/// Base class: common bookkeeping of when we cheated.
+class LoggedCheat : public core::Misbehavior {
+ public:
+  const std::vector<Frame>& cheat_frames() const { return cheat_frames_; }
+
+ protected:
+  void log_cheat(Frame f) { cheat_frames_.push_back(f); }
+  std::vector<Frame> cheat_frames_;
+};
+
+/// Speed hack: with probability `rate` per frame, the published position is
+/// displaced by `speed_factor` times the per-frame legal budget.
+class SpeedHackCheat final : public LoggedCheat {
+ public:
+  SpeedHackCheat(std::uint64_t seed, double rate, double speed_factor);
+  game::AvatarState mutate_state(const game::AvatarState& s, Frame f) override;
+
+ private:
+  Rng rng_;
+  double rate_;
+  double factor_;
+};
+
+/// Guidance lie: with probability `rate` per guidance message, publishes
+/// predictions pointing the wrong way at `mag` times the avatar's speed.
+class GuidanceLieCheat final : public LoggedCheat {
+ public:
+  GuidanceLieCheat(std::uint64_t seed, double rate, double mag = 3.0);
+  interest::Guidance mutate_guidance(const interest::Guidance& g,
+                                     Frame f) override;
+
+ private:
+  Rng rng_;
+  double rate_;
+  double mag_;
+};
+
+/// Fake kills: with probability `rate` per frame, claims a kill on a random
+/// player at an implausible distance / through walls.
+class FakeKillCheat final : public LoggedCheat {
+ public:
+  FakeKillCheat(std::uint64_t seed, double rate, PlayerId self,
+                std::size_t n_players);
+  std::vector<core::KillClaim> bogus_kill_claims(Frame f) override;
+
+ private:
+  Rng rng_;
+  double rate_;
+  PlayerId self_;
+  std::size_t n_;
+};
+
+/// Bogus subscriptions: with probability `rate` per frame, subscribes (IS or
+/// VS level) to a player *outside its own vision* — the rate-analysis /
+/// maphack information harvest. Uses the ground-truth trace to pick targets
+/// the cheater genuinely cannot see.
+class BogusSubscriptionCheat final : public LoggedCheat {
+ public:
+  BogusSubscriptionCheat(std::uint64_t seed, double rate, PlayerId self,
+                         const game::GameTrace& trace,
+                         const game::GameMap& map,
+                         interest::SetKind level,
+                         interest::InterestConfig cfg = {});
+  std::vector<std::pair<PlayerId, interest::SetKind>> bogus_subscriptions(
+      Frame f) override;
+
+ private:
+  Rng rng_;
+  double rate_;
+  PlayerId self_;
+  const game::GameTrace* trace_;
+  const game::GameMap* map_;
+  interest::SetKind level_;
+  interest::InterestConfig cfg_;
+  Frame last_dead_ = -1000;
+};
+
+/// Fast rate: sends `extra` additional state updates per frame while active.
+class FastRateCheat final : public LoggedCheat {
+ public:
+  FastRateCheat(int extra, Frame from = 0, Frame until = 1 << 30);
+  int extra_state_updates(Frame f) override;
+
+ private:
+  int extra_;
+  Frame from_, until_;
+};
+
+/// Suppress-correct: drops `burst` consecutive updates every `period`
+/// frames, then resumes (the next update "corrects" the gap).
+class SuppressCorrectCheat final : public LoggedCheat {
+ public:
+  SuppressCorrectCheat(Frame period, Frame burst);
+  bool send_state_update(Frame f) override;
+
+ private:
+  Frame period_, burst_;
+};
+
+/// Escaping: stops sending everything at `when` (connection cut to dodge a
+/// loss).
+class EscapeCheat final : public LoggedCheat {
+ public:
+  explicit EscapeCheat(Frame when);
+  bool send_state_update(Frame f) override;
+  Frame send_delay(Frame f) override;  // also silences periodic messages
+
+ private:
+  Frame when_;
+};
+
+/// Time cheat (look-ahead): all messages delayed by `delay` frames while
+/// active, letting the cheater act on others' updates first.
+class TimeCheat final : public LoggedCheat {
+ public:
+  TimeCheat(Frame delay, Frame from = 0, Frame until = 1 << 30);
+  Frame send_delay(Frame f) override;
+
+ private:
+  Frame delay_, from_, until_;
+};
+
+/// Malicious proxy: drops (or tampers with) every forwarded message for its
+/// proxied players while active.
+class MaliciousProxyCheat final : public LoggedCheat {
+ public:
+  MaliciousProxyCheat(bool tamper, double rate, std::uint64_t seed);
+  bool proxy_drop_forward(PlayerId subject, Frame f) override;
+  bool proxy_tamper_forward(PlayerId subject, Frame f) override;
+
+ private:
+  Rng rng_;
+  bool tamper_;
+  double rate_;
+};
+
+/// Replay cheat: records every wire it receives about other players and,
+/// with probability `rate` per frame, resends an old one.
+class ReplayCheat final : public LoggedCheat {
+ public:
+  ReplayCheat(std::uint64_t seed, double rate);
+  void on_received_wire(std::span<const std::uint8_t> wire) override;
+  std::vector<std::vector<std::uint8_t>> replayed_messages(Frame f) override;
+
+ private:
+  Rng rng_;
+  double rate_;
+  std::vector<std::vector<std::uint8_t>> captured_;
+};
+
+/// Aimbot: publishes an aim locked exactly onto the nearest visible enemy
+/// (per ground truth), snapping instantly between targets. Caught by the
+/// proxy's aim analysis: impossible turn rates plus inhumanly small
+/// tracking error (Table I "aimbots").
+class AimbotCheat final : public LoggedCheat {
+ public:
+  AimbotCheat(PlayerId self, const game::GameTrace& trace,
+              const game::GameMap& map, double range = 1500.0);
+  game::AvatarState mutate_state(const game::AvatarState& s, Frame f) override;
+
+ private:
+  PlayerId self_;
+  const game::GameTrace* trace_;
+  const game::GameMap* map_;
+  double range_;
+};
+
+/// Consistency cheat: sends divergent state updates *directly* to a few
+/// players, bypassing the proxy. The indirect-communication rule makes this
+/// immediately detectable by the receivers.
+class ConsistencyCheat final : public LoggedCheat {
+ public:
+  ConsistencyCheat(std::uint64_t seed, double rate, PlayerId self,
+                   std::size_t n_players, const crypto::KeyRegistry& keys);
+  std::vector<std::pair<PlayerId, std::vector<std::uint8_t>>> direct_messages(
+      Frame f) override;
+
+ private:
+  Rng rng_;
+  double rate_;
+  PlayerId self_;
+  std::size_t n_;
+  const crypto::KeyRegistry* keys_;
+  std::uint32_t seq_ = 1u << 20;  // disjoint from the peer's own sequence
+};
+
+/// Spoofing: with probability `rate` per frame, emits a state update whose
+/// header claims a different origin, signed with the cheater's own key.
+class SpoofCheat final : public LoggedCheat {
+ public:
+  SpoofCheat(std::uint64_t seed, double rate, PlayerId self,
+             PlayerId victim, const crypto::KeyRegistry& keys);
+  std::vector<std::vector<std::uint8_t>> replayed_messages(Frame f) override;
+
+ private:
+  Rng rng_;
+  double rate_;
+  PlayerId self_;
+  PlayerId victim_;
+  const crypto::KeyRegistry* keys_;
+};
+
+}  // namespace watchmen::cheat

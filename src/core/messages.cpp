@@ -1,0 +1,262 @@
+#include "core/messages.hpp"
+
+#include "interest/delta.hpp"
+
+namespace watchmen::core {
+
+const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kStateUpdate: return "state-update";
+    case MsgType::kPositionUpdate: return "position-update";
+    case MsgType::kGuidance: return "guidance";
+    case MsgType::kSubscribe: return "subscribe";
+    case MsgType::kHandoff: return "handoff";
+    case MsgType::kKillClaim: return "kill-claim";
+    case MsgType::kChurnNotice: return "churn-notice";
+    case MsgType::kSubscriberList: return "subscriber-list";
+  }
+  return "?";
+}
+
+namespace {
+
+void write_header(ByteWriter& w, const MsgHeader& h) {
+  w.u8(static_cast<std::uint8_t>(h.type));
+  w.u32(h.origin);
+  w.u32(h.subject);
+  w.i64(h.frame);
+  w.u32(h.seq);
+}
+
+MsgHeader read_header(ByteReader& r) {
+  MsgHeader h;
+  h.type = static_cast<MsgType>(r.u8());
+  h.origin = r.u32();
+  h.subject = r.u32();
+  h.frame = r.i64();
+  h.seq = r.u32();
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> seal(const MsgHeader& header,
+                               std::span<const std::uint8_t> body,
+                               const crypto::KeyPair& key) {
+  ByteWriter w;
+  write_header(w, header);
+  w.blob(body);
+  const crypto::Signature sig = crypto::sign(key, w.data());
+  const auto sig_bytes = sig.encode();
+  w.bytes(sig_bytes);
+  return w.take();
+}
+
+namespace {
+
+std::optional<ParsedMessage> parse(std::span<const std::uint8_t> wire,
+                                   const crypto::KeyRegistry* keys) {
+  try {
+    if (wire.size() < crypto::kSignatureBytes) return std::nullopt;
+    const std::size_t signed_len = wire.size() - crypto::kSignatureBytes;
+    ByteReader r(wire.first(signed_len));
+    ParsedMessage msg;
+    msg.header = read_header(r);
+    msg.body = r.blob();
+    if (!r.done()) return std::nullopt;
+
+    if (keys) {
+      if (msg.header.origin >= keys->size()) return std::nullopt;
+      const auto sig = crypto::Signature::decode(wire.subspan(signed_len));
+      if (!crypto::verify(keys->public_key(msg.header.origin),
+                          wire.first(signed_len), sig)) {
+        return std::nullopt;
+      }
+    }
+    return msg;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<ParsedMessage> open(std::span<const std::uint8_t> wire,
+                                  const crypto::KeyRegistry& keys) {
+  return parse(wire, &keys);
+}
+
+std::optional<ParsedMessage> open_unverified(std::span<const std::uint8_t> wire) {
+  return parse(wire, nullptr);
+}
+
+std::vector<std::uint8_t> encode_state_body(const game::AvatarState& s) {
+  ByteWriter w;
+  w.u8(0);  // keyframe
+  const auto payload = interest::encode_full(s);
+  w.bytes(payload);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_state_body_delta(const game::AvatarState& baseline,
+                                                  std::uint8_t baseline_age,
+                                                  const game::AvatarState& cur) {
+  ByteWriter w;
+  w.u8(1);  // delta
+  w.u8(baseline_age);
+  const auto payload = interest::encode_delta(baseline, cur);
+  w.bytes(payload);
+  return w.take();
+}
+
+StateBodyView parse_state_body(std::span<const std::uint8_t> body) {
+  if (body.empty()) throw DecodeError("empty state body");
+  StateBodyView v;
+  v.is_delta = body[0] != 0;
+  if (v.is_delta) {
+    if (body.size() < 2) throw DecodeError("truncated delta body");
+    v.baseline_age = body[1];
+    v.payload = body.subspan(2);
+  } else {
+    v.payload = body.subspan(1);
+  }
+  return v;
+}
+
+game::AvatarState decode_state_body(std::span<const std::uint8_t> body) {
+  const StateBodyView v = parse_state_body(body);
+  if (v.is_delta) throw DecodeError("delta body without baseline");
+  return interest::decode_full(v.payload);
+}
+
+game::AvatarState decode_state_body(std::span<const std::uint8_t> body,
+                                    const game::AvatarState& baseline) {
+  const StateBodyView v = parse_state_body(body);
+  return v.is_delta ? interest::decode_delta(baseline, v.payload)
+                    : interest::decode_full(v.payload);
+}
+
+std::vector<std::uint8_t> encode_position_body(const Vec3& pos) {
+  ByteWriter w;
+  w.f32(static_cast<float>(pos.x));
+  w.f32(static_cast<float>(pos.y));
+  w.f32(static_cast<float>(pos.z));
+  return w.take();
+}
+
+Vec3 decode_position_body(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  const double x = r.f32();
+  const double y = r.f32();
+  const double z = r.f32();
+  return {x, y, z};
+}
+
+std::vector<std::uint8_t> encode_guidance_body(const interest::Guidance& g) {
+  ByteWriter w;
+  w.i64(g.frame);
+  w.f32(static_cast<float>(g.pos.x));
+  w.f32(static_cast<float>(g.pos.y));
+  w.f32(static_cast<float>(g.pos.z));
+  w.f32(static_cast<float>(g.vel.x));
+  w.f32(static_cast<float>(g.vel.y));
+  w.f32(static_cast<float>(g.vel.z));
+  w.f32(static_cast<float>(g.yaw));
+  w.f32(static_cast<float>(g.pitch));
+  w.i32(g.health);
+  w.u8(static_cast<std::uint8_t>(g.weapon));
+  w.varint(g.waypoints.size());
+  for (const Vec3& p : g.waypoints) {
+    w.f32(static_cast<float>(p.x));
+    w.f32(static_cast<float>(p.y));
+    w.f32(static_cast<float>(p.z));
+  }
+  return w.take();
+}
+
+interest::Guidance decode_guidance_body(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  interest::Guidance g;
+  g.frame = r.i64();
+  g.pos = {r.f32(), r.f32(), r.f32()};
+  g.vel = {r.f32(), r.f32(), r.f32()};
+  g.yaw = r.f32();
+  g.pitch = r.f32();
+  g.health = r.i32();
+  g.weapon = static_cast<game::WeaponKind>(r.u8());
+  const auto n = r.varint();
+  // The count is attacker-controlled: cap the pre-allocation; an oversized
+  // count simply runs the reader off the end and throws DecodeError.
+  if (n > 64) throw DecodeError("too many guidance waypoints");
+  g.waypoints.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    g.waypoints.push_back({r.f32(), r.f32(), r.f32()});
+  }
+  return g;
+}
+
+std::vector<std::uint8_t> encode_subscribe_body(interest::SetKind kind) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  return w.take();
+}
+
+interest::SetKind decode_subscribe_body(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  return static_cast<interest::SetKind>(r.u8());
+}
+
+std::vector<std::uint8_t> encode_kill_body(const KillClaim& k) {
+  ByteWriter w;
+  w.u32(k.victim);
+  w.u8(static_cast<std::uint8_t>(k.weapon));
+  w.f32(static_cast<float>(k.distance));
+  w.f32(static_cast<float>(k.victim_pos.x));
+  w.f32(static_cast<float>(k.victim_pos.y));
+  w.f32(static_cast<float>(k.victim_pos.z));
+  return w.take();
+}
+
+KillClaim decode_kill_body(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  KillClaim k;
+  k.victim = r.u32();
+  k.weapon = static_cast<game::WeaponKind>(r.u8());
+  k.distance = r.f32();
+  k.victim_pos = {r.f32(), r.f32(), r.f32()};
+  return k;
+}
+
+std::vector<std::uint8_t> encode_churn_body(std::int64_t removal_round) {
+  ByteWriter w;
+  w.i64(removal_round);
+  return w.take();
+}
+
+std::int64_t decode_churn_body(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  return r.i64();
+}
+
+std::vector<std::uint8_t> encode_subscriber_list_body(
+    const std::vector<PlayerId>& subscribers) {
+  ByteWriter w;
+  w.varint(subscribers.size());
+  for (PlayerId p : subscribers) w.varint(p);
+  return w.take();
+}
+
+std::vector<PlayerId> decode_subscriber_list_body(
+    std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  const auto n = r.varint();
+  if (n > 4096) throw DecodeError("implausible subscriber count");
+  std::vector<PlayerId> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<PlayerId>(r.varint()));
+  }
+  return out;
+}
+
+}  // namespace watchmen::core

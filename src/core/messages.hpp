@@ -1,0 +1,129 @@
+#pragma once
+// Watchmen wire protocol: signed message envelopes (paper §III-B, §IV).
+//
+// Every message a player emits is signed with its session key; proxies
+// forward messages with the origin's signature intact, so they cannot
+// tamper with, replay (frame+seq are under the signature), or spoof them.
+// A ~16-byte signature on a ~50-90-byte update reproduces the paper's cost
+// ratio (~100-bit signatures vs ~700-bit state updates).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/keys.hpp"
+#include "crypto/sig.hpp"
+#include "game/avatar.hpp"
+#include "interest/deadreckoning.hpp"
+#include "interest/sets.hpp"
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+
+namespace watchmen::core {
+
+enum class MsgType : std::uint8_t {
+  kStateUpdate = 0,     ///< frequent full state (player -> proxy -> IS subs)
+  kPositionUpdate = 1,  ///< infrequent position-only (-> everyone else)
+  kGuidance = 2,        ///< dead-reckoning guidance (-> VS subs)
+  kSubscribe = 3,       ///< subscription request (player -> proxy -> target's proxy)
+  kHandoff = 4,         ///< proxy -> successor proxy at renewal
+  kKillClaim = 5,       ///< interaction claim, checked by proxy & witnesses
+  kChurnNotice = 6,     ///< proxy announces a silent player; pool removal at
+                        ///< an agreed round (§VI "Churn")
+  kSubscriberList = 7,  ///< proxy -> its player: current IS subscribers, for
+                        ///< the relaxed 1-hop direct-update mode (§VI opt. 3)
+};
+constexpr int kNumMsgTypes = 8;
+
+const char* to_string(MsgType t);
+
+struct MsgHeader {
+  MsgType type = MsgType::kStateUpdate;
+  PlayerId origin = kInvalidPlayer;   ///< signer / producer of the message
+  PlayerId subject = kInvalidPlayer;  ///< player the message is about / aimed at
+  Frame frame = 0;                    ///< frame the content refers to
+  std::uint32_t seq = 0;              ///< per-origin sequence number
+};
+
+/// A parsed, signature-checked message.
+struct ParsedMessage {
+  MsgHeader header;
+  std::vector<std::uint8_t> body;
+};
+
+/// Serializes and signs header+body. The result is what goes on the wire.
+std::vector<std::uint8_t> seal(const MsgHeader& header,
+                               std::span<const std::uint8_t> body,
+                               const crypto::KeyPair& key);
+
+/// Parses and verifies a sealed message against the origin's public key from
+/// the registry. Returns nullopt on malformed input or bad signature —
+/// exactly the "reject tampered/spoofed message" path of §IV.
+std::optional<ParsedMessage> open(std::span<const std::uint8_t> wire,
+                                  const crypto::KeyRegistry& keys);
+
+/// Parses without verifying the signature (for size accounting and tests).
+std::optional<ParsedMessage> open_unverified(std::span<const std::uint8_t> wire);
+
+// ----------------------------------------------------------------- bodies
+
+// State-update bodies support Quake-style delta coding (paper §II-A:
+// consecutive updates show high temporal similarity). A body is either a
+// keyframe (full state) or a delta against the sender's state at
+// `baseline_frame`; receivers that missed the baseline wait for the next
+// keyframe.
+std::vector<std::uint8_t> encode_state_body(const game::AvatarState& s);
+/// `baseline_age` = header frame minus the keyframe's frame (1..255).
+std::vector<std::uint8_t> encode_state_body_delta(const game::AvatarState& baseline,
+                                                  std::uint8_t baseline_age,
+                                                  const game::AvatarState& cur);
+
+struct StateBodyView {
+  bool is_delta = false;
+  std::uint8_t baseline_age = 0;  ///< keyframe = header frame - age
+  std::span<const std::uint8_t> payload;
+};
+
+/// Splits a state body into its framing; throws DecodeError on garbage.
+StateBodyView parse_state_body(std::span<const std::uint8_t> body);
+
+/// Decodes a keyframe body (asserts !is_delta).
+game::AvatarState decode_state_body(std::span<const std::uint8_t> body);
+
+/// Decodes any state body given the receiver's baseline for deltas.
+game::AvatarState decode_state_body(std::span<const std::uint8_t> body,
+                                    const game::AvatarState& baseline);
+
+std::vector<std::uint8_t> encode_position_body(const Vec3& pos);
+Vec3 decode_position_body(std::span<const std::uint8_t> body);
+
+std::vector<std::uint8_t> encode_guidance_body(const interest::Guidance& g);
+interest::Guidance decode_guidance_body(std::span<const std::uint8_t> body);
+
+std::vector<std::uint8_t> encode_subscribe_body(interest::SetKind kind);
+interest::SetKind decode_subscribe_body(std::span<const std::uint8_t> body);
+
+struct KillClaim {
+  PlayerId victim = kInvalidPlayer;
+  game::WeaponKind weapon = game::WeaponKind::kMachineGun;
+  double distance = 0.0;
+  Vec3 victim_pos;
+};
+
+std::vector<std::uint8_t> encode_kill_body(const KillClaim& k);
+KillClaim decode_kill_body(std::span<const std::uint8_t> body);
+
+/// Churn notice body: the proxy round from which everyone removes the
+/// subject from the proxy pool (agreed-upon, so pools stay consistent).
+std::vector<std::uint8_t> encode_churn_body(std::int64_t removal_round);
+std::int64_t decode_churn_body(std::span<const std::uint8_t> body);
+
+/// Subscriber-list body (§VI optimization 3, direct-update mode): the IS
+/// subscribers the player should push frequent updates to directly.
+std::vector<std::uint8_t> encode_subscriber_list_body(
+    const std::vector<PlayerId>& subscribers);
+std::vector<PlayerId> decode_subscriber_list_body(
+    std::span<const std::uint8_t> body);
+
+}  // namespace watchmen::core

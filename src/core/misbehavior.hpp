@@ -1,0 +1,85 @@
+#pragma once
+// Hook interface through which cheating behaviour is injected into a peer.
+//
+// The core engine consults this interface at every point where a cheater
+// could deviate from the protocol; honest peers use the default (no-op)
+// implementation. Concrete cheats from the paper's Table I live in
+// src/cheat and override the relevant hooks.
+
+#include <utility>
+#include <vector>
+
+#include "core/messages.hpp"
+#include "game/avatar.hpp"
+#include "interest/deadreckoning.hpp"
+#include "interest/sets.hpp"
+#include "util/ids.hpp"
+
+namespace watchmen::core {
+
+class Misbehavior {
+ public:
+  virtual ~Misbehavior() = default;
+
+  /// Return false to suppress this frame's state update (suppress-correct,
+  /// blind opponent, escaping).
+  virtual bool send_state_update(Frame) { return true; }
+
+  /// Mutate the outgoing state (speed hack, teleport, health hack...).
+  virtual game::AvatarState mutate_state(const game::AvatarState& s, Frame) {
+    return s;
+  }
+
+  /// Number of *extra* copies of the state update to send this frame
+  /// (fast-rate cheat).
+  virtual int extra_state_updates(Frame) { return 0; }
+
+  /// Mutate outgoing guidance (wrong predictions / stats).
+  virtual interest::Guidance mutate_guidance(const interest::Guidance& g, Frame) {
+    return g;
+  }
+
+  /// Frames of artificial delay before this frame's messages leave
+  /// (look-ahead / time cheat).
+  virtual Frame send_delay(Frame) { return 0; }
+
+  /// Unjustified subscriptions to inject this frame (information harvesting).
+  virtual std::vector<std::pair<PlayerId, interest::SetKind>> bogus_subscriptions(
+      Frame) {
+    return {};
+  }
+
+  /// Fabricated kill claims to inject this frame.
+  virtual std::vector<KillClaim> bogus_kill_claims(Frame) { return {}; }
+
+  /// When acting as proxy: return true to drop a message that should be
+  /// forwarded for `subject` (malicious-proxy disruption).
+  virtual bool proxy_drop_forward(PlayerId /*subject*/, Frame) { return false; }
+
+  /// When acting as proxy: return true to tamper with forwarded bytes
+  /// (caught by signatures at the receiver).
+  virtual bool proxy_tamper_forward(PlayerId /*subject*/, Frame) { return false; }
+
+  /// Old messages to replay this frame (replay cheat): raw wire bytes the
+  /// cheater captured earlier.
+  virtual std::vector<std::vector<std::uint8_t>> replayed_messages(Frame) {
+    return {};
+  }
+
+  /// Tap on every wire the peer receives (lets the replay cheat capture
+  /// other players' signed messages).
+  virtual void on_received_wire(std::span<const std::uint8_t> /*wire*/) {}
+
+  /// Messages sent directly to specific players, bypassing the proxy —
+  /// the consistency cheat (different updates to different players).
+  /// Receivers detect the protocol violation.
+  virtual std::vector<std::pair<PlayerId, std::vector<std::uint8_t>>>
+  direct_messages(Frame) {
+    return {};
+  }
+};
+
+/// Shared no-op instance for honest peers.
+Misbehavior& honest_behavior();
+
+}  // namespace watchmen::core

@@ -1,0 +1,1326 @@
+#include "core/peer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "interest/delta.hpp"
+
+namespace watchmen::core {
+
+namespace {
+Misbehavior g_honest;
+}  // namespace
+
+Misbehavior& honest_behavior() { return g_honest; }
+
+WatchmenPeer::WatchmenPeer(PlayerId id, WatchmenConfig cfg, net::SimNetwork& net,
+                           const crypto::KeyRegistry& keys,
+                           const ProxySchedule& schedule,
+                           const game::GameMap& map, ReportFn report,
+                           Misbehavior* misbehavior)
+    : id_(id),
+      cfg_(std::move(cfg)),
+      net_(&net),
+      keys_(&keys),
+      schedule_(schedule),
+      map_(&map),
+      report_(std::move(report)),
+      misbehavior_(misbehavior ? misbehavior : &honest_behavior()),
+      know_(schedule.num_players()),
+      recv_state_in_round_(schedule.num_players(), 0),
+      is_held_frames_in_round_(schedule.num_players(), 0),
+      pending_starve_(schedule.num_players()),
+      churn_removal_round_(schedule.num_players(), -1) {}
+
+// --------------------------------------------------------------- sending
+
+void WatchmenPeer::send_wire(PlayerId to, std::vector<std::uint8_t> wire) {
+  ++metrics_.messages_sent;
+  net_->send(id_, to, std::move(wire));
+}
+
+std::vector<std::uint8_t> WatchmenPeer::make_sealed(
+    MsgType type, PlayerId subject, Frame frame,
+    std::span<const std::uint8_t> body) {
+  ++metrics_.sent_by_type[static_cast<std::size_t>(type)];
+  MsgHeader h;
+  h.type = type;
+  h.origin = id_;
+  h.subject = subject;
+  h.frame = frame;
+  h.seq = seq_++;
+  return seal(h, body, keys_->key_pair(id_));
+}
+
+void WatchmenPeer::send_to_proxy(MsgType type, PlayerId subject, Frame frame,
+                                 std::span<const std::uint8_t> body,
+                                 Frame delay) {
+  auto wire = make_sealed(type, subject, frame, body);
+  if (delay > 0) {
+    // Look-ahead cheat: hold the sealed message and release it late; the
+    // destination proxy is recomputed at release time.
+    outbox_.push_back({frame_ + delay, kInvalidPlayer, std::move(wire)});
+    return;
+  }
+  send_wire(schedule_.proxy_at(id_, frame_), std::move(wire));
+}
+
+// --------------------------------------------------------------- frames
+
+void WatchmenPeer::begin_frame(Frame f) {
+  frame_ = f;
+  const std::int64_t r = schedule_.round_of(f);
+  if (r != round_) {
+    round_ = r;
+    // Apply agreed churn removals: departed players leave the proxy pool at
+    // the round announced in the churn notice, keeping schedules consistent.
+    for (PlayerId q = 0; q < schedule_.num_players(); ++q) {
+      if (churn_removal_round_[q] >= 0 && r >= churn_removal_round_[q] &&
+          schedule_.in_pool(q)) {
+        schedule_.remove_from_pool(q);
+        last_pool_change_round_ = r;
+      }
+    }
+    // Adopt players newly assigned to this peer. Their handoff (state +
+    // subscription table) arrives from the old proxy within a few frames.
+    for (PlayerId p = 0; p < schedule_.num_players(); ++p) {
+      if (p == id_) continue;
+      if (schedule_.proxy_of(p, r) == id_ && !proxied_.contains(p)) {
+        ProxiedState ps(cfg_.renewal_frames);
+        ps.adopted_at = f;
+        proxied_.emplace(p, std::move(ps));
+      }
+    }
+  }
+  std::erase_if(grace_, [f](const auto& kv) { return kv.second.expires < f; });
+
+  // Direct-update mode: periodically tell each proxied player who its IS
+  // subscribers are, so it can push 1-hop updates (staggered, 2 Hz).
+  if (cfg_.direct_updates) {
+    for (auto& [q, ps] : proxied_) {
+      if ((f + q) % 10 != 0) continue;
+      const auto body = encode_subscriber_list_body(
+          ps.subs.subscribers(interest::SetKind::kInterest, f));
+      send_wire(q, make_sealed(MsgType::kSubscriberList, q, f, body));
+    }
+  }
+
+  // Release delayed messages.
+  while (!outbox_.empty() && outbox_.front().release <= f) {
+    Delayed d = std::move(outbox_.front());
+    outbox_.pop_front();
+    const PlayerId to =
+        d.to == kInvalidPlayer ? schedule_.proxy_at(id_, f) : d.to;
+    send_wire(to, std::move(d.wire));
+  }
+}
+
+void WatchmenPeer::produce(std::span<const game::AvatarState> truth,
+                           const interest::PlayerSets& sets,
+                           std::span<const game::KillEvent> kills) {
+  const Frame f = frame_;
+  own_state_ = truth[id_];
+  has_own_state_ = true;
+  const Frame delay = misbehavior_->send_delay(f);
+
+  // 1. Frequent state update, every frame, through the proxy; delta-coded
+  //    against the previous frame when enabled, with periodic keyframes.
+  const game::AvatarState published = misbehavior_->mutate_state(own_state_, f);
+  if (misbehavior_->send_state_update(f)) {
+    const bool keyframe = !cfg_.delta_updates || last_keyframe_frame_ < 0 ||
+                          f - last_keyframe_frame_ >= cfg_.keyframe_period;
+    const auto body =
+        keyframe ? encode_state_body(published)
+                 : encode_state_body_delta(
+                       last_keyframe_,
+                       static_cast<std::uint8_t>(f - last_keyframe_frame_),
+                       published);
+    send_to_proxy(MsgType::kStateUpdate, id_, f, body, delay);
+    if (cfg_.direct_updates && delay == 0) {
+      // §VI optimization 3: one hop to the IS subscribers our proxy named;
+      // the proxy copy above still feeds verification (and serves the proxy
+      // itself if it happens to be a subscriber — don't double-send).
+      const PlayerId my_proxy = schedule_.proxy_at(id_, f);
+      const auto wire = make_sealed(MsgType::kStateUpdate, id_, f, body);
+      for (PlayerId to : direct_targets_) {
+        if (to != id_ && to != my_proxy) send_wire(to, wire);
+      }
+    }
+    for (int i = misbehavior_->extra_state_updates(f); i > 0; --i) {
+      send_to_proxy(MsgType::kStateUpdate, id_, f, body, delay);
+    }
+    if (keyframe) {
+      last_keyframe_ = published;
+      last_keyframe_frame_ = f;
+    }
+  }
+
+  // 2. Guidance + infrequent position update, once per guidance period
+  //    (staggered by player id to spread the load across frames).
+  if ((f + static_cast<Frame>(id_) * 7) % cfg_.guidance_period == 0) {
+    interest::Guidance g = interest::make_guidance(
+        published, f, cfg_.guidance_waypoints, cfg_.dr_damping);
+    g = misbehavior_->mutate_guidance(g, f);
+    const auto gbody = encode_guidance_body(g);
+    send_to_proxy(MsgType::kGuidance, id_, f, gbody, delay);
+
+    const auto pbody = encode_position_body(published.pos);
+    send_to_proxy(MsgType::kPositionUpdate, id_, f, pbody, delay);
+  }
+
+  // 3. Kill claims for this player's kills this frame.
+  for (const game::KillEvent& k : kills) {
+    if (k.killer != id_) continue;
+    KillClaim claim;
+    claim.victim = k.victim;
+    claim.weapon = k.weapon;
+    claim.distance = k.distance;
+    claim.victim_pos = truth[k.victim].pos;
+    const auto body = encode_kill_body(claim);
+    send_to_proxy(MsgType::kKillClaim, k.victim, f, body, delay);
+  }
+  for (const KillClaim& claim : misbehavior_->bogus_kill_claims(f)) {
+    const auto body = encode_kill_body(claim);
+    send_to_proxy(MsgType::kKillClaim, claim.victim, f, body, delay);
+  }
+
+  // 4. Subscriptions with retention (paper §VI): *upgrades* (needing more
+  //    detail than currently subscribed) go out immediately; downgrades and
+  //    steady states ride the periodic refresh, so transient set churn
+  //    generates no traffic and lapsed targets simply time out.
+  auto level_rank = [](interest::SetKind k) {
+    switch (k) {
+      case interest::SetKind::kInterest: return 2;
+      case interest::SetKind::kVision: return 1;
+      case interest::SetKind::kOther: return 0;
+    }
+    return 0;
+  };
+  auto want = [&](PlayerId target, interest::SetKind kind) {
+    const auto it = sent_level_.find(target);
+    const Frame last = sent_level_frame_.contains(target)
+                           ? sent_level_frame_[target]
+                           : Frame{-10000};
+    // The level we hold at the proxy: the last one we sent, until the
+    // proxy-side retention (one renewal period) would have expired it.
+    const interest::SetKind held =
+        (it == sent_level_.end() || f - last > cfg_.renewal_frames)
+            ? interest::SetKind::kOther
+            : it->second;
+    const bool upgrade = level_rank(kind) > level_rank(held);
+    // Self-healing: if we believe we hold a frequent subscription but the
+    // stream has gone silent (lost subscribe, lost handoff), re-subscribe
+    // instead of waiting out the refresh period.
+    const bool starved = held == interest::SetKind::kInterest &&
+                         kind == interest::SetKind::kInterest &&
+                         f - last > 8 && f - know_[target].newest_frame > 8;
+    if (upgrade || starved || f - last >= cfg_.subscription_refresh) {
+      const auto body = encode_subscribe_body(kind);
+      send_to_proxy(MsgType::kSubscribe, target, f, body, delay);
+      sent_level_[target] = kind;
+      sent_level_frame_[target] = f;
+    }
+  };
+  for (PlayerId t : sets.interest) want(t, interest::SetKind::kInterest);
+  for (PlayerId t : sets.vision) want(t, interest::SetKind::kVision);
+
+  // Track how many frames of frequent updates we are entitled to expect
+  // about each target this round: we must both currently *want* the target
+  // in our IS and hold an unexpired IS subscription for it.
+  for (PlayerId t : sets.interest) {
+    const auto it = sent_level_.find(t);
+    if (it != sent_level_.end() && it->second == interest::SetKind::kInterest &&
+        f - sent_level_frame_[t] <= cfg_.renewal_frames) {
+      ++is_held_frames_in_round_[t];
+    }
+  }
+
+  for (const auto& [target, kind] : misbehavior_->bogus_subscriptions(f)) {
+    const auto body = encode_subscribe_body(kind);
+    send_to_proxy(MsgType::kSubscribe, target, f, body, delay);
+  }
+
+  // 5. Replay cheat: resend captured wires verbatim.
+  for (auto& wire : misbehavior_->replayed_messages(f)) {
+    send_wire(schedule_.proxy_at(id_, f), std::move(wire));
+  }
+
+  // 6. Consistency cheat: direct sends bypassing the proxy.
+  for (auto& [to, wire] : misbehavior_->direct_messages(f)) {
+    if (to < schedule_.num_players()) send_wire(to, std::move(wire));
+  }
+}
+
+void WatchmenPeer::end_frame(Frame f) {
+  const bool round_ends = schedule_.round_of(f + 1) != schedule_.round_of(f);
+  if (!round_ends) return;
+
+  const std::int64_t r = schedule_.round_of(f);
+  const std::int64_t next = r + 1;
+
+  // Witness-side forwarding check: for every frame this round we held an
+  // IS-level subscription to q, a frequent update should have flowed. A
+  // starved stream implicates the player's proxy for the round
+  // (blind-opponent drops or a malicious proxy); the player-side
+  // suppression case is caught by the proxy's own rate check.
+  for (PlayerId q = 0; q < schedule_.num_players(); ++q) {
+    if (q == id_) continue;
+    const std::size_t expected = is_held_frames_in_round_[q];
+    // In direct-update mode the frequent stream no longer transits the
+    // proxy, so witness starvation cannot be pinned on anyone — another
+    // facet of that mode's relaxed security.
+    const bool watched =
+        !cfg_.direct_updates &&
+        expected >= static_cast<std::size_t>(cfg_.renewal_frames) * 3 / 4;
+    // Honest streams jitter (boundary crossings, lost subscribes that
+    // self-heal within ~10 frames); only *heavy* starvation over a
+    // near-full round carries the drop signature.
+    verify::CheckResult starve_res;
+    bool starving = false;
+    if (watched) {
+      starve_res = verify::check_rate(recv_state_in_round_[q], expected,
+                                      /*loss_allowance=*/0.5, /*slop=*/8);
+      starving =
+          starve_res.suspicious() && recv_state_in_round_[q] < expected / 3;
+    }
+
+    PendingStarve& pending = pending_starve_[q];
+    if (churn_removal_round_[q] >= 0) {
+      pending.active = false;  // announced departure explains the silence
+    } else if (pending.active) {
+      if (watched && !starving) {
+        // The stream resumed under a different proxy: the starved round's
+        // proxy was dropping forwards (blind opponent / malicious proxy).
+        emit(schedule_.proxy_of(q, pending.round), verify::CheckType::kRate,
+             verify::Vantage::kInterestWitness, f, pending.res);
+        pending.active = false;
+      } else if (!watched) {
+        pending.active = false;  // lost interest; evidence inconclusive
+      }
+      // else: still silent — likely churn; hold until the notice arrives.
+    } else if (starving) {
+      pending.active = true;
+      pending.round = r;
+      pending.res = starve_res;
+    }
+
+    recv_state_in_round_[q] = 0;
+    is_held_frames_in_round_[q] = 0;
+  }
+
+  for (auto it = proxied_.begin(); it != proxied_.end();) {
+    const PlayerId q = it->first;
+    ProxiedState& ps = it->second;
+
+    // Dissemination-rate check over the frames this peer held q: one state
+    // update expected per frame; boundary slop handled inside check_rate.
+    const auto expected = static_cast<std::size_t>(
+        std::max<Frame>(0, f - std::max(ps.adopted_at, schedule_.round_start(r)) + 1));
+    const verify::CheckResult rate =
+        verify::check_rate(ps.updates_in_round, expected, cfg_.rate_loss_allowance);
+    // Statistical aimbot check over the round's precision samples.
+    const verify::CheckResult aim =
+        verify::check_aim(ps.aim_samples, cfg_.aim_tolerance);
+    if (aim.suspicious()) {
+      emit(q, verify::CheckType::kAimbot, verify::Vantage::kProxy, f, aim);
+      ++ps.suspicious_in_round;
+    }
+    ps.aim_samples.clear();
+
+    if (rate.suspicious()) {
+      const bool silent = ps.updates_in_round == 0;
+      emit(q, silent ? verify::CheckType::kEscape : verify::CheckType::kRate,
+           verify::Vantage::kProxy, f, rate);
+      ++ps.suspicious_in_round;
+
+      // Churn (§VI): a player totally silent for a full round has left (or
+      // escaped). As its proxy, announce the departure; everyone removes it
+      // from the proxy pool at an agreed future round. Repeated silence
+      // makes later proxies re-announce, covering lost notices.
+      if (silent && expected >= static_cast<std::size_t>(cfg_.renewal_frames) &&
+          schedule_.in_pool(q) && churn_removal_round_[q] < 0) {
+        const std::int64_t removal = r + 2;
+        churn_removal_round_[q] = removal;
+        const auto body = encode_churn_body(removal);
+        const auto wire = make_sealed(MsgType::kChurnNotice, q, f, body);
+        for (PlayerId w = 0; w < schedule_.num_players(); ++w) {
+          if (w != id_ && w != q) send_wire(w, wire);
+        }
+      }
+    }
+
+    if (schedule_.proxy_of(q, next) != id_) {
+      // Close out the pending dead-reckoning window before letting go: the
+      // next guidance will arrive at the successor, never here.
+      if (ps.has_guidance && !ps.path_samples.empty()) {
+        verify_guidance_window(q, verify::Vantage::kProxy, ps.guidance,
+                               ps.path_samples);
+        ps.path_samples.clear();
+      }
+
+      // Handoff to the successor proxy: summary + predecessor's summary.
+      PlayerSummary s;
+      s.player = q;
+      s.round = r;
+      s.has_state = ps.has_state;
+      s.last_state = ps.last_state;
+      s.last_state_frame = ps.last_state_frame;
+      s.updates_received = ps.updates_in_round;
+      s.suspicious_events = ps.suspicious_in_round;
+      s.has_guidance = ps.has_guidance;
+      if (ps.has_guidance) s.guidance = ps.guidance;
+      s.subscriptions = ps.subs.snapshot(f);
+
+      HandoffPayload payload;
+      payload.summary = s;
+      if (ps.predecessor_summary) payload.predecessor = ps.predecessor_summary;
+
+      // The handoff is a single point of failure for every subscription of
+      // q: send it twice so one lost datagram cannot starve a whole round
+      // (receiver-side install is idempotent).
+      const auto body = encode_handoff_body(payload);
+      const auto wire = make_sealed(MsgType::kHandoff, q, f, body);
+      send_wire(schedule_.proxy_of(q, next), wire);
+      send_wire(schedule_.proxy_of(q, next), wire);
+      my_last_summaries_[q] = std::move(s);
+
+      GraceEntry grace;
+      grace.expires = f + kGraceFrames;
+      grace.state = std::move(ps);
+      grace_.insert_or_assign(q, std::move(grace));
+      it = proxied_.erase(it);
+    } else {
+      // Still the proxy next round: just reset the window counters.
+      ps.updates_in_round = 0;
+      ps.suspicious_in_round = 0;
+      ps.adopted_at = f + 1;
+      ++it;
+    }
+  }
+}
+
+// --------------------------------------------------------------- receive
+
+void WatchmenPeer::on_message(const net::Envelope& env) {
+  misbehavior_->on_received_wire(env.bytes());
+
+  const auto parsed = open(env.bytes(), *keys_);
+  if (!parsed) {
+    // Tampered, malformed, or spoofed: the signature layer catches it and
+    // the network-level sender takes the blame (§IV). A failed signature is
+    // cryptographic certainty, not a probabilistic sanity check — full
+    // confidence regardless of the game-level vantage.
+    ++metrics_.sig_rejects;
+    verify::CheckResult res;
+    res.deviation = 1.0;
+    res.rating = 10.0;
+    emit(env.from, verify::CheckType::kSignature, verify::Vantage::kProxy,
+         net_->clock().frame(), res);
+    return;
+  }
+  const MsgHeader& h = parsed->header;
+  if (h.subject >= schedule_.num_players() ||
+      h.origin >= schedule_.num_players()) {
+    return;
+  }
+
+  if (h.type == MsgType::kHandoff) {
+    handle_handoff(*parsed);
+    return;
+  }
+
+  if (h.type == MsgType::kChurnNotice) {
+    handle_churn_notice(*parsed);
+    return;
+  }
+
+  if (h.type == MsgType::kSubscriberList) {
+    // Only meaningful in direct-update mode, and only from our own proxy.
+    if (cfg_.direct_updates && h.subject == id_ &&
+        env.from == schedule_.proxy_at(id_, net_->clock().frame())) {
+      try {
+        direct_targets_ = decode_subscriber_list_body(parsed->body);
+      } catch (const DecodeError&) {
+      }
+    }
+    return;
+  }
+
+  if (cfg_.direct_updates && env.from == h.origin &&
+      h.type == MsgType::kStateUpdate && !proxied_.contains(h.origin) &&
+      !grace_.contains(h.origin)) {
+    // 1-hop direct update from a player whose stream we subscribed to.
+    handle_as_player(env, *parsed, /*direct_path=*/true);
+    return;
+  }
+
+  if (h.type == MsgType::kSubscribe) {
+    if (env.from == h.origin) {
+      // First hop: we are (supposed to be) the subscriber's proxy.
+      proxy_handle_subscribe_first_hop(env, *parsed);
+    } else {
+      // Second hop: we are (supposed to be) the target's proxy.
+      const auto it = proxied_.find(h.subject);
+      if (it != proxied_.end()) {
+        proxy_handle_subscribe_second_hop(*parsed, it->second);
+      } else {
+        // Round-boundary races: the subscription chased a proxy that just
+        // handed off. Everyone can compute the current proxy, so either
+        // adopt early (we are it, begin_frame just hasn't run) or pass the
+        // signed wire along to whoever is.
+        const PlayerId cur = schedule_.proxy_at(h.subject, net_->clock().frame());
+        if (cur == id_) {
+          ProxiedState ps(cfg_.renewal_frames);
+          ps.adopted_at = net_->clock().frame();
+          auto [slot, _] = proxied_.emplace(h.subject, std::move(ps));
+          proxy_handle_subscribe_second_hop(*parsed, slot->second);
+        } else if (env.from != cur) {  // no ping-pong
+          ++metrics_.forwarded;
+          net_->send(id_, cur,
+                     std::make_shared<const std::vector<std::uint8_t>>(
+                         env.bytes().begin(), env.bytes().end()));
+        }
+      }
+    }
+    return;
+  }
+
+  if (env.from == h.origin) {
+    // Direct leg: player -> its proxy.
+    handle_as_proxy(env, *parsed);
+  } else {
+    // Forwarded leg: proxy -> subscriber.
+    handle_as_player(env, *parsed);
+  }
+}
+
+bool WatchmenPeer::replay_guard(RemoteKnowledge& k, const MsgHeader& h,
+                                PlayerId sender) {
+  // Accept mild reordering (a couple of frames); reject messages that are
+  // older than what we have already accepted from this origin. The blame
+  // goes to whoever *sent* the stale message — the origin's signature is
+  // genuine, it is the replayer that is cheating.
+  if (h.frame > k.newest_frame ||
+      (h.frame == k.newest_frame && h.seq > k.newest_seq)) {
+    k.newest_frame = h.frame;
+    k.newest_seq = h.seq;
+    return true;
+  }
+  constexpr Frame kReorderWindow = 2;
+  if (h.frame + kReorderWindow >= k.newest_frame) return true;
+
+  ++metrics_.dropped_replays;
+  verify::CheckResult res;
+  res.deviation = static_cast<double>(k.newest_frame - h.frame);
+  res.rating = verify::rating_from_deviation(res.deviation, 40.0);
+  emit(sender, verify::CheckType::kConsistency, vantage_towards(sender),
+       net_->clock().frame(), res);
+  return false;
+}
+
+void WatchmenPeer::handle_as_proxy(const net::Envelope& env,
+                                   const ParsedMessage& msg) {
+  const MsgHeader& h = msg.header;
+  const auto it = proxied_.find(h.origin);
+  if (it == proxied_.end()) {
+    // Grace window: keep serving players just handed off, don't verify.
+    const auto git = grace_.find(h.origin);
+    if (git != grace_.end()) {
+      const Frame now = net_->clock().frame();
+      if (h.type == MsgType::kStateUpdate && !cfg_.direct_updates) {
+        forward_to(git->second.state.subs.subscribers(
+                       interest::SetKind::kInterest, now),
+                   env, h.origin);
+      } else if (h.type == MsgType::kGuidance) {
+        forward_to(git->second.state.subs.subscribers(
+                       interest::SetKind::kVision, now),
+                   env, h.origin);
+      }
+      return;
+    }
+    // Not our player at all: the sender bypassed the proxy scheme (direct
+    // send / consistency cheat). The schedule is verifiable shared
+    // knowledge, so this violation is certain, not probabilistic — except
+    // briefly around churn pool changes, when schedules may diverge.
+    if (!pool_transition_grace()) {
+      verify::CheckResult res;
+      res.deviation = 1.0;
+      res.rating = 10.0;
+      emit(env.from, verify::CheckType::kConsistency, verify::Vantage::kProxy,
+           h.frame, res);
+    }
+    return;
+  }
+
+  ProxiedState& ps = it->second;
+  if (!replay_guard(know_[h.origin], h, env.from)) return;
+
+  // Time cheat: stamped long before it reached us.
+  const Frame now = net_->clock().frame();
+  const Frame lateness = now - h.frame;
+  if (lateness > cfg_.max_update_lateness) {
+    verify::CheckResult res;
+    res.deviation = static_cast<double>(lateness - cfg_.max_update_lateness);
+    // Saturates at twice the allowance: consistently stamping updates
+    // hundreds of ms in the past is the look-ahead cheat.
+    res.rating = verify::rating_from_deviation(
+        res.deviation, static_cast<double>(cfg_.max_update_lateness));
+    emit(h.origin, verify::CheckType::kConsistency, verify::Vantage::kProxy,
+         h.frame, res);
+    ++ps.suspicious_in_round;
+  }
+
+  switch (h.type) {
+    case MsgType::kStateUpdate:
+    case MsgType::kPositionUpdate:
+    case MsgType::kGuidance:
+      proxy_handle_update(env, msg, ps);
+      break;
+    case MsgType::kKillClaim:
+      proxy_handle_kill_claim(env, msg, ps);
+      break;
+    default:
+      break;
+  }
+}
+
+void WatchmenPeer::proxy_handle_update(const net::Envelope& env,
+                                       const ParsedMessage& msg,
+                                       ProxiedState& ps) {
+  const MsgHeader& h = msg.header;
+  const Frame now = net_->clock().frame();
+
+  switch (h.type) {
+    case MsgType::kStateUpdate: {
+      game::AvatarState s;
+      bool decodable = true;
+      try {
+        const StateBodyView v = parse_state_body(msg.body);
+        if (v.is_delta) {
+          // Deltas decode against the sender's last keyframe only.
+          if (h.frame - static_cast<Frame>(v.baseline_age) != ps.keyframe_frame) {
+            decodable = false;
+          } else {
+            s = interest::decode_delta(ps.keyframe_state, v.payload);
+          }
+        } else {
+          s = interest::decode_full(v.payload);
+          ps.keyframe_state = s;
+          ps.keyframe_frame = h.frame;
+        }
+      } catch (const DecodeError&) {
+        break;
+      }
+      if (!decodable) {
+        // The message still arrived on time — it counts for rate policing —
+        // and subscribers with an intact chain can still use the forward.
+        ++ps.updates_in_round;
+        if (!cfg_.direct_updates) {
+          forward_to(ps.subs.subscribers(interest::SetKind::kInterest, now),
+                     env, h.origin);
+        }
+        break;
+      }
+      if (ps.has_state && ps.last_state.alive && !s.alive) {
+        know_[h.origin].last_death = h.frame;  // alive-flag transition
+        // Redundant obituary: broadcast the (signed) dead-state update so
+        // every verifier learns of the death even if the killer's claim was
+        // lost — a respawn teleport must never look like a speed hack.
+        std::vector<PlayerId> all;
+        all.reserve(schedule_.num_players());
+        for (PlayerId w = 0; w < schedule_.num_players(); ++w) {
+          if (w != id_ && w != h.origin) all.push_back(w);
+        }
+        forward_to(all, env, h.origin);
+      }
+      // Position / physics check against the previous verified update;
+      // suppressed across a known death-respawn window.
+      if (ps.has_state && h.frame > ps.last_state_frame &&
+          ps.last_state.alive && s.alive &&
+          !in_death_window(h.origin, ps.last_state_frame)) {
+        const verify::CheckResult res = verify::check_position(
+            ps.last_state.pos, ps.last_state_frame, s.pos, h.frame, map_);
+        if (res.suspicious()) {
+          emit(h.origin, verify::CheckType::kPosition, verify::Vantage::kProxy,
+               h.frame, res);
+          ++ps.suspicious_in_round;
+        }
+      }
+      maybe_close_guidance(h.origin, verify::Vantage::kProxy, h.frame,
+                           ps.has_guidance, ps.guidance, ps.path_samples);
+      // Aim analysis (Table I "aimbots: detection by proxy (statistical
+      // analysis)"). Two signals:
+      //  1. Turn rate: published aim must respect the engine's angular
+      //     speed limit — instant snaps are mechanically impossible.
+      if (ps.has_state && s.alive && ps.last_state.alive &&
+          !in_death_window(h.origin, ps.last_state_frame)) {
+        const auto frames =
+            std::max<Frame>(1, h.frame - ps.last_state_frame);
+        if (frames <= 3) {
+          const double allowed = game::kDefaultPhysics.max_angular_speed *
+                                     game::kDefaultPhysics.dt *
+                                     static_cast<double>(frames) +
+                                 0.02;
+          const double turned = std::fabs(wrap_angle(s.yaw - ps.last_state.yaw));
+          if (turned > allowed) {
+            verify::CheckResult res;
+            res.deviation = turned - allowed;
+            res.rating = verify::rating_from_deviation(res.deviation, 1.0);
+            emit(h.origin, verify::CheckType::kAimbot, verify::Vantage::kProxy,
+                 h.frame, res);
+            ++ps.suspicious_in_round;
+          }
+        }
+      }
+      //  2. Statistical precision: sample the angular error towards the
+      //     best-aligned nearby enemy whenever our knowledge of that enemy
+      //     is fresh; inhumanly small per-round medians flag at round end.
+      if (s.alive) {
+        double best = 10.0;
+        for (PlayerId q = 0; q < schedule_.num_players(); ++q) {
+          if (q == h.origin || q == id_) continue;
+          const RemoteKnowledge& ek = know_[q];
+          if (ek.pos_frame < 0 || h.frame - ek.pos_frame > 1) continue;
+          const Vec3 to_enemy = ek.pos + Vec3{0, 0, 56} - s.eye();
+          const double d = to_enemy.norm();
+          if (d < 200.0 || d > 1500.0) continue;
+          best = std::min(best, angle_between(s.aim_dir(), to_enemy));
+        }
+        if (best < 1.0) ps.aim_samples.push_back(best);
+      }
+
+      if (ps.has_guidance) ps.path_samples.emplace_back(h.frame, s.pos);
+      ps.last_state = s;
+      ps.last_state_frame = h.frame;
+      ps.has_state = true;
+      ++ps.updates_in_round;
+      // The direct stream also satisfies this peer's own witness-side
+      // forwarding expectation (it never receives its own forwards).
+      if (h.origin < recv_state_in_round_.size()) {
+        ++recv_state_in_round_[h.origin];
+      }
+
+      // The proxy holds complete information about its player.
+      RemoteKnowledge& k = know_[h.origin];
+      k.state = s;
+      k.state_frame = h.frame;
+      k.has_state = true;
+      k.pos = s.pos;
+      k.pos_frame = h.frame;
+      k.last_heard = now;
+
+      // In direct-update mode the player pushed to its IS subscribers
+      // itself; the proxy copy exists for verification only.
+      if (!cfg_.direct_updates) {
+        forward_to(ps.subs.subscribers(interest::SetKind::kInterest, now), env,
+                   h.origin);
+      }
+      break;
+    }
+    case MsgType::kGuidance: {
+      const interest::Guidance g = decode_guidance_body(msg.body);
+      if (ps.has_guidance && !ps.path_samples.empty()) {
+        verify_guidance_window(h.origin, verify::Vantage::kProxy, ps.guidance,
+                               ps.path_samples);
+      }
+      ps.guidance = g;
+      ps.has_guidance = true;
+      ps.path_samples.clear();
+      // Keep the player-side knowledge consistent: a new guidance anchor
+      // invalidates any path samples collected against the previous one.
+      RemoteKnowledge& k = know_[h.origin];
+      k.guidance = g;
+      k.has_guidance = true;
+      k.path_samples.clear();
+      k.path_samples.emplace_back(g.frame, g.pos);
+
+      forward_to(ps.subs.subscribers(interest::SetKind::kVision, now), env,
+                 h.origin);
+      break;
+    }
+    case MsgType::kPositionUpdate: {
+      // Default infrequent updates go to everyone without a richer
+      // subscription — no explicit subscription needed (paper §III-A).
+      std::vector<PlayerId> others;
+      for (PlayerId q = 0; q < schedule_.num_players(); ++q) {
+        if (q == h.origin || q == id_) continue;
+        if (ps.subs.level_of(q, now) == interest::SetKind::kOther) {
+          others.push_back(q);
+        }
+      }
+      forward_to(others, env, h.origin);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void WatchmenPeer::proxy_handle_subscribe_first_hop(const net::Envelope& env,
+                                                    const ParsedMessage& msg) {
+  const MsgHeader& h = msg.header;
+  ProxiedState* psp = nullptr;
+  if (const auto it = proxied_.find(h.origin); it != proxied_.end()) {
+    psp = &it->second;
+  } else if (const auto git = grace_.find(h.origin); git != grace_.end()) {
+    psp = &git->second.state;  // boundary-crossing: still verify + forward
+  }
+  if (!psp) return;  // not our player at all
+  ProxiedState& ps = *psp;
+
+  const interest::SetKind kind = decode_subscribe_body(msg.body);
+  const PlayerId target = h.subject;
+  if (target >= schedule_.num_players() || target == h.origin) return;
+
+  // Verify the subscription is justified from the accurate state we hold
+  // about the subscriber and our best knowledge of the target. Respawn
+  // teleports of either party make stale comparisons meaningless, so skip
+  // inside their death windows.
+  if (ps.has_state && !in_death_window(h.origin, h.frame) &&
+      !in_death_window(target, h.frame)) {
+    const RemoteKnowledge& tk = know_[target];
+    const Vec3 target_pos = tk.pos_frame >= 0 ? tk.pos : Vec3{1e9, 1e9, 1e9};
+    if (tk.pos_frame >= 0) {
+      // Cone deviation is essentially horizontal; budget the target's drift
+      // since our last position sample accordingly.
+      const Frame pos_age = std::max<Frame>(1, frame_ - tk.pos_frame);
+      const double slack =
+          64.0 + game::max_legal_horizontal(static_cast<int>(pos_age));
+      // The subscription refers to the subscriber's cone at h.frame; our
+      // state snapshot may be a frame or two off, and aim turns fast —
+      // widen the cone by the legal turn budget for that gap, plus the
+      // IS stickiness allowance honest subscribers legitimately use
+      // (compute_sets keeps current IS members in a slightly relaxed cone).
+      interest::VisionConfig vision = cfg_.interest.vision;
+      const Frame aim_gap = std::llabs(h.frame - ps.last_state_frame);
+      vision.half_angle +=
+          0.16 + game::kDefaultPhysics.max_angular_speed *
+                     game::kDefaultPhysics.dt * static_cast<double>(aim_gap);
+      vision.radius *= 1.12;
+      if (kind == interest::SetKind::kVision ||
+          kind == interest::SetKind::kInterest) {
+        const verify::CheckResult vs = verify::check_vs_subscription(
+            ps.last_state, target_pos, vision, slack);
+        if (vs.suspicious()) {
+          emit(h.origin,
+               kind == interest::SetKind::kInterest
+                   ? verify::CheckType::kSubscriptionIS
+                   : verify::CheckType::kSubscriptionVS,
+               verify::Vantage::kProxy, h.frame, vs);
+          ++ps.suspicious_in_round;
+        } else if (kind == interest::SetKind::kInterest) {
+          // Inside the cone: check the attention rank as well.
+          auto snapshot = knowledge_snapshot();
+          snapshot[h.origin] = ps.last_state;
+          interest::InterestConfig icfg = cfg_.interest;
+          icfg.vision = vision;
+          const verify::CheckResult isr = verify::check_is_subscription(
+              h.origin, target, snapshot, *map_, frame_, nullptr, icfg, slack);
+          if (isr.suspicious()) {
+            emit(h.origin, verify::CheckType::kSubscriptionIS,
+                 verify::Vantage::kProxy, h.frame, isr);
+            ++ps.suspicious_in_round;
+          }
+        }
+      }
+    }
+  }
+
+  // Forward the original signed wire (verified or not — detection, not
+  // prevention) to the target's proxy; the target never learns who
+  // subscribed (§IV "Secured Subscriptions").
+  ++metrics_.forwarded;
+  net_->send(id_, schedule_.proxy_at(target, frame_),
+             std::make_shared<const std::vector<std::uint8_t>>(
+                 env.bytes().begin(), env.bytes().end()));
+}
+
+void WatchmenPeer::proxy_handle_subscribe_second_hop(const ParsedMessage& msg,
+                                                     ProxiedState& ps) {
+  const MsgHeader& h = msg.header;
+  const interest::SetKind kind = decode_subscribe_body(msg.body);
+  if (kind == interest::SetKind::kOther) {
+    ps.subs.unsubscribe(h.origin);
+  } else {
+    ps.subs.subscribe(h.origin, kind, net_->clock().frame());
+  }
+}
+
+void WatchmenPeer::proxy_handle_kill_claim(const net::Envelope& env,
+                                           const ParsedMessage& msg,
+                                           ProxiedState& ps) {
+  const MsgHeader& h = msg.header;
+  const KillClaim claim = decode_kill_body(msg.body);
+  if (claim.victim >= schedule_.num_players()) return;
+
+  verify::KillClaimEvidence ev;
+  ev.weapon = claim.weapon;
+  ev.claimed_distance = claim.distance;
+  ev.shooter_pos = ps.has_state ? ps.last_state.pos : Vec3{};
+  ev.shooter_pos_age =
+      ps.has_state ? std::max<Frame>(0, frame_ - ps.last_state_frame) : 200;
+  if (in_death_window(h.origin, h.frame)) ev.shooter_pos_age = 200;
+  const RemoteKnowledge& vk = know_[claim.victim];
+  ev.victim_pos = vk.pos_frame >= 0 ? vk.pos : claim.victim_pos;
+  ev.victim_pos_age = vk.pos_frame >= 0 ? frame_ - vk.pos_frame : 0;
+  if (in_death_window(claim.victim, h.frame)) {
+    // The victim respawned recently; our position knowledge may predate the
+    // teleport — treat it as arbitrarily stale so the distance component
+    // does not fire on honest claims.
+    ev.victim_pos_age = 200;
+  }
+  // One trigger pull can kill several players at once (rocket splash,
+  // shotgun spread): same-frame claims are legal up to a splash-plausible
+  // count; the refire bound applies between *distinct* shots.
+  if (h.frame == ps.last_kill_claim) {
+    ++ps.kill_claims_same_frame;
+    ev.frames_since_last_fire = ps.kill_claims_same_frame <= 5 ? 1000 : 0;
+  } else {
+    ev.frames_since_last_fire = h.frame - ps.last_kill_claim;
+    ps.kill_claims_same_frame = 1;
+  }
+  ps.last_kill_claim = h.frame;
+  ev.frames_victim_in_shooter_is = 1000;  // proxies don't track IS residency
+  ev.line_of_sight =
+      !ps.has_state ||
+      los_with_slack(ps.last_state.eye(), claim.victim_pos + Vec3{0, 0, 56});
+  ev.shooter_ammo = ps.has_state ? ps.last_state.ammo + 1 : 1;
+
+  const verify::CheckResult res = verify::check_kill(ev);
+  if (res.suspicious()) {
+    emit(h.origin, verify::CheckType::kKill, verify::Vantage::kProxy, h.frame,
+         res);
+    ++ps.suspicious_in_round;
+  }
+
+  // Obituary broadcast: every player learns about the death (scoreboard /
+  // kill feed in the real game). Witnesses also re-verify the claim, and
+  // everyone can legitimize the victim's upcoming respawn teleport.
+  know_[claim.victim].last_death = h.frame;
+  std::vector<PlayerId> all;
+  all.reserve(schedule_.num_players());
+  for (PlayerId q = 0; q < schedule_.num_players(); ++q) {
+    if (q != id_ && q != h.origin) all.push_back(q);
+  }
+  forward_to(all, env, h.origin);
+}
+
+void WatchmenPeer::handle_churn_notice(const ParsedMessage& msg) {
+  const MsgHeader& h = msg.header;
+  if (h.subject >= schedule_.num_players() || h.subject == id_) return;
+  if (!schedule_.in_pool(h.subject)) return;  // already removed
+
+  // Only the silent player's proxy for the notice round may announce.
+  const std::int64_t notice_round = schedule_.round_of(h.frame);
+  if (schedule_.proxy_of(h.subject, notice_round) != h.origin) {
+    verify::CheckResult res;
+    res.deviation = 1.0;
+    res.rating = 8.0;
+    emit(h.origin, verify::CheckType::kConsistency, verify::Vantage::kProxy,
+         h.frame, res);
+    return;
+  }
+
+  std::int64_t removal = 0;
+  try {
+    removal = decode_churn_body(msg.body);
+  } catch (const DecodeError&) {
+    return;
+  }
+  if (removal < notice_round + 1) return;  // cannot rewrite the past
+  if (churn_removal_round_[h.subject] < 0 ||
+      removal < churn_removal_round_[h.subject]) {
+    churn_removal_round_[h.subject] = removal;
+  }
+}
+
+bool WatchmenPeer::pool_transition_grace() const {
+  // While peers apply churn removals, their schedules may briefly diverge;
+  // protocol-violation reports are suppressed for two rounds around any
+  // pool change.
+  return round_ - last_pool_change_round_ <= 2;
+}
+
+void WatchmenPeer::handle_handoff(const ParsedMessage& msg) {
+  const MsgHeader& h = msg.header;
+  const auto it = proxied_.find(h.subject);
+  if (it == proxied_.end()) return;
+  ProxiedState& ps = it->second;
+
+  // Only the previous round's proxy may hand off.
+  const std::int64_t prev_round = schedule_.round_of(frame_) - 1;
+  if (prev_round >= 0 && schedule_.proxy_of(h.subject, prev_round) != h.origin) {
+    verify::CheckResult res;
+    res.deviation = 1.0;
+    res.rating = 8.0;
+    emit(h.origin, verify::CheckType::kConsistency, verify::Vantage::kProxy,
+         h.frame, res);
+    return;
+  }
+
+  HandoffPayload payload;
+  try {
+    payload = decode_handoff_body(msg.body);
+  } catch (const DecodeError&) {
+    return;
+  }
+  if (payload.summary.player != h.subject) return;
+
+  ps.subs.install(payload.summary.subscriptions);
+  if (payload.summary.has_state && !ps.has_state) {
+    ps.last_state = payload.summary.last_state;
+    ps.last_state_frame = payload.summary.last_state_frame;
+    ps.has_state = true;
+  }
+  if (payload.summary.has_guidance && !ps.has_guidance) {
+    // Continue the dead-reckoning window that spans the renewal: path
+    // samples collected from here on are still compared against the
+    // predecessor-era guidance.
+    ps.guidance = payload.summary.guidance;
+    ps.has_guidance = true;
+  }
+  ps.predecessor_summary = payload.summary;
+}
+
+void WatchmenPeer::handle_as_player(const net::Envelope& env,
+                                    const ParsedMessage& msg,
+                                    bool direct_path) {
+  const MsgHeader& h = msg.header;
+  const Frame now = net_->clock().frame();
+
+  // The forwarder must be the origin's proxy for the message's round (with
+  // one-round grace for boundary-crossing messages). Anything else is a
+  // consistency violation: either a direct send by the origin (caught in
+  // on_message by the from==origin path ending at a non-proxy) or a replay
+  // by a third party. Direct-update mode deliberately waives this for
+  // 1-hop state updates — part of its "lower security" trade.
+  const std::int64_t msg_round = schedule_.round_of(h.frame);
+  const bool from_valid_proxy =
+      direct_path ||
+      env.from == schedule_.proxy_of(h.origin, msg_round) ||
+      env.from == schedule_.proxy_of(h.origin, msg_round + 1) ||
+      (msg_round > 0 && env.from == schedule_.proxy_of(h.origin, msg_round - 1));
+  if (!from_valid_proxy) {
+    // Forward from a node that is not the origin's proxy for any plausible
+    // round: a certain protocol violation by the sender (outside churn
+    // transitions, when peers' pools may briefly diverge).
+    if (!pool_transition_grace()) {
+      verify::CheckResult res;
+      res.deviation = 1.0;
+      res.rating = 10.0;
+      emit(env.from, verify::CheckType::kConsistency, verify::Vantage::kProxy,
+           h.frame, res);
+      return;
+    }
+  }
+
+  RemoteKnowledge& k = know_[h.origin];
+  if (!replay_guard(k, h, env.from)) return;
+
+  const verify::Vantage vantage = vantage_towards(h.origin);
+
+  switch (h.type) {
+    case MsgType::kStateUpdate: {
+      game::AvatarState s;
+      try {
+        const StateBodyView v = parse_state_body(msg.body);
+        if (v.is_delta) {
+          if (h.frame - static_cast<Frame>(v.baseline_age) != k.keyframe_frame) {
+            // Out of sync until the next keyframe; the arrival still counts
+            // for the witness-side forwarding expectation.
+            if (h.origin < recv_state_in_round_.size()) {
+              ++recv_state_in_round_[h.origin];
+            }
+            break;
+          }
+          s = interest::decode_delta(k.keyframe_state, v.payload);
+        } else {
+          s = interest::decode_full(v.payload);
+          k.keyframe_state = s;
+          k.keyframe_frame = h.frame;
+        }
+      } catch (const DecodeError&) {
+        break;
+      }
+      metrics_.update_age_frames.add(static_cast<double>(now - h.frame));
+      ++metrics_.updates_received;
+
+      if (h.origin < recv_state_in_round_.size()) {
+        ++recv_state_in_round_[h.origin];
+      }
+      if ((k.has_state && k.state.alive && !s.alive) ||
+          (!s.alive && h.frame > k.last_death + kDeathWindowFrames)) {
+        k.last_death = h.frame;  // transition, or first news of this death
+      }
+      if (k.pos_frame >= 0 && h.frame > k.pos_frame &&
+          (!k.has_state || k.state.alive) && s.alive &&
+          !in_death_window(h.origin, k.pos_frame)) {
+        const verify::CheckResult res =
+            verify::check_position(k.pos, k.pos_frame, s.pos, h.frame, map_);
+        if (res.suspicious()) {
+          emit(h.origin, verify::CheckType::kPosition, vantage, h.frame, res);
+        }
+      }
+      maybe_close_guidance(h.origin, vantage, h.frame, k.has_guidance,
+                           k.guidance, k.path_samples);
+      if (k.has_guidance) k.path_samples.emplace_back(h.frame, s.pos);
+      k.state = s;
+      k.state_frame = h.frame;
+      k.has_state = true;
+      k.pos = s.pos;
+      k.pos_frame = h.frame;
+      k.last_heard = now;
+      break;
+    }
+    case MsgType::kGuidance: {
+      const interest::Guidance g = decode_guidance_body(msg.body);
+      metrics_.update_age_frames.add(static_cast<double>(now - h.frame));
+      ++metrics_.updates_received;
+
+      if (k.has_guidance && !k.path_samples.empty()) {
+        verify_guidance_window(h.origin, vantage, k.guidance, k.path_samples);
+      }
+      k.guidance = g;
+      k.has_guidance = true;
+      k.path_samples.clear();
+      k.path_samples.emplace_back(g.frame, g.pos);
+      k.pos = g.pos;
+      k.pos_frame = h.frame;
+      k.last_heard = now;
+      break;
+    }
+    case MsgType::kPositionUpdate: {
+      const Vec3 pos = decode_position_body(msg.body);
+      metrics_.update_age_frames.add(static_cast<double>(now - h.frame));
+      ++metrics_.updates_received;
+
+      if (k.pos_frame >= 0 && h.frame > k.pos_frame &&
+          !in_death_window(h.origin, k.pos_frame)) {
+        const verify::CheckResult res =
+            verify::check_position(k.pos, k.pos_frame, pos, h.frame, map_);
+        if (res.suspicious()) {
+          emit(h.origin, verify::CheckType::kPosition, vantage, h.frame, res);
+        }
+      }
+      maybe_close_guidance(h.origin, vantage, h.frame, k.has_guidance,
+                           k.guidance, k.path_samples);
+      if (k.has_guidance) k.path_samples.emplace_back(h.frame, pos);
+      k.pos = pos;
+      k.pos_frame = h.frame;
+      k.last_heard = now;
+      break;
+    }
+    case MsgType::kKillClaim: {
+      // Witness verification of a forwarded kill claim.
+      const KillClaim claim = decode_kill_body(msg.body);
+      if (claim.victim >= schedule_.num_players()) break;
+      verify::KillClaimEvidence ev;
+      ev.weapon = claim.weapon;
+      ev.claimed_distance = claim.distance;
+      ev.shooter_pos = k.pos_frame >= 0 ? k.pos : Vec3{};
+      ev.shooter_pos_age =
+          k.pos_frame >= 0 ? std::max<Frame>(0, frame_ - k.pos_frame) : 200;
+      if (in_death_window(h.origin, h.frame)) ev.shooter_pos_age = 200;
+      const RemoteKnowledge& vk = know_[claim.victim];
+      ev.victim_pos = vk.pos_frame >= 0 ? vk.pos : claim.victim_pos;
+      ev.victim_pos_age = vk.pos_frame >= 0 ? frame_ - vk.pos_frame : 0;
+      if (in_death_window(claim.victim, h.frame)) ev.victim_pos_age = 200;
+      // Witnesses know the shooter's position less precisely than the proxy
+      // does; only fresh knowledge supports an LOS judgement, with slack.
+      ev.line_of_sight =
+          k.pos_frame < 0 || frame_ - k.pos_frame > 2 ||
+          los_with_slack(k.pos + Vec3{0, 0, 56},
+                         claim.victim_pos + Vec3{0, 0, 56});
+      if (h.frame == k.last_kill_claim) {
+        ++k.kill_claims_same_frame;
+        ev.frames_since_last_fire = k.kill_claims_same_frame <= 5 ? 1000 : 0;
+      } else {
+        ev.frames_since_last_fire = h.frame - k.last_kill_claim;
+        k.kill_claims_same_frame = 1;
+      }
+      k.last_kill_claim = h.frame;
+      ev.frames_victim_in_shooter_is = 1000;
+      ev.shooter_ammo = k.has_state ? k.state.ammo + 1 : 1;
+      const verify::CheckResult res = verify::check_kill(ev);
+      if (res.suspicious()) {
+        emit(h.origin, verify::CheckType::kKill, vantage, h.frame, res);
+      }
+      // Record the obituary only after judging the claim itself.
+      know_[claim.victim].last_death = h.frame;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void WatchmenPeer::forward_to(const std::vector<PlayerId>& recipients,
+                              const net::Envelope& env, PlayerId subject) {
+  for (PlayerId to : recipients) {
+    if (to == id_) continue;
+    if (misbehavior_->proxy_drop_forward(subject, frame_)) continue;
+    auto bytes = std::make_shared<const std::vector<std::uint8_t>>(
+        env.bytes().begin(), env.bytes().end());
+    if (misbehavior_->proxy_tamper_forward(subject, frame_)) {
+      auto tampered = *bytes;
+      if (!tampered.empty()) tampered[tampered.size() / 2] ^= 0xff;
+      bytes = std::make_shared<const std::vector<std::uint8_t>>(std::move(tampered));
+    }
+    ++metrics_.forwarded;
+    net_->send(id_, to, bytes);
+  }
+}
+
+// --------------------------------------------------------------- helpers
+
+void WatchmenPeer::emit(PlayerId suspect, verify::CheckType type,
+                        verify::Vantage vantage, Frame frame,
+                        const verify::CheckResult& res) {
+  if (!report_ || suspect == id_) return;
+  verify::CheatReport r;
+  r.verifier = id_;
+  r.suspect = suspect;
+  r.type = type;
+  r.vantage = vantage;
+  r.frame = frame;
+  r.deviation = res.deviation;
+  r.rating = res.rating;
+  report_(r);
+}
+
+bool WatchmenPeer::in_death_window(PlayerId q, Frame baseline_frame) const {
+  return know_[q].last_death + kDeathWindowFrames >= baseline_frame;
+}
+
+bool WatchmenPeer::los_with_slack(const Vec3& from_eye, const Vec3& to_eye) const {
+  constexpr double kJitter = 32.0;
+  const Vec3 offsets[] = {{0, 0, 0},       {kJitter, 0, 0},  {-kJitter, 0, 0},
+                          {0, kJitter, 0}, {0, -kJitter, 0}, {0, 0, kJitter}};
+  for (const Vec3& off : offsets) {
+    if (map_->visible(from_eye + off, to_eye)) return true;
+  }
+  return false;
+}
+
+verify::Vantage WatchmenPeer::vantage_towards(PlayerId suspect) const {
+  if (suspect < schedule_.num_players() && proxied_.contains(suspect)) {
+    return verify::Vantage::kProxy;
+  }
+  const auto it = sent_level_.find(suspect);
+  if (it != sent_level_.end()) {
+    if (it->second == interest::SetKind::kInterest) {
+      return verify::Vantage::kInterestWitness;
+    }
+    if (it->second == interest::SetKind::kVision) {
+      return verify::Vantage::kVisionWitness;
+    }
+  }
+  return verify::Vantage::kOther;
+}
+
+std::vector<game::AvatarState> WatchmenPeer::knowledge_snapshot() const {
+  std::vector<game::AvatarState> snap(schedule_.num_players());
+  for (PlayerId q = 0; q < schedule_.num_players(); ++q) {
+    if (q == id_ && has_own_state_) {
+      snap[q] = own_state_;
+      continue;
+    }
+    const RemoteKnowledge& k = know_[q];
+    if (k.has_state) {
+      snap[q] = k.state;
+      if (k.pos_frame > k.state_frame) snap[q].pos = k.pos;
+    } else if (k.pos_frame >= 0) {
+      snap[q].pos = k.pos;
+    } else {
+      snap[q].alive = false;  // never heard of: can't be in anyone's cone
+    }
+  }
+  return snap;
+}
+
+void WatchmenPeer::maybe_close_guidance(
+    PlayerId suspect, verify::Vantage vantage, Frame observed_frame,
+    bool& has_guidance, const interest::Guidance& guidance,
+    std::vector<std::pair<Frame, Vec3>>& samples) {
+  if (!has_guidance) return;
+  if (observed_frame <= guidance.frame + cfg_.guidance_period + 2) return;
+  if (!samples.empty()) {
+    verify_guidance_window(suspect, vantage, guidance, samples);
+  }
+  has_guidance = false;
+  samples.clear();
+}
+
+void WatchmenPeer::verify_guidance_window(
+    PlayerId suspect, verify::Vantage vantage,
+    const interest::Guidance& old_guidance,
+    const std::vector<std::pair<Frame, Vec3>>& all_samples) {
+  // A death inside (or just before) the window makes the respawn teleport
+  // pollute the comparison: keep only samples from before the death. The
+  // time-normalized metric keeps trimmed windows comparable.
+  std::vector<std::pair<Frame, Vec3>> samples;
+  const Frame death = know_[suspect].last_death;
+  const bool trim_death = death >= old_guidance.frame - kDeathWindowFrames;
+  // Cap the horizon at one guidance period (+ jitter): if the next guidance
+  // was lost, later samples compare against a prediction the sender never
+  // claimed to cover, and the area integral would grow quadratically.
+  const Frame horizon = old_guidance.frame + cfg_.guidance_period + 2;
+  for (const auto& s : all_samples) {
+    if (s.first < old_guidance.frame) continue;  // predates this window
+    if (trim_death && s.first >= death) continue;
+    if (s.first > horizon) continue;
+    samples.push_back(s);
+  }
+  if (samples.empty()) return;
+
+  // Rebuild a contiguous actual path at the sampled frames.
+  std::vector<Vec3> path;
+  path.reserve(samples.size());
+  Frame first = samples.front().first;
+  // The area metric expects per-frame samples; when the verifier only has
+  // sparse samples (VS witnesses), interpolate between them.
+  const Frame last = samples.back().first;
+  if (last < first) return;
+  std::size_t si = 0;
+  for (Frame f = first; f <= last; ++f) {
+    while (si + 1 < samples.size() && samples[si + 1].first <= f) ++si;
+    if (si + 1 < samples.size() && samples[si].first <= f) {
+      const auto& [f0, p0] = samples[si];
+      const auto& [f1, p1] = samples[si + 1];
+      const double t = f1 > f0 ? static_cast<double>(f - f0) / (f1 - f0) : 0.0;
+      path.push_back(lerp(p0, p1, t));
+    } else {
+      path.push_back(samples[si].second);
+    }
+  }
+  const verify::CheckResult res = verify::check_guidance(
+      old_guidance, path, first, cfg_.guidance_tolerance);
+#ifdef WATCHMEN_DEBUG_GUIDANCE
+  if (res.deviation > 400) {
+    std::fprintf(stderr,
+                 "GUID v=%u s=%u gframe=%lld first=%lld last=%lld n=%zu dev=%.0f\n",
+                 id_, suspect, (long long)old_guidance.frame, (long long)first,
+                 (long long)samples.back().first, path.size(), res.deviation);
+  }
+#endif
+  if (res.suspicious()) {
+    emit(suspect, verify::CheckType::kGuidance, vantage, old_guidance.frame, res);
+  }
+}
+
+std::vector<PlayerId> WatchmenPeer::proxied_players() const {
+  std::vector<PlayerId> out;
+  out.reserve(proxied_.size());
+  for (const auto& [p, _] : proxied_) out.push_back(p);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+interest::SetKind WatchmenPeer::proxy_table_level(PlayerId subject,
+                                                  PlayerId subscriber) const {
+  const auto it = proxied_.find(subject);
+  if (it == proxied_.end()) return interest::SetKind::kOther;
+  return it->second.subs.level_of(subscriber, frame_);
+}
+
+}  // namespace watchmen::core

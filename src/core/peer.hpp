@@ -1,0 +1,312 @@
+#pragma once
+// WatchmenPeer: one player's complete protocol engine (paper §III-§V).
+//
+// Each peer simultaneously plays two roles:
+//  * as a *player*, it publishes its own state through its current proxy,
+//    subscribes (through the proxy chain) to the players it needs, and
+//    verifies what it receives about others (witness checks);
+//  * as a *proxy*, it polices the players assigned to it — verifying rates,
+//    positions, guidance, kill claims and subscription justifications — and
+//    forwards their (origin-signed) updates to the right subscribers at the
+//    right resolution.
+//
+// The session object drives all peers frame by frame:
+//   begin_frame() -> produce() -> [network delivery -> on_message()] -> end_frame()
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/handoff.hpp"
+#include "core/messages.hpp"
+#include "core/misbehavior.hpp"
+#include "core/proxy_schedule.hpp"
+#include "crypto/keys.hpp"
+#include "game/events.hpp"
+#include "game/map.hpp"
+#include "interest/sets.hpp"
+#include "interest/subscription.hpp"
+#include "net/network.hpp"
+#include "util/stats.hpp"
+#include "verify/checks.hpp"
+#include "verify/report.hpp"
+
+namespace watchmen::core {
+
+struct WatchmenConfig {
+  interest::InterestConfig interest;
+  Frame renewal_frames = ProxySchedule::kDefaultRenewalFrames;
+  Frame guidance_period = interest::kGuidancePeriodFrames;  ///< 20 frames = 1 s
+  std::size_t guidance_waypoints = 2;
+  /// Players re-send live subscriptions this often so retention never lapses.
+  Frame subscription_refresh = 20;
+  /// Loss tolerance of the proxy's dissemination-rate check.
+  double rate_loss_allowance = 0.10;
+  /// Frames of lateness a proxy tolerates before flagging a time cheat
+  /// (covers network jitter; ~3 frames = 150 ms, the playability bound).
+  Frame max_update_lateness = 6;
+  /// Honest-behaviour tolerance for the guidance deviation-area check;
+  /// calibrated by the harness (ā + σ_a rule). The default covers a full
+  /// direction reversal against a linear predictor over one guidance period.
+  verify::Tolerance guidance_tolerance{160.0, 160.0};
+  /// Delta-code state updates against the previous frame (paper §II-A),
+  /// with a periodic keyframe so receivers recover from losses.
+  bool delta_updates = false;
+  Frame keyframe_period = 10;  ///< bounds the desync window after a loss
+  /// Dead-reckoning predictor damping (1/s); 0 = pure linear. See
+  /// interest::make_guidance and bench/ablation_dead_reckoning.
+  double dr_damping = 0.0;
+  /// §VI optimization 3: relax the first hop — players push frequent state
+  /// updates *directly* to their IS subscribers (1 hop instead of 2), with
+  /// a concurrent copy to their proxy for verification. Lower security:
+  /// players learn who subscribed to them (rate-analysis exposure returns),
+  /// and direct sends can no longer be treated as protocol violations.
+  bool direct_updates = false;
+  /// Honest tolerance for the statistical aim check (Table I "aimbots"):
+  /// mean/stddev of honest players' per-round median angular error towards
+  /// the best-aligned nearby enemy. Generous by default; calibrate for
+  /// tighter detection.
+  verify::Tolerance aim_tolerance{0.30, 0.25};
+};
+
+struct PeerMetrics {
+  Samples update_age_frames;  ///< delivery age of received updates (Fig. 7)
+  std::uint64_t updates_received = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t sig_rejects = 0;
+  std::uint64_t dropped_replays = 0;
+  /// Messages this peer originated, by MsgType (indexed by the enum value).
+  std::array<std::uint64_t, kNumMsgTypes> sent_by_type{};
+};
+
+/// What a peer currently knows about another player.
+struct RemoteKnowledge {
+  Vec3 pos;
+  Frame pos_frame = -1;
+  game::AvatarState state;
+  Frame state_frame = -1;
+  bool has_state = false;
+  interest::Guidance guidance;
+  bool has_guidance = false;
+  /// Delta-coding baseline: the sender's last keyframe we decoded.
+  game::AvatarState keyframe_state;
+  Frame keyframe_frame = -1;
+  /// (frame, position) samples observed since the current guidance message;
+  /// consumed by the guidance check when the next guidance arrives.
+  std::vector<std::pair<Frame, Vec3>> path_samples;
+  Frame last_heard = -1;
+  Frame newest_frame = -1;   ///< replay window tracking
+  std::uint32_t newest_seq = 0;
+  /// Frame of the last known death of this player (from the obituary
+  /// broadcast / alive-flag transitions). Physics and guidance checks are
+  /// suppressed across the death-to-respawn window — the respawn teleport
+  /// is the one legal discontinuity.
+  Frame last_death = -1000;
+  Frame last_kill_claim = -1000;  ///< previous kill claim by this player
+  int kill_claims_same_frame = 0; ///< splash multi-kills share a frame
+};
+
+class WatchmenPeer {
+ public:
+  using ReportFn = std::function<void(const verify::CheatReport&)>;
+
+  WatchmenPeer(PlayerId id, WatchmenConfig cfg, net::SimNetwork& net,
+               const crypto::KeyRegistry& keys, const ProxySchedule& schedule,
+               const game::GameMap& map, ReportFn report,
+               Misbehavior* misbehavior = nullptr);
+
+  PlayerId id() const { return id_; }
+  const PeerMetrics& metrics() const { return metrics_; }
+  const WatchmenConfig& config() const { return cfg_; }
+  /// This peer's own view of the proxy schedule (diverges from the session
+  /// canon only by applied churn removals).
+  const ProxySchedule& schedule() const { return schedule_; }
+
+  /// Network delivery callback; wire with net.set_handler(id, ...).
+  void on_message(const net::Envelope& env);
+
+  /// Round bookkeeping: on round boundaries, sends handoffs for players this
+  /// peer stops proxying and adopts the new assignment.
+  void begin_frame(Frame f);
+
+  /// Publishes this frame's messages: the (possibly cheat-mutated) state
+  /// update each frame, guidance + position updates every guidance period,
+  /// kill claims for this player's kills, and subscription changes derived
+  /// from `sets`. `truth` is the ground-truth avatar snapshot — the peer
+  /// only publishes its own entry (`truth[id()]`) plus interaction claims it
+  /// computed locally, mirroring a real client's exact self-knowledge.
+  void produce(std::span<const game::AvatarState> truth,
+               const interest::PlayerSets& sets,
+               std::span<const game::KillEvent> kills);
+
+  /// End-of-frame duties: flush the delayed outbox, run per-round rate
+  /// checks at round ends.
+  void end_frame(Frame f);
+
+  const RemoteKnowledge& knowledge_of(PlayerId p) const { return know_.at(p); }
+
+  /// Players this peer is currently proxying.
+  std::vector<PlayerId> proxied_players() const;
+
+  /// Subscription level the proxy-side table holds for (subject, subscriber).
+  interest::SetKind proxy_table_level(PlayerId subject, PlayerId subscriber) const;
+
+ private:
+  struct ProxiedState {
+    interest::SubscriptionTable subs;
+    game::AvatarState last_state;
+    Frame last_state_frame = -1;
+    bool has_state = false;
+    game::AvatarState keyframe_state;  ///< delta-coding baseline
+    Frame keyframe_frame = -1;
+    interest::Guidance guidance;
+    bool has_guidance = false;
+    std::vector<std::pair<Frame, Vec3>> path_samples;
+    std::uint32_t updates_in_round = 0;
+    std::uint32_t suspicious_in_round = 0;
+    /// Angular-error samples for the statistical aimbot check (§Table I).
+    std::vector<double> aim_samples;
+    Frame last_kill_claim = -1000;  ///< previous kill claim (refire check)
+    int kill_claims_same_frame = 0; ///< splash multi-kills share a frame
+    Frame adopted_at = -1;  ///< frame this peer became the proxy
+    std::optional<PlayerSummary> predecessor_summary;
+    explicit ProxiedState(Frame retention) : subs(retention) {}
+  };
+
+  // --- send helpers -------------------------------------------------------
+  void send_wire(PlayerId to, std::vector<std::uint8_t> wire);
+  std::vector<std::uint8_t> make_sealed(MsgType type, PlayerId subject,
+                                        Frame frame,
+                                        std::span<const std::uint8_t> body);
+  void send_to_proxy(MsgType type, PlayerId subject, Frame frame,
+                     std::span<const std::uint8_t> body, Frame delay);
+
+  // --- receive paths ------------------------------------------------------
+  void handle_as_proxy(const net::Envelope& env, const ParsedMessage& msg);
+  /// `direct_path` marks a 1-hop update received straight from its origin
+  /// under direct-update mode (skips the sender-is-the-proxy validation).
+  void handle_as_player(const net::Envelope& env, const ParsedMessage& msg,
+                        bool direct_path = false);
+  void proxy_handle_update(const net::Envelope& env, const ParsedMessage& msg,
+                           ProxiedState& ps);
+  void proxy_handle_subscribe_first_hop(const net::Envelope& env,
+                                        const ParsedMessage& msg);
+  void proxy_handle_subscribe_second_hop(const ParsedMessage& msg,
+                                         ProxiedState& ps);
+  void proxy_handle_kill_claim(const net::Envelope& env,
+                               const ParsedMessage& msg, ProxiedState& ps);
+  /// True if a known death of q makes physics discontinuities legal around
+  /// updates following `baseline_frame`.
+  bool in_death_window(PlayerId q, Frame baseline_frame) const;
+  /// Line-of-sight with geometric slack: the verifier's position knowledge
+  /// is a few units stale, and rays grazing occluder edges flip easily, so
+  /// "no line of sight" is only asserted when jittered probes all fail.
+  bool los_with_slack(const Vec3& from_eye, const Vec3& to_eye) const;
+  static constexpr Frame kDeathWindowFrames = 50;  ///< respawn delay + slack
+  void handle_handoff(const ParsedMessage& msg);
+  void forward_to(const std::vector<PlayerId>& recipients,
+                  const net::Envelope& env, PlayerId subject);
+
+  // --- verification helpers -----------------------------------------------
+  void emit(PlayerId suspect, verify::CheckType type, verify::Vantage vantage,
+            Frame frame, const verify::CheckResult& res);
+  verify::Vantage vantage_towards(PlayerId suspect) const;
+  /// Best-effort avatar snapshot of all players from this peer's knowledge.
+  std::vector<game::AvatarState> knowledge_snapshot() const;
+  void verify_guidance_window(PlayerId suspect, verify::Vantage vantage,
+                              const interest::Guidance& old_guidance,
+                              const std::vector<std::pair<Frame, Vec3>>& samples);
+  /// Eagerly closes a dead-reckoning window once observations pass its
+  /// horizon, instead of waiting for the next guidance message (which may
+  /// be lost, or never come if the sender got promoted into the IS).
+  void maybe_close_guidance(PlayerId suspect, verify::Vantage vantage,
+                            Frame observed_frame, bool& has_guidance,
+                            const interest::Guidance& guidance,
+                            std::vector<std::pair<Frame, Vec3>>& samples);
+  bool replay_guard(RemoteKnowledge& k, const MsgHeader& h, PlayerId sender);
+
+  PlayerId id_;
+  WatchmenConfig cfg_;
+  net::SimNetwork* net_;
+  const crypto::KeyRegistry* keys_;
+  ProxySchedule schedule_;  ///< own copy: churn removals are applied locally
+  const game::GameMap* map_;
+  ReportFn report_;
+  Misbehavior* misbehavior_;
+
+  Frame frame_ = 0;
+  std::int64_t round_ = -1;  ///< -1 so the first begin_frame adopts round 0
+  std::uint32_t seq_ = 0;
+
+  // Player-side state.
+  std::vector<RemoteKnowledge> know_;
+  // Delta-coding sender state: deltas are anchored to the last keyframe
+  // (not the previous frame), so one lost delta does not break the chain.
+  game::AvatarState last_keyframe_;
+  Frame last_keyframe_frame_ = -1;
+  // Direct-update mode: the IS subscribers our proxy told us to push to.
+  std::vector<PlayerId> direct_targets_;
+  std::unordered_map<PlayerId, interest::SetKind> sent_level_;
+  std::unordered_map<PlayerId, Frame> sent_level_frame_;
+  /// Per-origin state updates received this proxy round; used to verify
+  /// that proxies actually forward (paper §V-A "other players verify that
+  /// proxies forward them").
+  std::vector<std::uint32_t> recv_state_in_round_;
+  /// Frames this round during which we held an IS-level subscription to
+  /// each target — the expected volume of the forwarded stream.
+  std::vector<std::uint32_t> is_held_frames_in_round_;
+  /// Deferred starvation suspicion: blame the round's proxy only if the
+  /// stream resumes under the next proxy (a dropping proxy); sustained
+  /// silence means the player departed (churn), which is not the proxy's
+  /// fault.
+  struct PendingStarve {
+    bool active = false;
+    std::int64_t round = 0;
+    verify::CheckResult res;
+  };
+  std::vector<PendingStarve> pending_starve_;
+  game::AvatarState own_state_;
+  bool has_own_state_ = false;
+
+  // Proxy-side state: players this peer currently proxies.
+  std::unordered_map<PlayerId, ProxiedState> proxied_;
+  // Summaries kept after handing off (become predecessor summaries).
+  std::unordered_map<PlayerId, PlayerSummary> my_last_summaries_;
+
+  // Grace window: after handing a player off, the old proxy keeps the
+  // proxied state for a few frames and keeps serving messages that were
+  // already in flight to it across the round boundary (forwarding updates,
+  // verifying + forwarding subscriptions).
+  struct GraceEntry {
+    Frame expires = 0;
+    ProxiedState state{ProxySchedule::kDefaultRenewalFrames};
+  };
+  std::unordered_map<PlayerId, GraceEntry> grace_;
+  static constexpr Frame kGraceFrames = 6;
+
+  // Churn (§VI): agreed round at which each player leaves the proxy pool
+  // (-1 = not scheduled), and the round of this peer's last pool change
+  // (protocol-violation reports are suppressed around pool transitions,
+  // when peers' schedules may briefly diverge).
+  std::vector<std::int64_t> churn_removal_round_;
+  std::int64_t last_pool_change_round_ = -100;
+  void handle_churn_notice(const ParsedMessage& msg);
+  bool pool_transition_grace() const;
+
+  // Delayed outbox for the look-ahead cheat: (release_frame, to, wire).
+  struct Delayed {
+    Frame release;
+    PlayerId to;
+    std::vector<std::uint8_t> wire;
+  };
+  std::deque<Delayed> outbox_;
+
+  PeerMetrics metrics_;
+};
+
+}  // namespace watchmen::core

@@ -1,0 +1,75 @@
+#pragma once
+// Random, verifiable, dynamic proxy assignment (paper §III-B, §IV).
+//
+// Every player derives every player's proxy for any round from the common
+// session seed alone — no communication, no control over the outcome:
+//  * random    — a cheater cannot choose whom it proxies or who proxies it;
+//  * verifiable— everyone computes everyone's proxy, so messages sent to the
+//                wrong proxy are immediately detectable;
+//  * dynamic   — assignments are renewed every `renewal_frames` frames
+//                (default 40 ≈ 2 s), bounding the damage and the collusion
+//                window of a malicious proxy.
+//
+// The schedule also supports the paper's §VI refinements: removing players
+// from the proxy pool (churn, bans, or low-bandwidth nodes) and weighting
+// powerful nodes to serve more often.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace watchmen::core {
+
+class ProxySchedule {
+ public:
+  static constexpr Frame kDefaultRenewalFrames = 40;  // "a couple of seconds"
+
+  ProxySchedule(std::uint64_t session_seed, std::size_t n_players,
+                Frame renewal_frames = kDefaultRenewalFrames);
+
+  std::size_t num_players() const { return n_; }
+  Frame renewal_frames() const { return renewal_; }
+
+  /// Proxy round active at `frame`.
+  std::int64_t round_of(Frame frame) const { return frame / renewal_; }
+
+  /// First frame of a round.
+  Frame round_start(std::int64_t round) const { return round * renewal_; }
+
+  /// The proxy of `player` during `round`. Pure function of
+  /// (seed, player, round, pool) — this is what makes it verifiable.
+  PlayerId proxy_of(PlayerId player, std::int64_t round) const;
+
+  /// Convenience: proxy at a given frame.
+  PlayerId proxy_at(PlayerId player, Frame frame) const {
+    return proxy_of(player, round_of(frame));
+  }
+
+  /// All players proxied by `proxy` during `round` (inverse mapping).
+  std::vector<PlayerId> proxied_by(PlayerId proxy, std::int64_t round) const;
+
+  /// Removes a player from the proxy pool (left the game, banned, or too
+  /// weak to serve). It keeps *having* a proxy; it just never *is* one.
+  /// All honest nodes apply the same removals at the same round through the
+  /// agreement protocol (§VI "Churn"), keeping the schedule consistent.
+  void remove_from_pool(PlayerId player);
+
+  /// Re-adds a player to the pool.
+  void restore_to_pool(PlayerId player);
+
+  /// Sets a relative serving weight (≥0; default 1). Heavier nodes are
+  /// chosen proportionally more often (§VI "Upload capacity & Fairness").
+  void set_weight(PlayerId player, double weight);
+
+  bool in_pool(PlayerId player) const { return weights_.at(player) > 0.0; }
+
+ private:
+  std::uint64_t seed_;
+  std::size_t n_;
+  Frame renewal_;
+  std::vector<double> weights_;
+};
+
+}  // namespace watchmen::core

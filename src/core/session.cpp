@@ -1,0 +1,115 @@
+#include "core/session.hpp"
+
+#include <stdexcept>
+
+namespace watchmen::core {
+
+namespace {
+
+std::unique_ptr<net::LatencyModel> make_latency(NetProfile profile,
+                                                std::size_t n,
+                                                double fixed_ms,
+                                                std::uint64_t seed) {
+  switch (profile) {
+    case NetProfile::kLan: return std::make_unique<net::LanLatency>();
+    case NetProfile::kKing: return net::make_king_latency(n, seed);
+    case NetProfile::kPeerwise: return net::make_peerwise_latency(n, seed);
+    case NetProfile::kFixed: return std::make_unique<net::FixedLatency>(fixed_ms);
+  }
+  throw std::invalid_argument("bad net profile");
+}
+
+}  // namespace
+
+WatchmenSession::WatchmenSession(
+    const game::GameTrace& trace, const game::GameMap& map, SessionOptions opts,
+    std::unordered_map<PlayerId, Misbehavior*> misbehaviors)
+    : trace_(&trace),
+      map_(&map),
+      opts_(opts),
+      keys_(opts.seed, trace.n_players),
+      schedule_(opts.seed, trace.n_players, opts.watchmen.renewal_frames),
+      detector_(opts.detector),
+      replayer_(trace),
+      connected_(trace.n_players, true) {
+  net_ = std::make_unique<net::SimNetwork>(
+      trace.n_players,
+      make_latency(opts.net, trace.n_players, opts.fixed_latency_ms, opts.seed),
+      opts.loss_rate, opts.seed);
+
+  for (const auto& [p, w] : opts.pool_weights) schedule_.set_weight(p, w);
+  for (const auto& [p, bps] : opts.upload_bps) net_->set_upload_bps(p, bps);
+
+  peers_.reserve(trace.n_players);
+  for (PlayerId p = 0; p < trace.n_players; ++p) {
+    Misbehavior* mb = nullptr;
+    if (const auto it = misbehaviors.find(p); it != misbehaviors.end()) {
+      mb = it->second;
+    }
+    peers_.push_back(std::make_unique<WatchmenPeer>(
+        p, opts.watchmen, *net_, keys_, schedule_, map,
+        [this](const verify::CheatReport& r) { detector_.report(r); }, mb));
+    net_->set_handler(p, [this, p](const net::Envelope& env) {
+      peers_[p]->on_message(env);
+    });
+  }
+}
+
+void WatchmenSession::run_frames(std::size_t n) {
+  const auto limit =
+      std::min<std::size_t>(trace_->num_frames(),
+                            static_cast<std::size_t>(next_frame_) + n);
+  for (auto fi = static_cast<std::size_t>(next_frame_); fi < limit; ++fi) {
+    const Frame f = static_cast<Frame>(fi);
+    replayer_.seek(fi);
+    const game::TraceFrame& tf = replayer_.current();
+
+    // Frame start: deliver messages due before this frame's sends.
+    net_->run_until(time_of(f));
+    for (PlayerId p = 0; p < trace_->n_players; ++p) {
+      if (connected_[p]) peers_[p]->begin_frame(f);
+    }
+
+    // Every player publishes; subscriptions derive from the in-game sets
+    // the tracing module recorded (computed here from the replayed state,
+    // with hysteresis against the previous frame's sets).
+    if (prev_sets_.size() != trace_->n_players) prev_sets_.resize(trace_->n_players);
+    for (PlayerId p = 0; p < trace_->n_players; ++p) {
+      if (!connected_[p]) continue;
+      interest::PlayerSets sets = interest::compute_sets(
+          p, tf.avatars, *map_, f,
+          [this](PlayerId a, PlayerId b) {
+            return replayer_.last_interaction(a, b);
+          },
+          opts_.watchmen.interest, &prev_sets_[p]);
+      peers_[p]->produce(tf.avatars, sets, tf.events.kills);
+      prev_sets_[p] = std::move(sets);
+    }
+
+    // Deliver what arrives within this frame, then close the frame.
+    net_->run_until(time_of(f + 1) - 1);
+    for (PlayerId p = 0; p < trace_->n_players; ++p) {
+      if (connected_[p]) peers_[p]->end_frame(f);
+    }
+  }
+  next_frame_ = static_cast<Frame>(limit);
+}
+
+void WatchmenSession::run() {
+  run_frames(trace_->num_frames() - static_cast<std::size_t>(next_frame_));
+}
+
+void WatchmenSession::disconnect(PlayerId p) {
+  connected_.at(p) = false;
+  net_->set_handler(p, nullptr);  // the node is gone; traffic to it vanishes
+}
+
+Samples WatchmenSession::merged_update_ages() const {
+  Samples all;
+  for (const auto& peer : peers_) {
+    for (double v : peer->metrics().update_age_frames.values()) all.add(v);
+  }
+  return all;
+}
+
+}  // namespace watchmen::core

@@ -1,0 +1,96 @@
+#pragma once
+// WatchmenSession: replays a recorded game trace through the full protocol
+// stack — N peers over the simulated network — mirroring the paper's replay
+// methodology (§VII): every node knows from the shared trace which message
+// should have arrived at which frame, which is how update age (Fig. 7) and
+// verification effectiveness (Fig. 6) are measured.
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/peer.hpp"
+#include "core/proxy_schedule.hpp"
+#include "crypto/keys.hpp"
+#include "game/trace.hpp"
+#include "net/network.hpp"
+#include "verify/detector.hpp"
+
+namespace watchmen::core {
+
+enum class NetProfile {
+  kLan,       ///< sub-millisecond LAN
+  kKing,      ///< King dataset stand-in, mean one-way 62 ms (§VII)
+  kPeerwise,  ///< PeerWise dataset stand-in, mean one-way 68 ms (§VII)
+  kFixed,     ///< constant latency (tests)
+};
+
+struct SessionOptions {
+  WatchmenConfig watchmen;
+  verify::DetectorConfig detector;
+  std::uint64_t seed = 42;
+  NetProfile net = NetProfile::kKing;
+  double fixed_latency_ms = 25.0;
+  double loss_rate = 0.01;  ///< paper simulates 1 % loss
+  /// Proxy-pool weight overrides applied before the session starts (§VI
+  /// "Upload capacity & Fairness": weak nodes get weight 0, powerful nodes
+  /// can serve more). Peers copy the schedule at construction, so weights
+  /// must be set here, not on the live schedule.
+  std::vector<std::pair<PlayerId, double>> pool_weights;
+  /// Per-node upload caps in bits/s (0 = unconstrained), applied to the
+  /// simulated network before the session starts.
+  std::vector<std::pair<PlayerId, double>> upload_bps;
+};
+
+class WatchmenSession {
+ public:
+  /// `misbehaviors` maps cheating players to their behaviour; everyone else
+  /// is honest. Pointers must outlive the session.
+  WatchmenSession(const game::GameTrace& trace, const game::GameMap& map,
+                  SessionOptions opts,
+                  std::unordered_map<PlayerId, Misbehavior*> misbehaviors = {});
+
+  /// Runs frames [next, next+n) of the trace; call repeatedly or use run().
+  void run_frames(std::size_t n);
+
+  /// Runs the whole remaining trace.
+  void run();
+
+  /// Disconnects a player (churn, §VI): it stops producing and receiving
+  /// from the next frame on. Peers detect the silence, its proxy announces
+  /// the departure, and everyone removes it from the proxy pool.
+  void disconnect(PlayerId p);
+
+  bool connected(PlayerId p) const { return connected_.at(p); }
+
+  Frame current_frame() const { return next_frame_; }
+  std::size_t num_players() const { return trace_->n_players; }
+
+  const WatchmenPeer& peer(PlayerId p) const { return *peers_.at(p); }
+  WatchmenPeer& peer(PlayerId p) { return *peers_.at(p); }
+  const net::SimNetwork& network() const { return *net_; }
+  net::SimNetwork& network() { return *net_; }
+  const ProxySchedule& schedule() const { return schedule_; }
+  ProxySchedule& schedule() { return schedule_; }
+  const verify::Detector& detector() const { return detector_; }
+  const crypto::KeyRegistry& keys() const { return keys_; }
+
+  /// Update-age samples pooled across all honest receivers (Fig. 7 input).
+  Samples merged_update_ages() const;
+
+ private:
+  const game::GameTrace* trace_;
+  const game::GameMap* map_;
+  SessionOptions opts_;
+  crypto::KeyRegistry keys_;
+  ProxySchedule schedule_;
+  std::unique_ptr<net::SimNetwork> net_;
+  verify::Detector detector_;
+  game::TraceReplayer replayer_;
+  std::vector<std::unique_ptr<WatchmenPeer>> peers_;
+  std::vector<interest::PlayerSets> prev_sets_;  ///< for IS hysteresis
+  std::vector<bool> connected_;
+  Frame next_frame_ = 0;
+};
+
+}  // namespace watchmen::core

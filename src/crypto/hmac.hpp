@@ -1,0 +1,15 @@
+#pragma once
+// HMAC-SHA256 (RFC 2104). Used for deterministic nonce derivation in the
+// signature scheme and available as a cheaper symmetric authenticator for
+// the hybrid (trusted-server) deployment mode.
+
+#include <span>
+
+#include "crypto/sha256.hpp"
+
+namespace watchmen::crypto {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> message);
+
+}  // namespace watchmen::crypto

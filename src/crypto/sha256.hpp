@@ -1,0 +1,52 @@
+#pragma once
+// SHA-256 (FIPS 180-4), implemented from scratch — no external crypto deps.
+//
+// Used for message digests inside the signature scheme and for deriving
+// deterministic per-message nonces.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace watchmen::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view s) {
+    update(std::span(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+  /// Finalizes and returns the digest. The object must be reset() before reuse.
+  Digest finish();
+
+  static Digest hash(std::span<const std::uint8_t> data) {
+    Sha256 h;
+    h.update(data);
+    return h.finish();
+  }
+  static Digest hash(std::string_view s) {
+    Sha256 h;
+    h.update(s);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_len_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+/// First 8 bytes of the digest as a little-endian integer — a convenient
+/// 64-bit hash for tables and nonce derivation.
+std::uint64_t digest_to_u64(const Digest& d);
+
+}  // namespace watchmen::crypto

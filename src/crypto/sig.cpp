@@ -1,0 +1,99 @@
+#include "crypto/sig.hpp"
+
+#include "crypto/hmac.hpp"
+#include "util/rng.hpp"
+
+namespace watchmen::crypto {
+
+std::uint64_t mod_mul(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      static_cast<unsigned __int128>(a) * b % m);
+}
+
+std::uint64_t mod_pow(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  std::uint64_t result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mod_mul(result, base, m);
+    base = mod_mul(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+std::array<std::uint8_t, 16> Signature::encode() const {
+  std::array<std::uint8_t, 16> out{};
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>(e >> (8 * i));
+    out[8 + i] = static_cast<std::uint8_t>(s >> (8 * i));
+  }
+  return out;
+}
+
+Signature Signature::decode(std::span<const std::uint8_t> bytes) {
+  Signature sig;
+  if (bytes.size() < 16) return sig;
+  for (int i = 0; i < 8; ++i) {
+    sig.e |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+    sig.s |= static_cast<std::uint64_t>(bytes[8 + i]) << (8 * i);
+  }
+  return sig;
+}
+
+KeyPair KeyPair::generate(std::uint64_t seed) {
+  KeyPair kp;
+  // Mix until the secret lands in [1, q).
+  std::uint64_t x = mix64(seed ^ 0x5ec2e7deadbeef01ULL);
+  while (x % kGroupQ == 0) x = mix64(x);
+  kp.secret = x % kGroupQ;
+  kp.public_key = mod_pow(kGroupG, kp.secret, kGroupP);
+  return kp;
+}
+
+namespace {
+
+/// Hash (r || message) into an exponent in [1, q).
+std::uint64_t challenge(std::uint64_t r, std::span<const std::uint8_t> message) {
+  Sha256 h;
+  std::uint8_t r_bytes[8];
+  for (int i = 0; i < 8; ++i) r_bytes[i] = static_cast<std::uint8_t>(r >> (8 * i));
+  h.update(std::span<const std::uint8_t>(r_bytes, 8));
+  h.update(message);
+  std::uint64_t e = digest_to_u64(h.finish()) % kGroupQ;
+  return e == 0 ? 1 : e;
+}
+
+/// Deterministic nonce in [1, q), derived from the secret and the message.
+std::uint64_t derive_nonce(std::uint64_t secret,
+                           std::span<const std::uint8_t> message) {
+  std::uint8_t key_bytes[8];
+  for (int i = 0; i < 8; ++i) key_bytes[i] = static_cast<std::uint8_t>(secret >> (8 * i));
+  const Digest d = hmac_sha256(std::span<const std::uint8_t>(key_bytes, 8), message);
+  std::uint64_t k = digest_to_u64(d) % kGroupQ;
+  return k == 0 ? 1 : k;
+}
+
+}  // namespace
+
+Signature sign(const KeyPair& key, std::span<const std::uint8_t> message) {
+  const std::uint64_t k = derive_nonce(key.secret, message);
+  const std::uint64_t r = mod_pow(kGroupG, k, kGroupP);
+  const std::uint64_t e = challenge(r, message);
+  // s = k + e*x (mod q)
+  const std::uint64_t s =
+      (k + mod_mul(e, key.secret, kGroupQ)) % kGroupQ;
+  return {e, s};
+}
+
+bool verify(std::uint64_t public_key, std::span<const std::uint8_t> message,
+            const Signature& sig) {
+  if (sig.e == 0 || sig.e >= kGroupQ || sig.s >= kGroupQ) return false;
+  if (public_key == 0 || public_key >= kGroupP) return false;
+  // r' = g^s * y^(-e) = g^s * y^(q - e)   (y^q == 1 by Fermat)
+  const std::uint64_t gs = mod_pow(kGroupG, sig.s, kGroupP);
+  const std::uint64_t ye = mod_pow(public_key, kGroupQ - sig.e, kGroupP);
+  const std::uint64_t r = mod_mul(gs, ye, kGroupP);
+  return challenge(r, message) == sig.e;
+}
+
+}  // namespace watchmen::crypto

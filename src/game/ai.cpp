@@ -1,0 +1,207 @@
+#include "game/ai.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace watchmen::game {
+namespace {
+
+/// Relative desirability of item kinds; strong items pull harder, creating
+/// the Fig. 1 hotspots.
+double item_weight(ItemKind kind) {
+  switch (kind) {
+    case ItemKind::kQuadDamage: return 10.0;
+    case ItemKind::kMegaHealth: return 8.0;
+    case ItemKind::kRailgun: return 6.0;
+    case ItemKind::kRocketLauncher: return 5.0;
+    case ItemKind::kArmor: return 4.0;
+    case ItemKind::kHealth: return 2.0;
+    case ItemKind::kAmmo: return 1.5;
+    case ItemKind::kShotgun: return 3.0;
+    case ItemKind::kPlasmaGun: return 4.0;
+    case ItemKind::kLightningGun: return 4.0;
+  }
+  return 1.0;
+}
+
+/// Nearest living enemy with line of sight, within `range`; kInvalidPlayer
+/// if none.
+PlayerId nearest_visible_enemy(PlayerId self, const GameWorld& world,
+                               double range) {
+  const AvatarState& me = world.avatar(self);
+  PlayerId best = kInvalidPlayer;
+  double best_d = range;
+  for (PlayerId q = 0; q < world.num_players(); ++q) {
+    if (q == self) continue;
+    const AvatarState& other = world.avatar(q);
+    if (!other.alive) continue;
+    const double d = me.pos.distance(other.pos);
+    if (d < best_d && world.can_see(self, q)) {
+      best = q;
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+double yaw_towards(const Vec3& from, const Vec3& to) {
+  return std::atan2(to.y - from.y, to.x - from.x);
+}
+
+double pitch_towards(const Vec3& from, const Vec3& to) {
+  const double h = std::hypot(to.x - from.x, to.y - from.y);
+  return std::atan2(to.z - from.z, std::max(h, 1.0));
+}
+
+}  // namespace
+
+HotspotAI::HotspotAI(std::uint64_t seed, PlayerId self)
+    : rng_(substream_seed(seed, 0x68756d61ULL, self)) {}
+
+void HotspotAI::pick_goal(const GameWorld& world) {
+  // Weighted choice over *available* items; occasionally roam to a random
+  // point so coverage isn't purely item-driven.
+  if (rng_.chance(0.15) || world.items().empty()) {
+    const auto& lo = world.map().bounds_min();
+    const auto& hi = world.map().bounds_max();
+    goal_ = {rng_.uniform(lo.x, hi.x), rng_.uniform(lo.y, hi.y), 0};
+  } else {
+    double total = 0.0;
+    for (const ItemInstance& it : world.items()) {
+      if (it.available) total += item_weight(it.spawn.kind);
+    }
+    if (total <= 0.0) {
+      goal_ = world.items()[rng_.below(world.items().size())].spawn.pos;
+    } else {
+      double pick = rng_.uniform(0.0, total);
+      for (const ItemInstance& it : world.items()) {
+        if (!it.available) continue;
+        pick -= item_weight(it.spawn.kind);
+        if (pick <= 0.0) {
+          goal_ = it.spawn.pos;
+          break;
+        }
+      }
+    }
+  }
+  goal_until_ = world.frame() + static_cast<Frame>(rng_.between(60, 200));
+}
+
+PlayerInput HotspotAI::decide(PlayerId self, const GameWorld& world) {
+  const AvatarState& me = world.avatar(self);
+  PlayerInput in;
+  if (!me.alive) return in;
+
+  if (world.frame() >= goal_until_ || me.pos.distance(goal_) < 64.0) {
+    pick_goal(world);
+  }
+
+  const PlayerId enemy = nearest_visible_enemy(self, world, 1500.0);
+  strafe_phase_ += 0.15;
+
+  if (enemy != kInvalidPlayer) {
+    const AvatarState& target = world.avatar(enemy);
+    // Aim at the enemy with human-like noise that shrinks at close range.
+    const double d = me.pos.distance(target.pos);
+    const double noise = 0.01 + 0.00004 * d;
+    in.yaw = yaw_towards(me.eye(), target.eye()) + rng_.normal(0.0, noise);
+    in.pitch = pitch_towards(me.eye(), target.eye()) + rng_.normal(0.0, noise);
+
+    // Strafe perpendicular to the enemy while closing in slowly.
+    const Vec3 fwd = (target.pos - me.pos).normalized();
+    const Vec3 side{-fwd.y, fwd.x, 0};
+    in.wish_dir = (fwd * 0.4 + side * std::sin(strafe_phase_)).normalized();
+
+    // Fire when roughly on target and the weapon has ammo.
+    const double aim_err = std::fabs(wrap_angle(in.yaw - me.yaw));
+    in.fire = aim_err < 0.12 && me.ammo > 0 && rng_.chance(0.8);
+    in.jump = rng_.chance(0.05);
+  } else {
+    in.yaw = yaw_towards(me.pos, goal_) + rng_.normal(0.0, 0.05);
+    in.pitch = 0.0;
+    const Vec3 fwd = (goal_ - me.pos).normalized();
+    const Vec3 side{-fwd.y, fwd.x, 0};
+    in.wish_dir = (fwd + side * 0.25 * std::sin(strafe_phase_ * 0.5)).normalized();
+    in.jump = rng_.chance(0.02);
+  }
+  return in;
+}
+
+PatrolBotAI::PatrolBotAI(std::uint64_t seed, PlayerId self, const GameMap& map)
+    : rng_(substream_seed(seed, 0x626f7473ULL, self)) {
+  // Patrol path: a short, fixed loop of 3 waypoints chosen (per bot, but
+  // weighted toward the strong items) from the item spawns — the
+  // "predetermined paths and locations" the paper attributes to NPCs, which
+  // concentrate presence even more than human play (Fig. 1b).
+  std::vector<Vec3> candidates;
+  for (const ItemSpawn& s : map.item_spawns()) {
+    // Strong items appear multiple times in the candidate pool.
+    const int copies = static_cast<int>(item_weight(s.kind));
+    for (int i = 0; i < copies; ++i) candidates.push_back(s.pos);
+  }
+  if (candidates.empty()) candidates.push_back(map.respawns().front());
+
+  // Anchor on one (weighted) item and patrol a tight circuit around it —
+  // guard-the-item behaviour. Bots also dwell at each waypoint (camping),
+  // which is what makes NPC presence even more concentrated than humans'.
+  const Vec3 anchor = candidates[rng_.below(candidates.size())];
+  waypoints_.push_back(anchor);
+  for (const ItemSpawn& s : map.item_spawns()) {
+    if (waypoints_.size() >= 3) break;
+    const double d = std::hypot(s.pos.x - anchor.x, s.pos.y - anchor.y);
+    if (d > 1.0 && d < 400.0) waypoints_.push_back(s.pos);
+  }
+  while (waypoints_.size() < 3) {
+    waypoints_.push_back(anchor + Vec3{rng_.uniform(-150.0, 150.0),
+                                       rng_.uniform(-150.0, 150.0), 0.0});
+  }
+  next_wp_ = rng_.below(waypoints_.size());
+}
+
+PlayerInput PatrolBotAI::decide(PlayerId self, const GameWorld& world) {
+  const AvatarState& me = world.avatar(self);
+  PlayerInput in;
+  if (!me.alive) return in;
+
+  const Vec3& wp = waypoints_[next_wp_];
+  if (dwell_until_ > world.frame()) {
+    // Camping at the waypoint: hold position, scan around.
+    in.yaw = me.yaw + 0.05;
+  } else if (me.pos.distance(wp) < 72.0) {
+    next_wp_ = (next_wp_ + 1) % waypoints_.size();
+    dwell_until_ = world.frame() + static_cast<Frame>(rng_.between(80, 200));
+  }
+
+  const PlayerId enemy = nearest_visible_enemy(self, world, 900.0);
+  if (enemy != kInvalidPlayer) {
+    const AvatarState& target = world.avatar(enemy);
+    in.yaw = yaw_towards(me.eye(), target.eye()) + rng_.normal(0.0, 0.03);
+    in.pitch = pitch_towards(me.eye(), target.eye());
+    in.fire = me.ammo > 0 && rng_.chance(0.5);
+  } else if (dwell_until_ <= world.frame()) {
+    in.yaw = yaw_towards(me.pos, wp);
+    in.pitch = 0.0;
+  }
+  if (dwell_until_ <= world.frame()) {
+    in.wish_dir = (waypoints_[next_wp_] - me.pos).normalized();
+  }
+  return in;
+}
+
+std::vector<std::unique_ptr<Controller>> make_roster(const GameMap& map,
+                                                     std::size_t n_players,
+                                                     std::size_t n_humans,
+                                                     std::uint64_t seed) {
+  std::vector<std::unique_ptr<Controller>> roster;
+  roster.reserve(n_players);
+  for (PlayerId p = 0; p < n_players; ++p) {
+    if (p < n_humans) {
+      roster.push_back(std::make_unique<HotspotAI>(seed, p));
+    } else {
+      roster.push_back(std::make_unique<PatrolBotAI>(seed, p, map));
+    }
+  }
+  return roster;
+}
+
+}  // namespace watchmen::game

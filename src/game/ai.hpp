@@ -1,0 +1,65 @@
+#pragma once
+// Synthetic player behaviour.
+//
+// The paper's experiments are driven by traces of real 48-player Quake III
+// deathmatch sessions on q3dm17. We replace the human players with a
+// goal-driven "hotspot AI" that reproduces the statistical properties the
+// experiments depend on:
+//  * presence concentrates exponentially around strong items / strategic
+//    spots (Fig. 1, which motivates multi-resolution over AOI filtering),
+//  * engagements cluster, so interest sets churn the way §VI reports,
+//  * kills/shots/pickups occur at realistic rates for the verifiers.
+// NPC bots follow predetermined patrol paths, worsening concentration
+// exactly as the paper notes for Fig. 1(b).
+
+#include <memory>
+#include <vector>
+
+#include "game/world.hpp"
+#include "util/rng.hpp"
+
+namespace watchmen::game {
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+  virtual PlayerInput decide(PlayerId self, const GameWorld& world) = 0;
+};
+
+/// Human-like deathmatch behaviour: chase valuable items, engage visible
+/// enemies, strafe while shooting.
+class HotspotAI final : public Controller {
+ public:
+  HotspotAI(std::uint64_t seed, PlayerId self);
+  PlayerInput decide(PlayerId self, const GameWorld& world) override;
+
+ private:
+  void pick_goal(const GameWorld& world);
+
+  Rng rng_;
+  Vec3 goal_;
+  Frame goal_until_ = -1;
+  double strafe_phase_ = 0.0;
+};
+
+/// NPC: loops a fixed patrol path through item locations.
+class PatrolBotAI final : public Controller {
+ public:
+  PatrolBotAI(std::uint64_t seed, PlayerId self, const GameMap& map);
+  PlayerInput decide(PlayerId self, const GameWorld& world) override;
+
+ private:
+  Rng rng_;
+  std::vector<Vec3> waypoints_;
+  std::size_t next_wp_ = 0;
+  Frame dwell_until_ = -1;  ///< camping timer at the current waypoint
+};
+
+/// Builds a mixed roster: the first `n_humans` players get HotspotAI, the
+/// rest PatrolBotAI.
+std::vector<std::unique_ptr<Controller>> make_roster(const GameMap& map,
+                                                     std::size_t n_players,
+                                                     std::size_t n_humans,
+                                                     std::uint64_t seed);
+
+}  // namespace watchmen::game

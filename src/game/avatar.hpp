@@ -1,0 +1,58 @@
+#pragma once
+// Avatar state: everything a full ("frequent") state update carries —
+// position, aim, health, armor, weapon, ammo (paper, Section III-A).
+
+#include <cstdint>
+
+#include "util/ids.hpp"
+#include "util/vec.hpp"
+
+namespace watchmen::game {
+
+enum class WeaponKind : std::uint8_t {
+  kMachineGun = 0,
+  kRocketLauncher = 1,
+  kRailgun = 2,
+  kShotgun = 3,       ///< hitscan, multiple pellets, wide spread
+  kPlasmaGun = 4,     ///< fast projectile, small splash
+  kLightningGun = 5,  ///< short-range hitscan beam, very fast refire
+};
+constexpr int kNumWeapons = 6;
+
+const char* to_string(WeaponKind w);
+
+struct AvatarState {
+  Vec3 pos;
+  Vec3 vel;
+  double yaw = 0.0;    ///< radians around +Z
+  double pitch = 0.0;  ///< radians, + up
+  std::int32_t health = 100;
+  std::int32_t armor = 0;
+  WeaponKind weapon = WeaponKind::kMachineGun;
+  std::int32_t ammo = 100;
+  bool alive = true;
+  bool has_quad = false;
+  std::int32_t frags = 0;
+
+  // Book-keeping (not serialized on the wire, but kept in traces).
+  Frame respawn_frame = -1;   ///< when dead: frame at which to respawn
+  Frame last_fire_frame = -1000;
+  Frame quad_until = -1;
+
+  Vec3 aim_dir() const { return direction_from_angles(yaw, pitch); }
+
+  /// Eye position used for visibility tests (Quake eye height ~ 56 units).
+  Vec3 eye() const { return pos + Vec3{0, 0, 56}; }
+};
+
+struct PlayerInput {
+  Vec3 wish_dir;       ///< desired horizontal movement direction (normalized)
+  double yaw = 0.0;
+  double pitch = 0.0;
+  bool fire = false;
+  bool jump = false;
+  WeaponKind switch_to = WeaponKind::kMachineGun;
+  bool do_switch = false;
+};
+
+}  // namespace watchmen::game

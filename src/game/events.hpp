@@ -1,0 +1,56 @@
+#pragma once
+// Per-frame game events. These are recorded in traces and are what the
+// Watchmen verifiers check (kill claims, shots, pickups).
+
+#include <vector>
+
+#include "game/avatar.hpp"
+#include "game/map.hpp"
+#include "util/ids.hpp"
+#include "util/vec.hpp"
+
+namespace watchmen::game {
+
+struct ShotEvent {
+  PlayerId shooter = kInvalidPlayer;
+  WeaponKind weapon = WeaponKind::kMachineGun;
+  Vec3 origin;
+  Vec3 dir;
+};
+
+struct HitEvent {
+  PlayerId shooter = kInvalidPlayer;
+  PlayerId target = kInvalidPlayer;
+  WeaponKind weapon = WeaponKind::kMachineGun;
+  std::int32_t damage = 0;
+  double distance = 0.0;
+};
+
+struct KillEvent {
+  PlayerId killer = kInvalidPlayer;
+  PlayerId victim = kInvalidPlayer;
+  WeaponKind weapon = WeaponKind::kMachineGun;
+  double distance = 0.0;
+};
+
+struct PickupEvent {
+  PlayerId player = kInvalidPlayer;
+  ItemKind kind = ItemKind::kHealth;
+  std::uint32_t item_index = 0;
+};
+
+struct FrameEvents {
+  std::vector<ShotEvent> shots;
+  std::vector<HitEvent> hits;
+  std::vector<KillEvent> kills;
+  std::vector<PickupEvent> pickups;
+
+  void clear() {
+    shots.clear();
+    hits.clear();
+    kills.clear();
+    pickups.clear();
+  }
+};
+
+}  // namespace watchmen::game

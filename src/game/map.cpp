@@ -1,0 +1,174 @@
+#include "game/map.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace watchmen::game {
+
+bool Box::intersects_segment(const Vec3& a, const Vec3& b) const {
+  // Slab test against the segment parameterized as a + t*(b-a), t in [0,1].
+  const Vec3 d = b - a;
+  double t0 = 0.0;
+  double t1 = 1.0;
+  const double amin[3] = {min.x, min.y, min.z};
+  const double amax[3] = {max.x, max.y, max.z};
+  const double o[3] = {a.x, a.y, a.z};
+  const double dir[3] = {d.x, d.y, d.z};
+  for (int i = 0; i < 3; ++i) {
+    if (std::fabs(dir[i]) < 1e-12) {
+      if (o[i] < amin[i] || o[i] > amax[i]) return false;
+      continue;
+    }
+    double ta = (amin[i] - o[i]) / dir[i];
+    double tb = (amax[i] - o[i]) / dir[i];
+    if (ta > tb) std::swap(ta, tb);
+    t0 = std::max(t0, ta);
+    t1 = std::min(t1, tb);
+    if (t0 > t1) return false;
+  }
+  return true;
+}
+
+const char* to_string(ItemKind kind) {
+  switch (kind) {
+    case ItemKind::kHealth: return "health";
+    case ItemKind::kMegaHealth: return "mega-health";
+    case ItemKind::kArmor: return "armor";
+    case ItemKind::kAmmo: return "ammo";
+    case ItemKind::kRocketLauncher: return "rocket-launcher";
+    case ItemKind::kRailgun: return "railgun";
+    case ItemKind::kQuadDamage: return "quad-damage";
+    case ItemKind::kShotgun: return "shotgun";
+    case ItemKind::kPlasmaGun: return "plasma-gun";
+    case ItemKind::kLightningGun: return "lightning-gun";
+  }
+  return "?";
+}
+
+GameMap::GameMap(std::string name, Vec3 bounds_min, Vec3 bounds_max)
+    : name_(std::move(name)), bounds_min_(bounds_min), bounds_max_(bounds_max) {}
+
+bool GameMap::visible(const Vec3& a, const Vec3& b) const {
+  for (const Box& box : occluders_) {
+    if (box.intersects_segment(a, b)) return false;
+  }
+  return true;
+}
+
+Vec3 GameMap::clamp(const Vec3& p) const {
+  return {std::clamp(p.x, bounds_min_.x, bounds_max_.x),
+          std::clamp(p.y, bounds_min_.y, bounds_max_.y),
+          std::clamp(p.z, bounds_min_.z, bounds_max_.z)};
+}
+
+double GameMap::ground_height(double x, double y) const {
+  double h = bounds_min_.z;
+  for (const Box& box : occluders_) {
+    if (x >= box.min.x && x <= box.max.x && y >= box.min.y && y <= box.max.y) {
+      h = std::max(h, box.max.z);
+    }
+  }
+  return h;
+}
+
+GameMap make_longest_yard() {
+  // 2048x2048-unit open arena, floor at z=0. Platform heights create the
+  // vertical play of q3dm17; pillars/platform walls provide occlusion.
+  GameMap map("q3dm17-like", {0, 0, 0}, {2048, 2048, 512});
+
+  // Central platform: the rail-gun perch, the map's dominant hotspot.
+  map.add_occluder({{896, 896, 0}, {1152, 1152, 96}});
+  // Four corner platforms with items.
+  map.add_occluder({{192, 192, 0}, {448, 448, 48}});
+  map.add_occluder({{1600, 192, 0}, {1856, 448, 48}});
+  map.add_occluder({{192, 1600, 0}, {448, 1856, 48}});
+  map.add_occluder({{1600, 1600, 0}, {1856, 1856, 48}});
+  // Two long side rails (elevated walkways) that occlude across the middle.
+  map.add_occluder({{64, 960, 0}, {704, 1088, 64}});
+  map.add_occluder({{1344, 960, 0}, {1984, 1088, 64}});
+  // Tall pillars near the center for hard occlusion.
+  map.add_occluder({{832, 480, 0}, {896, 544, 200}});
+  map.add_occluder({{1152, 1504, 0}, {1216, 1568, 200}});
+
+  // Respawn spots ring the arena (players spawn away from the center).
+  map.add_respawn({128, 128, 0});
+  map.add_respawn({1920, 128, 0});
+  map.add_respawn({128, 1920, 0});
+  map.add_respawn({1920, 1920, 0});
+  map.add_respawn({1024, 96, 0});
+  map.add_respawn({1024, 1952, 0});
+  map.add_respawn({96, 1024, 0});
+  map.add_respawn({1952, 1024, 0});
+
+  // Item placement drives the hotspots: the strongest items sit on the
+  // central platform and the side rails.
+  map.add_item_spawn({ItemKind::kRailgun, {1024, 1024, 96}, 30.0});
+  map.add_item_spawn({ItemKind::kMegaHealth, {1024, 960, 96}, 35.0});
+  map.add_item_spawn({ItemKind::kQuadDamage, {1024, 1088, 96}, 60.0});
+  map.add_item_spawn({ItemKind::kRocketLauncher, {384, 1024, 64}, 30.0});
+  map.add_item_spawn({ItemKind::kRocketLauncher, {1664, 1024, 64}, 30.0});
+  map.add_item_spawn({ItemKind::kArmor, {320, 320, 48}, 25.0});
+  map.add_item_spawn({ItemKind::kArmor, {1728, 1728, 48}, 25.0});
+  map.add_item_spawn({ItemKind::kHealth, {1728, 320, 48}, 20.0});
+  map.add_item_spawn({ItemKind::kHealth, {320, 1728, 48}, 20.0});
+  map.add_item_spawn({ItemKind::kAmmo, {512, 1024, 64}, 15.0});
+  map.add_item_spawn({ItemKind::kAmmo, {1536, 1024, 64}, 15.0});
+  map.add_item_spawn({ItemKind::kHealth, {1024, 512, 0}, 20.0});
+  map.add_item_spawn({ItemKind::kHealth, {1024, 1536, 0}, 20.0});
+
+  return map;
+}
+
+GameMap make_campgrounds() {
+  // Four rooms around a central atrium, joined by corridors. Walls are
+  // full-height (300) so they occlude everything; each room holds items.
+  GameMap map("q3dm6-like", {0, 0, 0}, {2048, 2048, 400});
+  constexpr double kH = 300.0;
+
+  // Outer walls are implied by the bounds; inner walls carve the rooms.
+  // Horizontal walls (y = 680..720 and y = 1320..1360), with door gaps.
+  map.add_occluder({{0, 680, 0}, {820, 720, kH}});
+  map.add_occluder({{1000, 680, 0}, {2048, 720, kH}});
+  map.add_occluder({{0, 1320, 0}, {1048, 1360, kH}});
+  map.add_occluder({{1228, 1320, 0}, {2048, 1360, kH}});
+  // Vertical walls (x = 680..720 and x = 1320..1360), with door gaps.
+  map.add_occluder({{680, 0, 0}, {720, 500, kH}});
+  map.add_occluder({{680, 720, 0}, {720, 1140, kH}});
+  map.add_occluder({{1320, 200, 0}, {1360, 680, kH}});
+  map.add_occluder({{1320, 900, 0}, {1360, 1320, kH}});
+  map.add_occluder({{1320, 1500, 0}, {1360, 2048, kH}});
+  // Atrium pillars.
+  map.add_occluder({{960, 960, 0}, {1088, 1088, kH}});
+
+  map.add_respawn({200, 200, 0});
+  map.add_respawn({1850, 200, 0});
+  map.add_respawn({200, 1850, 0});
+  map.add_respawn({1850, 1850, 0});
+  map.add_respawn({1024, 560, 0});
+  map.add_respawn({1024, 1500, 0});
+
+  // One strong item per room, health/ammo in the atrium and corridors.
+  map.add_item_spawn({ItemKind::kRailgun, {340, 340, 0}, 30.0});
+  map.add_item_spawn({ItemKind::kRocketLauncher, {1700, 340, 0}, 30.0});
+  map.add_item_spawn({ItemKind::kMegaHealth, {340, 1700, 0}, 35.0});
+  map.add_item_spawn({ItemKind::kQuadDamage, {1700, 1700, 0}, 60.0});
+  map.add_item_spawn({ItemKind::kArmor, {1024, 900, 0}, 25.0});
+  map.add_item_spawn({ItemKind::kHealth, {1024, 1200, 0}, 20.0});
+  map.add_item_spawn({ItemKind::kHealth, {560, 1024, 0}, 20.0});
+  map.add_item_spawn({ItemKind::kAmmo, {1500, 1024, 0}, 15.0});
+  return map;
+}
+
+GameMap make_test_arena() {
+  GameMap map("test-arena", {0, 0, 0}, {1000, 1000, 200});
+  map.add_occluder({{450, 450, 0}, {550, 550, 150}});  // central pillar
+  map.add_respawn({100, 100, 0});
+  map.add_respawn({900, 900, 0});
+  map.add_respawn({100, 900, 0});
+  map.add_respawn({900, 100, 0});
+  map.add_item_spawn({ItemKind::kHealth, {500, 200, 0}, 20.0});
+  map.add_item_spawn({ItemKind::kRailgun, {500, 800, 0}, 30.0});
+  return map;
+}
+
+}  // namespace watchmen::game

@@ -1,0 +1,110 @@
+#pragma once
+// Game world geometry: an arena of axis-aligned occluders, item spawn points
+// and respawn spots, with line-of-sight queries.
+//
+// The built-in arena is modelled on q3dm17 ("The Longest Yard"), the map all
+// of the paper's experiments use: an open space of floating platforms whose
+// item placement (mega-health, railgun, rocket launcher, armor) concentrates
+// players in a few hotspots — the effect shown in the paper's Fig. 1 that
+// makes fixed-radius AOI filtering unusable.
+
+#include <string>
+#include <vector>
+
+#include "util/vec.hpp"
+
+namespace watchmen::game {
+
+/// Axis-aligned box, used for platforms/pillars (which also occlude vision).
+struct Box {
+  Vec3 min;
+  Vec3 max;
+
+  bool contains(const Vec3& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y &&
+           p.z >= min.z && p.z <= max.z;
+  }
+
+  Vec3 center() const { return (min + max) * 0.5; }
+
+  /// True if the open segment (a, b) intersects the box interior.
+  bool intersects_segment(const Vec3& a, const Vec3& b) const;
+};
+
+enum class ItemKind : std::uint8_t {
+  kHealth,      // +25 health
+  kMegaHealth,  // +100 health
+  kArmor,       // +50 armor
+  kAmmo,        // +ammo for current weapon
+  kRocketLauncher,
+  kRailgun,
+  kQuadDamage,
+  kShotgun,
+  kPlasmaGun,
+  kLightningGun,
+};
+
+const char* to_string(ItemKind kind);
+
+struct ItemSpawn {
+  ItemKind kind;
+  Vec3 pos;
+  double respawn_s = 25.0;  ///< seconds until the item reappears after pickup
+};
+
+class GameMap {
+ public:
+  GameMap(std::string name, Vec3 bounds_min, Vec3 bounds_max);
+
+  const std::string& name() const { return name_; }
+  const Vec3& bounds_min() const { return bounds_min_; }
+  const Vec3& bounds_max() const { return bounds_max_; }
+
+  void add_occluder(Box b) { occluders_.push_back(b); }
+  void add_respawn(Vec3 p) { respawns_.push_back(p); }
+  void add_item_spawn(ItemSpawn s) { item_spawns_.push_back(s); }
+
+  const std::vector<Box>& occluders() const { return occluders_; }
+  const std::vector<Vec3>& respawns() const { return respawns_; }
+  const std::vector<ItemSpawn>& item_spawns() const { return item_spawns_; }
+
+  /// Line-of-sight: true if no occluder blocks the segment a->b.
+  /// This is the geometric core of both the PVS baseline and the Watchmen
+  /// vision set ("avatars behind a wall do not appear in the vision set").
+  bool visible(const Vec3& a, const Vec3& b) const;
+
+  /// Clamp a point into the playable bounds.
+  Vec3 clamp(const Vec3& p) const;
+
+  bool in_bounds(const Vec3& p) const {
+    return p.x >= bounds_min_.x && p.x <= bounds_max_.x &&
+           p.y >= bounds_min_.y && p.y <= bounds_max_.y &&
+           p.z >= bounds_min_.z && p.z <= bounds_max_.z;
+  }
+
+  /// Ground height at (x, y): top of the highest platform under the point,
+  /// or the arena floor.
+  double ground_height(double x, double y) const;
+
+ private:
+  std::string name_;
+  Vec3 bounds_min_;
+  Vec3 bounds_max_;
+  std::vector<Box> occluders_;
+  std::vector<Vec3> respawns_;
+  std::vector<ItemSpawn> item_spawns_;
+};
+
+/// The q3dm17-style arena used by all paper experiments.
+GameMap make_longest_yard();
+
+/// A q3dm6-style ("Campgrounds") indoor map: rooms joined by corridors,
+/// with heavy wall occlusion. Vision sets are much smaller than on the
+/// open arena — the map-sensitivity the paper notes in §VI ("this value
+/// can be slightly different for different maps").
+GameMap make_campgrounds();
+
+/// A small square room with a single central pillar (for unit tests).
+GameMap make_test_arena();
+
+}  // namespace watchmen::game

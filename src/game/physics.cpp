@@ -1,0 +1,107 @@
+#include "game/physics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace watchmen::game {
+
+void step_movement(AvatarState& a, const PlayerInput& in, const GameMap& map,
+                   const PhysicsConstants& pc) {
+  if (!a.alive) return;
+
+  // Aim: clamp angular speed so an avatar cannot snap instantly (the verifier
+  // checks the same bound).
+  const double max_turn = pc.max_angular_speed * pc.dt;
+  a.yaw += std::clamp(wrap_angle(in.yaw - a.yaw), -max_turn, max_turn);
+  a.yaw = wrap_angle(a.yaw);
+  a.pitch = std::clamp(in.pitch, -1.4, 1.4);
+
+  const double ground = map.ground_height(a.pos.x, a.pos.y);
+  const bool on_ground = a.pos.z <= ground + 0.5;
+
+  // Horizontal acceleration toward the wish direction.
+  Vec3 wish = in.wish_dir;
+  wish.z = 0.0;
+  wish = wish.normalized() * pc.max_ground_speed;
+  const double blend = std::min(1.0, pc.accel * pc.dt);
+  a.vel.x += (wish.x - a.vel.x) * blend;
+  a.vel.y += (wish.y - a.vel.y) * blend;
+
+  // Clamp horizontal speed.
+  const double hspeed = std::hypot(a.vel.x, a.vel.y);
+  if (hspeed > pc.max_ground_speed) {
+    const double k = pc.max_ground_speed / hspeed;
+    a.vel.x *= k;
+    a.vel.y *= k;
+  }
+
+  if (on_ground && in.jump) {
+    a.vel.z = pc.jump_velocity;
+  } else if (!on_ground) {
+    a.vel.z = std::max(a.vel.z - pc.gravity * pc.dt, -pc.terminal_velocity);
+  }
+
+  const Vec3 old_pos = a.pos;
+  a.pos += a.vel * pc.dt;
+
+  // Geometry interaction: step up onto low platforms, get blocked by walls —
+  // sliding along them (axis-separated fallback, the classic trick) so
+  // avatars skim walls toward doorways instead of sticking.
+  constexpr double kMaxStepUp = 96.0;
+  auto blocked = [&](double x, double y) {
+    return map.ground_height(x, y) > a.pos.z + kMaxStepUp;
+  };
+  if (blocked(a.pos.x, a.pos.y)) {
+    if (!blocked(a.pos.x, old_pos.y)) {
+      a.pos.y = old_pos.y;  // slide along x
+      a.vel.y = 0.0;
+    } else if (!blocked(old_pos.x, a.pos.y)) {
+      a.pos.x = old_pos.x;  // slide along y
+      a.vel.x = 0.0;
+    } else {
+      a.pos.x = old_pos.x;  // fully blocked
+      a.pos.y = old_pos.y;
+      a.vel.x = 0.0;
+      a.vel.y = 0.0;
+    }
+  }
+  const double ground_here = map.ground_height(a.pos.x, a.pos.y);
+  if (a.pos.z <= ground_here) {
+    a.pos.z = ground_here;
+    a.vel.z = std::max(0.0, a.vel.z);
+  }
+  a.pos = map.clamp(a.pos);
+}
+
+double max_legal_horizontal(int frames, const PhysicsConstants& pc) {
+  return pc.max_ground_speed * pc.dt * frames * 1.05;
+}
+
+double max_legal_vertical(int frames, const PhysicsConstants& pc) {
+  const double t = pc.dt * frames;
+  const double up = pc.jump_velocity * t;
+  const double down = pc.terminal_velocity * t;
+  // Walking onto a platform snaps the avatar up by the platform height in a
+  // single frame (the movement code has no sub-frame stair-stepping), so
+  // the legal per-frame vertical budget floors at the tallest step (96u)
+  // plus margin.
+  constexpr double kMaxStepUp = 100.0;
+  return std::max({up, down, kMaxStepUp}) * 1.05;
+}
+
+double max_legal_distance(int frames, const PhysicsConstants& pc) {
+  const double h = max_legal_horizontal(frames, pc);
+  const double v = max_legal_vertical(frames, pc);
+  return std::sqrt(h * h + v * v);
+}
+
+bool legal_move(const Vec3& old_pos, const Vec3& new_pos, int frames,
+                const PhysicsConstants& pc) {
+  if (frames <= 0) return old_pos.distance(new_pos) < 1e-9;
+  const double dh = std::hypot(new_pos.x - old_pos.x, new_pos.y - old_pos.y);
+  const double dv = std::fabs(new_pos.z - old_pos.z);
+  return dh <= max_legal_horizontal(frames, pc) &&
+         dv <= max_legal_vertical(frames, pc);
+}
+
+}  // namespace watchmen::game

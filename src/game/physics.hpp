@@ -1,0 +1,46 @@
+#pragma once
+// Movement physics with Quake III constants. These rules are exactly what the
+// Watchmen verifiers check against ("movements follow game physics: gravity,
+// limited velocity, angular speed, permitted position" — paper §V-A).
+
+#include "game/avatar.hpp"
+#include "game/map.hpp"
+
+namespace watchmen::game {
+
+struct PhysicsConstants {
+  double max_ground_speed = 320.0;  ///< units/s (Quake III run speed)
+  double accel = 10.0;              ///< ground acceleration factor (1/s)
+  double gravity = 800.0;           ///< units/s^2
+  double jump_velocity = 270.0;     ///< units/s
+  double terminal_velocity = 1000.0;  ///< max fall speed, units/s
+  double max_angular_speed = 6.0 * 3.14159265358979;  ///< rad/s (3 turns/s)
+  double dt = 0.05;                 ///< frame duration, 50 ms
+};
+
+inline constexpr PhysicsConstants kDefaultPhysics{};
+
+/// Advances one frame of movement for an avatar given its input.
+/// Clamps to map bounds and snaps to the ground when landing.
+void step_movement(AvatarState& a, const PlayerInput& in, const GameMap& map,
+                   const PhysicsConstants& pc = kDefaultPhysics);
+
+/// Maximum distance an avatar can legally cover in `frames` frames,
+/// including a tolerance for jump arcs and falls. Used by position
+/// verification.
+double max_legal_distance(int frames, const PhysicsConstants& pc = kDefaultPhysics);
+
+/// Maximum legal *horizontal* distance over `frames` frames. Tighter than
+/// the 3-D bound, so speed hacks are caught per-frame.
+double max_legal_horizontal(int frames, const PhysicsConstants& pc = kDefaultPhysics);
+
+/// Maximum legal *vertical* distance over `frames` frames (jump up /
+/// terminal-velocity fall down).
+double max_legal_vertical(int frames, const PhysicsConstants& pc = kDefaultPhysics);
+
+/// True if the transition old_pos -> new_pos over `frames` frames is
+/// physically possible.
+bool legal_move(const Vec3& old_pos, const Vec3& new_pos, int frames,
+                const PhysicsConstants& pc = kDefaultPhysics);
+
+}  // namespace watchmen::game

@@ -1,0 +1,234 @@
+#include "game/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace watchmen::game {
+namespace {
+
+constexpr std::uint32_t kTraceMagic = 0x57544d54;  // "WTMT"
+constexpr std::uint32_t kTraceVersion = 1;
+
+void write_avatar(ByteWriter& w, const AvatarState& a) {
+  w.f32(static_cast<float>(a.pos.x));
+  w.f32(static_cast<float>(a.pos.y));
+  w.f32(static_cast<float>(a.pos.z));
+  w.f32(static_cast<float>(a.vel.x));
+  w.f32(static_cast<float>(a.vel.y));
+  w.f32(static_cast<float>(a.vel.z));
+  w.f32(static_cast<float>(a.yaw));
+  w.f32(static_cast<float>(a.pitch));
+  w.i32(a.health);
+  w.i32(a.armor);
+  w.u8(static_cast<std::uint8_t>(a.weapon));
+  w.i32(a.ammo);
+  w.u8(static_cast<std::uint8_t>((a.alive ? 1 : 0) | (a.has_quad ? 2 : 0)));
+  w.i32(a.frags);
+  w.i64(a.last_fire_frame);
+  w.i64(a.respawn_frame);
+}
+
+AvatarState read_avatar(ByteReader& r) {
+  AvatarState a;
+  a.pos = {r.f32(), r.f32(), r.f32()};
+  a.vel = {r.f32(), r.f32(), r.f32()};
+  a.yaw = r.f32();
+  a.pitch = r.f32();
+  a.health = r.i32();
+  a.armor = r.i32();
+  a.weapon = static_cast<WeaponKind>(r.u8());
+  a.ammo = r.i32();
+  const std::uint8_t flags = r.u8();
+  a.alive = flags & 1;
+  a.has_quad = flags & 2;
+  a.frags = r.i32();
+  a.last_fire_frame = r.i64();
+  a.respawn_frame = r.i64();
+  return a;
+}
+
+void write_vec(ByteWriter& w, const Vec3& v) {
+  w.f32(static_cast<float>(v.x));
+  w.f32(static_cast<float>(v.y));
+  w.f32(static_cast<float>(v.z));
+}
+
+Vec3 read_vec(ByteReader& r) { return {r.f32(), r.f32(), r.f32()}; }
+
+}  // namespace
+
+std::vector<std::uint8_t> GameTrace::serialize() const {
+  ByteWriter w;
+  w.u32(kTraceMagic);
+  w.u32(kTraceVersion);
+  w.str(map_name);
+  w.u32(n_players);
+  w.u64(seed);
+  w.varint(frames.size());
+  for (const TraceFrame& f : frames) {
+    if (f.avatars.size() != n_players) {
+      throw std::logic_error("trace frame has wrong avatar count");
+    }
+    for (const AvatarState& a : f.avatars) write_avatar(w, a);
+    w.varint(f.events.shots.size());
+    for (const ShotEvent& e : f.events.shots) {
+      w.u32(e.shooter);
+      w.u8(static_cast<std::uint8_t>(e.weapon));
+      write_vec(w, e.origin);
+      write_vec(w, e.dir);
+    }
+    w.varint(f.events.hits.size());
+    for (const HitEvent& e : f.events.hits) {
+      w.u32(e.shooter);
+      w.u32(e.target);
+      w.u8(static_cast<std::uint8_t>(e.weapon));
+      w.i32(e.damage);
+      w.f32(static_cast<float>(e.distance));
+    }
+    w.varint(f.events.kills.size());
+    for (const KillEvent& e : f.events.kills) {
+      w.u32(e.killer);
+      w.u32(e.victim);
+      w.u8(static_cast<std::uint8_t>(e.weapon));
+      w.f32(static_cast<float>(e.distance));
+    }
+    w.varint(f.events.pickups.size());
+    for (const PickupEvent& e : f.events.pickups) {
+      w.u32(e.player);
+      w.u8(static_cast<std::uint8_t>(e.kind));
+      w.u32(e.item_index);
+    }
+  }
+  return w.take();
+}
+
+GameTrace GameTrace::deserialize(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  if (r.u32() != kTraceMagic) throw DecodeError("not a trace file");
+  if (r.u32() != kTraceVersion) throw DecodeError("unsupported trace version");
+  GameTrace t;
+  t.map_name = r.str();
+  t.n_players = r.u32();
+  t.seed = r.u64();
+  // Counts come from an untrusted file: bound the pre-allocations; an
+  // inconsistent count runs the reader off the end and throws DecodeError.
+  if (t.n_players > 4096) throw DecodeError("implausible player count");
+  const auto n_frames = r.varint();
+  t.frames.reserve(std::min<std::uint64_t>(n_frames, 1 << 16));
+  for (std::uint64_t i = 0; i < n_frames; ++i) {
+    TraceFrame f;
+    f.avatars.reserve(t.n_players);
+    for (std::uint32_t p = 0; p < t.n_players; ++p) f.avatars.push_back(read_avatar(r));
+    for (std::uint64_t s = r.varint(); s > 0; --s) {
+      ShotEvent e;
+      e.shooter = r.u32();
+      e.weapon = static_cast<WeaponKind>(r.u8());
+      e.origin = read_vec(r);
+      e.dir = read_vec(r);
+      f.events.shots.push_back(e);
+    }
+    for (std::uint64_t s = r.varint(); s > 0; --s) {
+      HitEvent e;
+      e.shooter = r.u32();
+      e.target = r.u32();
+      e.weapon = static_cast<WeaponKind>(r.u8());
+      e.damage = r.i32();
+      e.distance = r.f32();
+      f.events.hits.push_back(e);
+    }
+    for (std::uint64_t s = r.varint(); s > 0; --s) {
+      KillEvent e;
+      e.killer = r.u32();
+      e.victim = r.u32();
+      e.weapon = static_cast<WeaponKind>(r.u8());
+      e.distance = r.f32();
+      f.events.kills.push_back(e);
+    }
+    for (std::uint64_t s = r.varint(); s > 0; --s) {
+      PickupEvent e;
+      e.player = r.u32();
+      e.kind = static_cast<ItemKind>(r.u8());
+      e.item_index = r.u32();
+      f.events.pickups.push_back(e);
+    }
+    t.frames.push_back(std::move(f));
+  }
+  return t;
+}
+
+void GameTrace::save(const std::string& path) const {
+  const auto bytes = serialize();
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+GameTrace GameTrace::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return deserialize(bytes);
+}
+
+GameTrace record_session(const GameMap& map, const SessionConfig& cfg) {
+  GameWorld world(map, cfg.n_players, cfg.seed);
+  auto roster = make_roster(map, cfg.n_players, cfg.n_humans, cfg.seed);
+
+  GameTrace trace;
+  trace.map_name = map.name();
+  trace.n_players = static_cast<std::uint32_t>(cfg.n_players);
+  trace.seed = cfg.seed;
+  trace.frames.reserve(cfg.n_frames);
+
+  std::vector<PlayerInput> inputs(cfg.n_players);
+  for (std::size_t f = 0; f < cfg.n_frames; ++f) {
+    for (PlayerId p = 0; p < cfg.n_players; ++p) {
+      inputs[p] = roster[p]->decide(p, world);
+    }
+    const FrameEvents& ev = world.step(inputs);
+    TraceFrame tf;
+    tf.avatars = world.avatars();
+    tf.events = ev;
+    trace.frames.push_back(std::move(tf));
+  }
+  return trace;
+}
+
+TraceReplayer::TraceReplayer(const GameTrace& trace)
+    : trace_(&trace),
+      interactions_(static_cast<std::size_t>(trace.n_players) * trace.n_players,
+                    -10000) {
+  if (trace.frames.empty()) throw std::invalid_argument("empty trace");
+  apply_events(0);
+}
+
+void TraceReplayer::seek(std::size_t f) {
+  if (f >= trace_->num_frames()) throw std::out_of_range("seek past end of trace");
+  if (f < cur_) {
+    // Rewind: rebuild interaction state from scratch.
+    std::fill(interactions_.begin(), interactions_.end(), -10000);
+    cur_ = 0;
+    apply_events(0);
+  }
+  while (cur_ < f) {
+    ++cur_;
+    apply_events(cur_);
+  }
+}
+
+void TraceReplayer::apply_events(std::size_t f) {
+  const std::size_t n = trace_->n_players;
+  for (const HitEvent& e : trace_->frames[f].events.hits) {
+    interactions_[e.shooter * n + e.target] = static_cast<Frame>(f);
+  }
+}
+
+Frame TraceReplayer::last_interaction(PlayerId a, PlayerId b) const {
+  const std::size_t n = trace_->n_players;
+  return std::max(interactions_[a * n + b], interactions_[b * n + a]);
+}
+
+}  // namespace watchmen::game

@@ -1,0 +1,80 @@
+#pragma once
+// Game traces: record a session once, replay it under any architecture.
+//
+// Mirrors the paper's methodology (§VII): a tracing module records "all
+// important game information — different sets, players position, aim,
+// weapons, ammo, health, speed, as well as item pickups, shootings, and
+// killing of players", and a replay engine regenerates identical traffic
+// under different networking/proxy architectures.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "game/ai.hpp"
+#include "game/events.hpp"
+#include "game/world.hpp"
+#include "util/bytes.hpp"
+
+namespace watchmen::game {
+
+struct TraceFrame {
+  std::vector<AvatarState> avatars;
+  FrameEvents events;
+  /// last_interaction matrix snapshot is not stored per frame; the replayer
+  /// reconstructs interaction recency from hit events.
+};
+
+struct GameTrace {
+  std::string map_name;
+  std::uint32_t n_players = 0;
+  std::uint64_t seed = 0;
+  std::vector<TraceFrame> frames;
+
+  std::size_t num_frames() const { return frames.size(); }
+
+  std::vector<std::uint8_t> serialize() const;
+  static GameTrace deserialize(std::span<const std::uint8_t> bytes);
+
+  void save(const std::string& path) const;
+  static GameTrace load(const std::string& path);
+};
+
+struct SessionConfig {
+  std::size_t n_players = 48;
+  std::size_t n_humans = 48;   ///< remaining players are patrol NPCs
+  std::size_t n_frames = 2400; ///< 2 min at 50 ms/frame
+  std::uint64_t seed = 42;
+};
+
+/// Runs a full simulated deathmatch on the given map and records the trace.
+GameTrace record_session(const GameMap& map, const SessionConfig& cfg);
+
+/// Replays a trace frame-by-frame, reconstructing interaction recency.
+class TraceReplayer {
+ public:
+  explicit TraceReplayer(const GameTrace& trace);
+
+  std::size_t num_players() const { return trace_->n_players; }
+  std::size_t num_frames() const { return trace_->num_frames(); }
+
+  /// Positions the replayer at frame f (0-based); updates interaction state
+  /// incrementally, so advance frames in order for O(1) steps.
+  void seek(std::size_t f);
+
+  std::size_t frame() const { return cur_; }
+  const TraceFrame& current() const { return trace_->frames[cur_]; }
+  const AvatarState& avatar(PlayerId p) const { return current().avatars[p]; }
+
+  /// Frame of the most recent hit between a and b up to the current frame.
+  Frame last_interaction(PlayerId a, PlayerId b) const;
+
+ private:
+  void apply_events(std::size_t f);
+
+  const GameTrace* trace_;
+  std::size_t cur_ = 0;
+  std::vector<Frame> interactions_;  // n x n
+};
+
+}  // namespace watchmen::game

@@ -1,0 +1,22 @@
+#include "game/weapons.hpp"
+
+namespace watchmen::game {
+
+namespace {
+constexpr WeaponSpec kWeapons[kNumWeapons] = {
+    {WeaponKind::kMachineGun, "machinegun", 7, 100, 2500.0, 0.0, 0.0, 0.02, 1},
+    {WeaponKind::kRocketLauncher, "rocket-launcher", 100, 800, 0.0, 900.0, 120.0, 0.0, 1},
+    {WeaponKind::kRailgun, "railgun", 100, 1500, 8192.0, 0.0, 0.0, 0.0, 1},
+    {WeaponKind::kShotgun, "shotgun", 6, 1000, 1024.0, 0.0, 0.0, 0.06, 11},
+    {WeaponKind::kPlasmaGun, "plasma-gun", 20, 100, 0.0, 2000.0, 40.0, 0.0, 1},
+    {WeaponKind::kLightningGun, "lightning-gun", 8, 50, 768.0, 0.0, 0.0, 0.01, 1},
+};
+}  // namespace
+
+const WeaponSpec& weapon_spec(WeaponKind kind) {
+  return kWeapons[static_cast<int>(kind)];
+}
+
+const char* to_string(WeaponKind w) { return weapon_spec(w).name; }
+
+}  // namespace watchmen::game

@@ -1,0 +1,41 @@
+#pragma once
+// Weapon table and projectile state (Quake III inspired values).
+
+#include <cstdint>
+
+#include "game/avatar.hpp"
+#include "util/ids.hpp"
+#include "util/vec.hpp"
+
+namespace watchmen::game {
+
+struct WeaponSpec {
+  WeaponKind kind;
+  const char* name;
+  std::int32_t damage;    ///< per hit (per pellet for multi-pellet weapons)
+  TimeMs refire_ms;       ///< minimum time between shots
+  double range;           ///< max effective range (units); hitscan only
+  double projectile_speed;///< 0 => hitscan
+  double splash_radius;   ///< 0 => no splash
+  double spread;          ///< aim cone half-angle (radians) of weapon noise
+  int pellets;            ///< rays per trigger pull (shotgun > 1)
+};
+
+const WeaponSpec& weapon_spec(WeaponKind kind);
+
+/// Frames a weapon must wait between shots. Verifiers use this to detect
+/// fast-rate cheats on fire events.
+inline int refire_frames(WeaponKind kind) {
+  return static_cast<int>((weapon_spec(kind).refire_ms + kFrameMs - 1) / kFrameMs);
+}
+
+struct Projectile {
+  PlayerId owner = kInvalidPlayer;
+  WeaponKind weapon = WeaponKind::kRocketLauncher;
+  Vec3 pos;
+  Vec3 vel;
+  Frame fired_at = 0;
+  bool live = true;
+};
+
+}  // namespace watchmen::game

@@ -1,0 +1,254 @@
+#include "game/world.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace watchmen::game {
+
+GameWorld::GameWorld(GameMap map, std::size_t n_players, std::uint64_t seed)
+    : map_(std::move(map)),
+      avatars_(n_players),
+      interactions_(n_players * n_players, -10000),
+      rng_(substream_seed(seed, 0x776f726cULL)) {
+  if (map_.respawns().empty()) throw std::invalid_argument("map has no respawns");
+  items_.reserve(map_.item_spawns().size());
+  for (const ItemSpawn& s : map_.item_spawns()) items_.push_back(ItemInstance{s});
+  for (PlayerId p = 0; p < n_players; ++p) respawn(p);
+}
+
+Frame GameWorld::last_interaction(PlayerId a, PlayerId b) const {
+  const std::size_t n = avatars_.size();
+  return std::max(interactions_[a * n + b], interactions_[b * n + a]);
+}
+
+void GameWorld::note_interaction(PlayerId a, PlayerId b) {
+  interactions_[a * avatars_.size() + b] = frame_;
+}
+
+bool GameWorld::can_see(PlayerId a, PlayerId b) const {
+  return map_.visible(avatars_[a].eye(), avatars_[b].eye());
+}
+
+void GameWorld::respawn(PlayerId p) {
+  AvatarState& a = avatars_[p];
+  const std::int32_t frags = a.frags;
+  a = AvatarState{};
+  a.frags = frags;
+  const auto& spots = map_.respawns();
+  const Vec3 spot = spots[rng_.below(spots.size())];
+  a.pos = spot;
+  a.pos.z = map_.ground_height(spot.x, spot.y);
+  a.yaw = rng_.uniform(-3.14159, 3.14159);
+  a.health = kSpawnHealth;
+}
+
+const FrameEvents& GameWorld::step(std::span<const PlayerInput> inputs) {
+  if (inputs.size() != avatars_.size()) {
+    throw std::invalid_argument("GameWorld::step: wrong input count");
+  }
+  ++frame_;
+  events_.clear();
+
+  // Respawns first so dead players come back at the scheduled frame.
+  for (PlayerId p = 0; p < avatars_.size(); ++p) {
+    if (!avatars_[p].alive && avatars_[p].respawn_frame >= 0 &&
+        frame_ >= avatars_[p].respawn_frame) {
+      respawn(p);
+    }
+  }
+
+  // Movement.
+  for (PlayerId p = 0; p < avatars_.size(); ++p) {
+    AvatarState& a = avatars_[p];
+    if (!a.alive) continue;
+    if (inputs[p].do_switch) a.weapon = inputs[p].switch_to;
+    step_movement(a, inputs[p], map_);
+    if (a.quad_until >= 0 && frame_ > a.quad_until) a.has_quad = false;
+  }
+
+  // Firing.
+  for (PlayerId p = 0; p < avatars_.size(); ++p) {
+    const AvatarState& a = avatars_[p];
+    if (a.alive && inputs[p].fire) fire_weapon(p);
+  }
+
+  step_projectiles();
+  step_items();
+  return events_;
+}
+
+void GameWorld::fire_weapon(PlayerId p) {
+  AvatarState& a = avatars_[p];
+  const WeaponSpec& spec = weapon_spec(a.weapon);
+  const int cooldown = refire_frames(a.weapon);
+  if (frame_ - a.last_fire_frame < cooldown) return;
+  if (a.ammo <= 0) return;
+  a.last_fire_frame = frame_;
+  --a.ammo;
+
+  const int pellets = std::max(1, spec.pellets);
+  for (int pellet = 0; pellet < pellets; ++pellet) {
+    Vec3 dir = a.aim_dir();
+    if (spec.spread > 0.0) {
+      // Weapon spread: jitter yaw/pitch inside the spread cone.
+      const double dy = rng_.normal(0.0, spec.spread / 2.0);
+      const double dp = rng_.normal(0.0, spec.spread / 2.0);
+      dir = direction_from_angles(a.yaw + dy, a.pitch + dp);
+    }
+    if (pellet == 0) events_.shots.push_back({p, a.weapon, a.eye(), dir});
+
+    if (spec.projectile_speed > 0.0) {
+      projectiles_.push_back({p, a.weapon, a.eye() + dir * 20.0,
+                              dir * spec.projectile_speed, frame_, true});
+      continue;
+    }
+
+    // Hitscan: closest avatar intersecting a thin ray, if visible.
+    PlayerId best = kInvalidPlayer;
+    double best_t = spec.range;
+    constexpr double kHitRadius = 24.0;  // avatar capsule radius approximation
+    for (PlayerId q = 0; q < avatars_.size(); ++q) {
+      if (q == p || !avatars_[q].alive) continue;
+      const Vec3 to_target = avatars_[q].eye() - a.eye();
+      const double t = to_target.dot(dir);
+      if (t <= 0.0 || t >= best_t) continue;
+      const Vec3 closest = a.eye() + dir * t;
+      if (closest.distance(avatars_[q].eye()) > kHitRadius) continue;
+      if (!map_.visible(a.eye(), avatars_[q].eye())) continue;
+      best = q;
+      best_t = t;
+    }
+    if (best != kInvalidPlayer) {
+      apply_damage(p, best, a.weapon, spec.damage, best_t);
+    }
+  }
+}
+
+void GameWorld::apply_damage(PlayerId shooter, PlayerId target, WeaponKind w,
+                             std::int32_t dmg, double distance) {
+  AvatarState& t = avatars_[target];
+  if (!t.alive) return;
+  if (avatars_[shooter].has_quad) dmg *= 3;
+
+  // Armor absorbs 2/3 of incoming damage.
+  const std::int32_t absorbed = std::min(t.armor, dmg * 2 / 3);
+  t.armor -= absorbed;
+  t.health -= dmg - absorbed;
+
+  note_interaction(shooter, target);
+  events_.hits.push_back({shooter, target, w, dmg, distance});
+
+  if (t.health <= 0) {
+    t.alive = false;
+    t.respawn_frame = frame_ + kRespawnDelayFrames;
+    avatars_[shooter].frags += (shooter == target) ? -1 : 1;
+    events_.kills.push_back({shooter, target, w, distance});
+  }
+}
+
+void GameWorld::step_projectiles() {
+  const double dt = kDefaultPhysics.dt;
+  for (Projectile& pr : projectiles_) {
+    if (!pr.live) continue;
+    const Vec3 next = pr.pos + pr.vel * dt;
+
+    // Detonate on world geometry or after 10 s of flight.
+    bool detonate = !map_.visible(pr.pos, next) || !map_.in_bounds(next) ||
+                    frame_ - pr.fired_at > 200;
+
+    // Direct hit: any avatar within 32 units of the swept segment.
+    PlayerId direct = kInvalidPlayer;
+    for (PlayerId q = 0; q < avatars_.size(); ++q) {
+      if (q == pr.owner || !avatars_[q].alive) continue;
+      const Vec3 seg = next - pr.pos;
+      const double len2 = seg.norm2();
+      double t = len2 > 0 ? (avatars_[q].eye() - pr.pos).dot(seg) / len2 : 0.0;
+      t = std::clamp(t, 0.0, 1.0);
+      const Vec3 closest = pr.pos + seg * t;
+      if (closest.distance(avatars_[q].eye()) < 32.0) {
+        direct = q;
+        detonate = true;
+        break;
+      }
+    }
+
+    if (detonate) {
+      pr.live = false;
+      const WeaponSpec& spec = weapon_spec(pr.weapon);
+      const Vec3 at = direct != kInvalidPlayer ? avatars_[direct].eye() : next;
+      if (direct != kInvalidPlayer) {
+        apply_damage(pr.owner, direct, pr.weapon, spec.damage,
+                     avatars_[pr.owner].eye().distance(at));
+      }
+      if (spec.splash_radius > 0.0) {
+        for (PlayerId q = 0; q < avatars_.size(); ++q) {
+          if (q == direct || !avatars_[q].alive) continue;
+          const double d = avatars_[q].eye().distance(at);
+          if (d < spec.splash_radius && map_.visible(at, avatars_[q].eye())) {
+            const auto splash = static_cast<std::int32_t>(
+                spec.damage * (1.0 - d / spec.splash_radius) * 0.5);
+            if (splash > 0) {
+              apply_damage(pr.owner, q, pr.weapon, splash,
+                           avatars_[pr.owner].eye().distance(avatars_[q].eye()));
+            }
+          }
+        }
+      }
+    } else {
+      pr.pos = next;
+    }
+  }
+  std::erase_if(projectiles_, [](const Projectile& p) { return !p.live; });
+}
+
+void GameWorld::step_items() {
+  for (std::uint32_t i = 0; i < items_.size(); ++i) {
+    ItemInstance& item = items_[i];
+    if (!item.available) {
+      if (frame_ >= item.respawn_at) item.available = true;
+      continue;
+    }
+    constexpr double kPickupRadius = 48.0;
+    for (PlayerId p = 0; p < avatars_.size(); ++p) {
+      AvatarState& a = avatars_[p];
+      if (!a.alive || a.pos.distance(item.spawn.pos) > kPickupRadius) continue;
+      switch (item.spawn.kind) {
+        case ItemKind::kHealth: a.health = std::min(100, a.health + 25); break;
+        case ItemKind::kMegaHealth: a.health = std::min(200, a.health + 100); break;
+        case ItemKind::kArmor: a.armor = std::min(200, a.armor + 50); break;
+        case ItemKind::kAmmo: a.ammo = std::min(200, a.ammo + 50); break;
+        case ItemKind::kRocketLauncher:
+          a.weapon = WeaponKind::kRocketLauncher;
+          a.ammo = std::min(200, a.ammo + 20);
+          break;
+        case ItemKind::kRailgun:
+          a.weapon = WeaponKind::kRailgun;
+          a.ammo = std::min(200, a.ammo + 10);
+          break;
+        case ItemKind::kQuadDamage:
+          a.has_quad = true;
+          a.quad_until = frame_ + 600;  // 30 s
+          break;
+        case ItemKind::kShotgun:
+          a.weapon = WeaponKind::kShotgun;
+          a.ammo = std::min(200, a.ammo + 10);
+          break;
+        case ItemKind::kPlasmaGun:
+          a.weapon = WeaponKind::kPlasmaGun;
+          a.ammo = std::min(200, a.ammo + 50);
+          break;
+        case ItemKind::kLightningGun:
+          a.weapon = WeaponKind::kLightningGun;
+          a.ammo = std::min(200, a.ammo + 100);
+          break;
+      }
+      item.available = false;
+      item.respawn_at = frame_ + static_cast<Frame>(item.spawn.respawn_s * 1000.0 / kFrameMs);
+      events_.pickups.push_back({p, item.spawn.kind, i});
+      break;
+    }
+  }
+}
+
+}  // namespace watchmen::game

@@ -1,0 +1,74 @@
+#pragma once
+// The game world: avatars, items, projectiles, combat, discrete 50 ms frames.
+//
+// This is the Quake-III-stand-in substrate (DESIGN.md §2). It is fully
+// deterministic given (map, n_players, seed, inputs): the Watchmen replay
+// methodology depends on being able to re-run identical sessions under
+// different network architectures.
+
+#include <span>
+#include <vector>
+
+#include "game/avatar.hpp"
+#include "game/events.hpp"
+#include "game/map.hpp"
+#include "game/physics.hpp"
+#include "game/weapons.hpp"
+#include "util/rng.hpp"
+
+namespace watchmen::game {
+
+struct ItemInstance {
+  ItemSpawn spawn;
+  bool available = true;
+  Frame respawn_at = -1;
+};
+
+class GameWorld {
+ public:
+  GameWorld(GameMap map, std::size_t n_players, std::uint64_t seed);
+
+  const GameMap& map() const { return map_; }
+  std::size_t num_players() const { return avatars_.size(); }
+  Frame frame() const { return frame_; }
+
+  const AvatarState& avatar(PlayerId p) const { return avatars_.at(p); }
+  AvatarState& mutable_avatar(PlayerId p) { return avatars_.at(p); }
+  const std::vector<AvatarState>& avatars() const { return avatars_; }
+  const std::vector<ItemInstance>& items() const { return items_; }
+  const std::vector<Projectile>& projectiles() const { return projectiles_; }
+
+  /// Frame of the most recent hit between the pair, in either direction.
+  /// Feeds the attention metric's interaction-recency term.
+  Frame last_interaction(PlayerId a, PlayerId b) const;
+
+  /// Advances one frame with the given per-player inputs and returns the
+  /// events generated during the frame.
+  const FrameEvents& step(std::span<const PlayerInput> inputs);
+
+  /// True if b is within a's line of sight (eye-to-eye, map occlusion only).
+  bool can_see(PlayerId a, PlayerId b) const;
+
+  static constexpr std::int32_t kRespawnDelayFrames = 40;  // 2 s
+  static constexpr std::int32_t kSpawnHealth = 100;
+
+ private:
+  void respawn(PlayerId p);
+  void fire_weapon(PlayerId p);
+  void apply_damage(PlayerId shooter, PlayerId target, WeaponKind w,
+                    std::int32_t dmg, double distance);
+  void step_projectiles();
+  void step_items();
+  void note_interaction(PlayerId a, PlayerId b);
+
+  GameMap map_;
+  std::vector<AvatarState> avatars_;
+  std::vector<ItemInstance> items_;
+  std::vector<Projectile> projectiles_;
+  std::vector<Frame> interactions_;  // n x n matrix of last-hit frames
+  Rng rng_;
+  Frame frame_ = 0;
+  FrameEvents events_;
+};
+
+}  // namespace watchmen::game

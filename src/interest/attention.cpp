@@ -1,0 +1,31 @@
+#include "interest/attention.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace watchmen::interest {
+
+double attention_score(const game::AvatarState& observer,
+                       const game::AvatarState& target, Frame now,
+                       Frame last_interaction, const VisionConfig& vision,
+                       const AttentionWeights& w) {
+  const Vec3 to_target = target.eye() - observer.eye();
+  const double d = to_target.norm();
+
+  const double prox = std::max(0.0, 1.0 - d / vision.radius);
+
+  double aim = 0.0;
+  if (d > 1e-9) {
+    const double ang = angle_between(observer.aim_dir(), to_target);
+    aim = std::max(0.0, 1.0 - ang / vision.half_angle);
+  } else {
+    aim = 1.0;
+  }
+
+  const double age = static_cast<double>(now - last_interaction);
+  const double recency = age >= 0 ? std::exp(-age / w.recency_tau) : 0.0;
+
+  return w.proximity * prox + w.aim * aim + w.recency * recency;
+}
+
+}  // namespace watchmen::interest

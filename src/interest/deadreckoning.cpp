@@ -1,0 +1,73 @@
+#include "interest/deadreckoning.hpp"
+
+#include <cmath>
+
+#include "util/ids.hpp"
+
+namespace watchmen::interest {
+
+Guidance make_guidance(const game::AvatarState& a, Frame now,
+                       std::size_t n_waypoints, double velocity_damping) {
+  Guidance g;
+  g.frame = now;
+  g.pos = a.pos;
+  g.vel = a.vel;
+  g.yaw = a.yaw;
+  g.pitch = a.pitch;
+  g.health = a.health;
+  g.weapon = a.weapon;
+  // Honest prediction: the sender cannot know its own future inputs, so it
+  // extrapolates the current velocity — optionally damped, integrating
+  // pos + v/λ (1 - e^{-λt}) so the prediction coasts to a stop instead of
+  // running off at full speed forever.
+  g.waypoints.reserve(n_waypoints);
+  for (std::size_t i = 1; i <= n_waypoints; ++i) {
+    const double t = static_cast<double>(i * kGuidancePeriodFrames) *
+                     (static_cast<double>(kFrameMs) / 1000.0);
+    if (velocity_damping > 0.0) {
+      const double k = (1.0 - std::exp(-velocity_damping * t)) / velocity_damping;
+      g.waypoints.push_back(g.pos + g.vel * k);
+    } else {
+      g.waypoints.push_back(g.pos + g.vel * t);
+    }
+  }
+  return g;
+}
+
+Vec3 dr_predict(const Guidance& g, Frame frame) {
+  const Frame dt_frames = frame - g.frame;
+  if (dt_frames <= 0) return g.pos;
+  const double dt = static_cast<double>(dt_frames) *
+                    (static_cast<double>(kFrameMs) / 1000.0);
+
+  if (g.waypoints.empty()) return g.pos + g.vel * dt;
+
+  // Piecewise-linear through the waypoints.
+  const double seg_dt = static_cast<double>(kGuidancePeriodFrames) *
+                        (static_cast<double>(kFrameMs) / 1000.0);
+  Vec3 prev = g.pos;
+  for (std::size_t i = 0; i < g.waypoints.size(); ++i) {
+    const double seg_end = seg_dt * static_cast<double>(i + 1);
+    if (dt <= seg_end) {
+      const double t = (dt - seg_dt * static_cast<double>(i)) / seg_dt;
+      return lerp(prev, g.waypoints[i], t);
+    }
+    prev = g.waypoints[i];
+  }
+  // Past the last waypoint: hold position (bounded extrapolation).
+  return g.waypoints.back();
+}
+
+double trajectory_deviation_area(const Guidance& g,
+                                 const std::vector<Vec3>& actual_path,
+                                 Frame first_actual_frame) {
+  const double frame_s = static_cast<double>(kFrameMs) / 1000.0;
+  double area = 0.0;
+  for (std::size_t i = 0; i < actual_path.size(); ++i) {
+    const Frame f = first_actual_frame + static_cast<Frame>(i);
+    area += dr_predict(g, f).distance(actual_path[i]) * frame_s;
+  }
+  return area;
+}
+
+}  // namespace watchmen::interest

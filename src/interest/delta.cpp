@@ -1,0 +1,133 @@
+#include "interest/delta.hpp"
+
+#include <cmath>
+
+namespace watchmen::interest {
+namespace {
+
+// Field bits.
+enum : std::uint16_t {
+  kPos = 1 << 0,
+  kVel = 1 << 1,
+  kYaw = 1 << 2,
+  kPitch = 1 << 3,
+  kHealth = 1 << 4,
+  kArmor = 1 << 5,
+  kWeapon = 1 << 6,
+  kAmmo = 1 << 7,
+  kFlags = 1 << 8,
+  kFrags = 1 << 9,
+};
+
+std::int32_t quant_pos(double v) { return static_cast<std::int32_t>(std::lround(v * 8.0)); }
+double dequant_pos(std::int32_t q) { return static_cast<double>(q) / 8.0; }
+std::int32_t quant_ang(double v) { return static_cast<std::int32_t>(std::lround(v * 10000.0)); }
+double dequant_ang(std::int32_t q) { return static_cast<double>(q) / 10000.0; }
+
+// Zigzag mapping so small signed differences become small varints.
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+bool same_vec_q(const Vec3& a, const Vec3& b) {
+  return quant_pos(a.x) == quant_pos(b.x) && quant_pos(a.y) == quant_pos(b.y) &&
+         quant_pos(a.z) == quant_pos(b.z);
+}
+
+// Vectors are written as zigzag-varint differences of the quantized values
+// against the baseline — a few bytes for frame-to-frame motion instead of
+// 12 (paper §II-A: updates show high temporal similarity).
+void write_vec_q(ByteWriter& w, const Vec3& prev, const Vec3& v) {
+  w.varint(zigzag(quant_pos(v.x) - quant_pos(prev.x)));
+  w.varint(zigzag(quant_pos(v.y) - quant_pos(prev.y)));
+  w.varint(zigzag(quant_pos(v.z) - quant_pos(prev.z)));
+}
+
+Vec3 read_vec_q(ByteReader& r, const Vec3& prev) {
+  const double x = dequant_pos(
+      quant_pos(prev.x) + static_cast<std::int32_t>(unzigzag(r.varint())));
+  const double y = dequant_pos(
+      quant_pos(prev.y) + static_cast<std::int32_t>(unzigzag(r.varint())));
+  const double z = dequant_pos(
+      quant_pos(prev.z) + static_cast<std::int32_t>(unzigzag(r.varint())));
+  return {x, y, z};
+}
+
+std::uint8_t flags_of(const game::AvatarState& a) {
+  return static_cast<std::uint8_t>((a.alive ? 1 : 0) | (a.has_quad ? 2 : 0));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_delta(const game::AvatarState& prev,
+                                       const game::AvatarState& cur) {
+  std::uint16_t mask = 0;
+  if (!same_vec_q(prev.pos, cur.pos)) mask |= kPos;
+  if (!same_vec_q(prev.vel, cur.vel)) mask |= kVel;
+  if (quant_ang(prev.yaw) != quant_ang(cur.yaw)) mask |= kYaw;
+  if (quant_ang(prev.pitch) != quant_ang(cur.pitch)) mask |= kPitch;
+  if (prev.health != cur.health) mask |= kHealth;
+  if (prev.armor != cur.armor) mask |= kArmor;
+  if (prev.weapon != cur.weapon) mask |= kWeapon;
+  if (prev.ammo != cur.ammo) mask |= kAmmo;
+  if (flags_of(prev) != flags_of(cur)) mask |= kFlags;
+  if (prev.frags != cur.frags) mask |= kFrags;
+
+  ByteWriter w;
+  w.u16(mask);
+  if (mask & kPos) write_vec_q(w, prev.pos, cur.pos);
+  if (mask & kVel) write_vec_q(w, prev.vel, cur.vel);
+  if (mask & kYaw) w.varint(zigzag(quant_ang(cur.yaw) - quant_ang(prev.yaw)));
+  if (mask & kPitch) {
+    w.varint(zigzag(quant_ang(cur.pitch) - quant_ang(prev.pitch)));
+  }
+  if (mask & kHealth) w.varint(zigzag(cur.health - prev.health));
+  if (mask & kArmor) w.varint(zigzag(cur.armor - prev.armor));
+  if (mask & kWeapon) w.u8(static_cast<std::uint8_t>(cur.weapon));
+  if (mask & kAmmo) w.varint(zigzag(cur.ammo - prev.ammo));
+  if (mask & kFlags) w.u8(flags_of(cur));
+  if (mask & kFrags) w.varint(zigzag(cur.frags - prev.frags));
+  return w.take();
+}
+
+game::AvatarState decode_delta(const game::AvatarState& prev,
+                               std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  game::AvatarState cur = prev;
+  const std::uint16_t mask = r.u16();
+  if (mask & kPos) cur.pos = read_vec_q(r, prev.pos);
+  if (mask & kVel) cur.vel = read_vec_q(r, prev.vel);
+  if (mask & kYaw) {
+    cur.yaw = dequant_ang(quant_ang(prev.yaw) +
+                          static_cast<std::int32_t>(unzigzag(r.varint())));
+  }
+  if (mask & kPitch) {
+    cur.pitch = dequant_ang(quant_ang(prev.pitch) +
+                            static_cast<std::int32_t>(unzigzag(r.varint())));
+  }
+  if (mask & kHealth) {
+    cur.health = prev.health + static_cast<std::int32_t>(unzigzag(r.varint()));
+  }
+  if (mask & kArmor) {
+    cur.armor = prev.armor + static_cast<std::int32_t>(unzigzag(r.varint()));
+  }
+  if (mask & kWeapon) cur.weapon = static_cast<game::WeaponKind>(r.u8());
+  if (mask & kAmmo) {
+    cur.ammo = prev.ammo + static_cast<std::int32_t>(unzigzag(r.varint()));
+  }
+  if (mask & kFlags) {
+    const std::uint8_t f = r.u8();
+    cur.alive = f & 1;
+    cur.has_quad = f & 2;
+  }
+  if (mask & kFrags) {
+    cur.frags = prev.frags + static_cast<std::int32_t>(unzigzag(r.varint()));
+  }
+  return cur;
+}
+
+}  // namespace watchmen::interest

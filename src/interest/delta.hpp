@@ -1,0 +1,35 @@
+#pragma once
+// Delta coding of state updates (paper §II-A: consecutive updates show high
+// temporal similarity and are delta-coded, only carrying differences).
+//
+// Encoding: a field bitmask followed by only the changed fields, with
+// positions quantized to 1/8 unit and angles to ~0.0001 rad — the same
+// trick Quake III's snapshot encoding uses. A full (non-delta) encoding is
+// the delta against a default-constructed baseline.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "game/avatar.hpp"
+#include "util/bytes.hpp"
+
+namespace watchmen::interest {
+
+/// Serializes `cur` as a delta against `prev`.
+std::vector<std::uint8_t> encode_delta(const game::AvatarState& prev,
+                                       const game::AvatarState& cur);
+
+/// Reconstructs the state from a delta and its baseline.
+game::AvatarState decode_delta(const game::AvatarState& prev,
+                               std::span<const std::uint8_t> bytes);
+
+/// Full encoding (baseline = default AvatarState).
+inline std::vector<std::uint8_t> encode_full(const game::AvatarState& cur) {
+  return encode_delta(game::AvatarState{}, cur);
+}
+inline game::AvatarState decode_full(std::span<const std::uint8_t> bytes) {
+  return decode_delta(game::AvatarState{}, bytes);
+}
+
+}  // namespace watchmen::interest

@@ -1,0 +1,77 @@
+#include "interest/sets.hpp"
+
+#include <algorithm>
+
+namespace watchmen::interest {
+
+const char* to_string(SetKind k) {
+  switch (k) {
+    case SetKind::kInterest: return "interest";
+    case SetKind::kVision: return "vision";
+    case SetKind::kOther: return "other";
+  }
+  return "?";
+}
+
+SetKind PlayerSets::classify(PlayerId p) const {
+  if (in_interest(p)) return SetKind::kInterest;
+  if (in_vision(p)) return SetKind::kVision;
+  return SetKind::kOther;
+}
+
+bool PlayerSets::in_interest(PlayerId p) const {
+  return std::find(interest.begin(), interest.end(), p) != interest.end();
+}
+
+bool PlayerSets::in_vision(PlayerId p) const {
+  return std::find(vision.begin(), vision.end(), p) != vision.end();
+}
+
+PlayerSets compute_sets(PlayerId self, std::span<const game::AvatarState> avatars,
+                        const game::GameMap& map, Frame now,
+                        const InteractionFn& last_interaction,
+                        const InterestConfig& cfg, const PlayerSets* prev) {
+  PlayerSets sets;
+  const game::AvatarState& me = avatars[self];
+  if (!me.alive) return sets;
+
+  struct Scored {
+    PlayerId id;
+    double attention;
+  };
+  std::vector<Scored> visible;
+
+  // Current IS members get boundary stickiness: a slightly relaxed cone
+  // (and an attention boost below), so aim jitter at the cone edge does not
+  // flap the membership every frame.
+  VisionConfig sticky = cfg.vision;
+  sticky.half_angle += 0.15;
+  sticky.radius *= 1.1;
+
+  for (PlayerId q = 0; q < avatars.size(); ++q) {
+    if (q == self) continue;
+    const bool was_interest = prev && prev->in_interest(q);
+    if (!in_vision_set(me, avatars[q], map, was_interest ? sticky : cfg.vision)) {
+      continue;
+    }
+    const Frame li = last_interaction ? last_interaction(self, q) : Frame{-10000};
+    double a = attention_score(me, avatars[q], now, li, cfg.vision, cfg.attention);
+    if (was_interest) a *= cfg.is_hysteresis;
+    visible.push_back({q, a});
+  }
+
+  // Top-K by attention form the IS; stable deterministic tie-break on id.
+  std::sort(visible.begin(), visible.end(), [](const Scored& a, const Scored& b) {
+    return a.attention != b.attention ? a.attention > b.attention : a.id < b.id;
+  });
+
+  const std::size_t k = std::min(cfg.is_size, visible.size());
+  sets.interest.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) sets.interest.push_back(visible[i].id);
+  sets.vision.reserve(visible.size() - k);
+  for (std::size_t i = k; i < visible.size(); ++i) sets.vision.push_back(visible[i].id);
+  std::sort(sets.vision.begin(), sets.vision.end());
+  return sets;
+}
+
+}  // namespace watchmen::interest

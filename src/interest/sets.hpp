@@ -1,0 +1,60 @@
+#pragma once
+// Player-set partitioning: Interest Set (top-K by attention inside the
+// vision set), Vision Set (visible but not interesting enough), Others
+// (everyone else). Paper, Section III-A.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "game/avatar.hpp"
+#include "game/map.hpp"
+#include "interest/attention.hpp"
+#include "interest/vision.hpp"
+#include "util/ids.hpp"
+
+namespace watchmen::interest {
+
+struct InterestConfig {
+  VisionConfig vision;
+  AttentionWeights attention;
+  std::size_t is_size = 5;  ///< paper: top-5 (limited human attention span)
+  /// Attention multiplier for current IS members (hysteresis). Stops the
+  /// top-K boundary from thrashing frame-to-frame on attention jitter; this
+  /// is what makes subscriber retention effective (§VI: ~88 % of the IS is
+  /// retained across a frame).
+  double is_hysteresis = 1.6;
+};
+
+/// The three subscription levels, ordered by information richness.
+enum class SetKind : std::uint8_t {
+  kInterest = 0,  ///< frequent full state updates (every frame)
+  kVision = 1,    ///< infrequent guidance / dead-reckoning messages (1/s)
+  kOther = 2,     ///< infrequent position-only updates (1/s)
+};
+
+const char* to_string(SetKind k);
+
+struct PlayerSets {
+  std::vector<PlayerId> interest;  ///< sorted by descending attention
+  std::vector<PlayerId> vision;    ///< VS minus IS (paper: IS removed from VS)
+
+  SetKind classify(PlayerId p) const;
+  bool in_interest(PlayerId p) const;
+  bool in_vision(PlayerId p) const;
+};
+
+/// Callback giving the frame of the last hit between a pair of players.
+using InteractionFn = std::function<Frame(PlayerId, PlayerId)>;
+
+/// Computes the sets for `self` over a snapshot of all avatars.
+/// Dead observers get empty sets (nothing to render); dead targets are
+/// always "other". Pass the previous frame's sets via `prev` to apply IS
+/// hysteresis (recommended when calling frame-by-frame).
+PlayerSets compute_sets(PlayerId self, std::span<const game::AvatarState> avatars,
+                        const game::GameMap& map, Frame now,
+                        const InteractionFn& last_interaction,
+                        const InterestConfig& cfg,
+                        const PlayerSets* prev = nullptr);
+
+}  // namespace watchmen::interest

@@ -1,0 +1,47 @@
+#include "interest/subscription.hpp"
+
+namespace watchmen::interest {
+
+void SubscriptionTable::subscribe(PlayerId subscriber, SetKind kind, Frame now) {
+  subs_[subscriber] = Subscription{kind, now + retention_};
+}
+
+void SubscriptionTable::unsubscribe(PlayerId subscriber) {
+  subs_.erase(subscriber);
+}
+
+void SubscriptionTable::expire(Frame now) {
+  std::erase_if(subs_, [now](const auto& kv) { return kv.second.expires < now; });
+}
+
+std::vector<PlayerId> SubscriptionTable::subscribers(SetKind kind,
+                                                     Frame now) const {
+  std::vector<PlayerId> out;
+  for (const auto& [who, sub] : subs_) {
+    if (sub.kind == kind && sub.expires >= now) out.push_back(who);
+  }
+  return out;
+}
+
+SetKind SubscriptionTable::level_of(PlayerId subscriber, Frame now) const {
+  const auto it = subs_.find(subscriber);
+  if (it == subs_.end() || it->second.expires < now) return SetKind::kOther;
+  return it->second.kind;
+}
+
+std::vector<std::pair<PlayerId, Subscription>> SubscriptionTable::snapshot(
+    Frame now) const {
+  std::vector<std::pair<PlayerId, Subscription>> out;
+  out.reserve(subs_.size());
+  for (const auto& [who, sub] : subs_) {
+    if (sub.expires >= now) out.emplace_back(who, sub);
+  }
+  return out;
+}
+
+void SubscriptionTable::install(
+    const std::vector<std::pair<PlayerId, Subscription>>& entries) {
+  for (const auto& [who, sub] : entries) subs_[who] = sub;
+}
+
+}  // namespace watchmen::interest

@@ -1,0 +1,59 @@
+#pragma once
+// Subscription table with retention timeouts (paper §VI, "Subscriber
+// retention": subscriptions are kept for a predetermined number of frames
+// so only *new* subscriptions are sent explicitly; ~50% of the IS changes
+// after 40 frames, which sets the default retention).
+//
+// A table lives at a player's proxy: it maps each subscriber to the level
+// of updates it should receive about the proxied player.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "interest/sets.hpp"
+#include "util/ids.hpp"
+
+namespace watchmen::interest {
+
+struct Subscription {
+  SetKind kind = SetKind::kOther;
+  Frame expires = 0;
+};
+
+class SubscriptionTable {
+ public:
+  explicit SubscriptionTable(Frame retention_frames = 40)
+      : retention_(retention_frames) {}
+
+  Frame retention() const { return retention_; }
+
+  /// Adds or refreshes a subscription; it lives until now + retention.
+  void subscribe(PlayerId subscriber, SetKind kind, Frame now);
+
+  /// Explicit unsubscribe (rarely needed thanks to the timeout mechanism).
+  void unsubscribe(PlayerId subscriber);
+
+  /// Drops expired entries.
+  void expire(Frame now);
+
+  /// Active subscribers of the given kind at `now` (expired entries skipped).
+  std::vector<PlayerId> subscribers(SetKind kind, Frame now) const;
+
+  /// The level `subscriber` currently holds, or kOther if none.
+  SetKind level_of(PlayerId subscriber, Frame now) const;
+
+  std::size_t size() const { return subs_.size(); }
+
+  /// All live (subscriber, subscription) pairs — used by the handoff.
+  std::vector<std::pair<PlayerId, Subscription>> snapshot(Frame now) const;
+
+  /// Bulk-install entries (used when a new proxy receives the handoff).
+  void install(const std::vector<std::pair<PlayerId, Subscription>>& entries);
+
+ private:
+  Frame retention_;
+  std::unordered_map<PlayerId, Subscription> subs_;
+};
+
+}  // namespace watchmen::interest

@@ -1,0 +1,42 @@
+#include "interest/vision.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace watchmen::interest {
+
+bool in_vision_cone(const game::AvatarState& observer, const Vec3& target,
+                    const VisionConfig& cfg) {
+  const Vec3 to_target = target - observer.eye();
+  const double d = to_target.norm();
+  if (d > cfg.radius) return false;
+  if (d < 1e-9) return true;
+  return angle_between(observer.aim_dir(), to_target) <= cfg.half_angle;
+}
+
+bool in_vision_set(const game::AvatarState& observer,
+                   const game::AvatarState& target, const game::GameMap& map,
+                   const VisionConfig& cfg) {
+  if (!target.alive) return false;
+  if (!in_vision_cone(observer, target.eye(), cfg)) return false;
+  if (cfg.use_occlusion && !map.visible(observer.eye(), target.eye())) return false;
+  return true;
+}
+
+double cone_deviation(const game::AvatarState& observer, const Vec3& target,
+                      const VisionConfig& cfg) {
+  const Vec3 to_target = target - observer.eye();
+  const double d = to_target.norm();
+  if (d < 1e-9) return 0.0;
+
+  // Radial excess beyond the cone radius.
+  const double radial = std::max(0.0, d - cfg.radius);
+  // Angular excess converted to an arc-length-like distance at the target's
+  // range, so radial and angular deviations are commensurable.
+  const double ang =
+      std::max(0.0, angle_between(observer.aim_dir(), to_target) - cfg.half_angle);
+  const double angular = ang * std::min(d, cfg.radius);
+  return std::hypot(radial, angular);
+}
+
+}  // namespace watchmen::interest

@@ -1,0 +1,23 @@
+#pragma once
+// Simulated clock. The game advances in 50 ms frames; the network delivers
+// messages at millisecond granularity in between.
+
+#include "util/ids.hpp"
+
+namespace watchmen::net {
+
+class SimClock {
+ public:
+  TimeMs now() const { return now_ms_; }
+  Frame frame() const { return frame_of(now_ms_); }
+
+  void advance_to(TimeMs t) {
+    if (t > now_ms_) now_ms_ = t;
+  }
+  void advance_by(TimeMs dt) { now_ms_ += dt; }
+
+ private:
+  TimeMs now_ms_ = 0;
+};
+
+}  // namespace watchmen::net

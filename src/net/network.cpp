@@ -1,0 +1,87 @@
+#include "net/network.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace watchmen::net {
+
+SimNetwork::SimNetwork(std::size_t n_nodes,
+                       std::unique_ptr<LatencyModel> latency, double loss_rate,
+                       std::uint64_t seed)
+    : latency_(std::move(latency)),
+      loss_rate_(loss_rate),
+      rng_(substream_seed(seed, 0x6e657477ULL)),
+      handlers_(n_nodes),
+      upload_bps_(n_nodes, 0.0),
+      upload_free_at_(n_nodes, 0.0),
+      node_bits_(n_nodes, 0) {
+  if (!latency_) throw std::invalid_argument("SimNetwork: null latency model");
+}
+
+void SimNetwork::set_handler(PlayerId node, Handler handler) {
+  handlers_.at(node) = std::move(handler);
+}
+
+void SimNetwork::set_upload_bps(PlayerId node, double bps) {
+  upload_bps_.at(node) = bps;
+}
+
+bool SimNetwork::send(PlayerId from, PlayerId to,
+                      std::shared_ptr<const std::vector<std::uint8_t>> payload,
+                      std::size_t payload_bits) {
+  if (from >= handlers_.size() || to >= handlers_.size()) {
+    throw std::out_of_range("SimNetwork::send: bad node id");
+  }
+  if (payload_bits == 0 && payload) payload_bits = payload->size() * 8;
+  const std::size_t wire_bits = payload_bits + kUdpOverheadBits;
+
+  ++stats_.sent;
+  stats_.bits_sent += wire_bits;
+  node_bits_[from] += wire_bits;
+
+  // Upload serialization delay: the datagram leaves once the sender's link
+  // has drained everything queued before it.
+  const auto now = static_cast<double>(clock_.now());
+  double departure = now;
+  if (upload_bps_[from] > 0.0) {
+    const double tx_ms = static_cast<double>(wire_bits) / upload_bps_[from] * 1000.0;
+    departure = std::max(now, upload_free_at_[from]) + tx_ms;
+    upload_free_at_[from] = departure;
+  }
+
+  if (rng_.chance(loss_rate_)) {
+    ++stats_.dropped;
+    return false;
+  }
+
+  const double delay = from == to ? 0.0 : latency_->sample(from, to, rng_);
+  const auto due = static_cast<TimeMs>(std::ceil(departure + delay));
+
+  Envelope env;
+  env.from = from;
+  env.to = to;
+  env.sent_at = clock_.now();
+  env.delivered_at = due;
+  env.wire_bits = wire_bits;
+  env.payload = std::move(payload);
+  queue_.push(Pending{due, seq_++, std::move(env)});
+  return true;
+}
+
+void SimNetwork::run_until(TimeMs t) {
+  while (!queue_.empty() && queue_.top().due <= t) {
+    Pending p = queue_.top();
+    queue_.pop();
+    clock_.advance_to(p.due);
+    ++stats_.delivered;
+    auto& handler = handlers_[p.env.to];
+    if (handler) handler(p.env);
+  }
+  clock_.advance_to(t);
+}
+
+void SimNetwork::reset_bit_counters() {
+  for (auto& b : node_bits_) b = 0;
+}
+
+}  // namespace watchmen::net

@@ -1,0 +1,112 @@
+#pragma once
+// Discrete-event simulated network.
+//
+// Models what the experiments need from UDP over the Internet:
+//  * pairwise one-way latency from a LatencyModel,
+//  * i.i.d. message loss (paper simulates 1 %),
+//  * per-node upload serialization: each node drains an upload queue at its
+//    configured upload rate, so over-budget senders see queueing delay —
+//    this is what makes bandwidth a real constraint in the scaling bench.
+//
+// Payloads are shared between multicast recipients; `wire_bits` is the
+// modelled on-the-wire size (payload + UDP/IP overhead), used both for the
+// bandwidth meter and the serialization delay.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "net/clock.hpp"
+#include "net/latency.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace watchmen::net {
+
+struct Envelope {
+  PlayerId from = kInvalidPlayer;
+  PlayerId to = kInvalidPlayer;
+  TimeMs sent_at = 0;      ///< when the application handed it to the stack
+  TimeMs delivered_at = 0; ///< when the receiver's handler runs
+  std::size_t wire_bits = 0;
+  std::shared_ptr<const std::vector<std::uint8_t>> payload;
+
+  std::span<const std::uint8_t> bytes() const {
+    return payload ? std::span<const std::uint8_t>(*payload)
+                   : std::span<const std::uint8_t>{};
+  }
+};
+
+struct NetStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t bits_sent = 0;
+};
+
+/// Per-UDP-datagram overhead we model: 28 bytes of IP+UDP headers.
+constexpr std::size_t kUdpOverheadBits = 28 * 8;
+
+class SimNetwork {
+ public:
+  using Handler = std::function<void(const Envelope&)>;
+
+  /// @param loss_rate   i.i.d. drop probability per message
+  SimNetwork(std::size_t n_nodes, std::unique_ptr<LatencyModel> latency,
+             double loss_rate, std::uint64_t seed);
+
+  SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
+  std::size_t size() const { return handlers_.size(); }
+
+  void set_handler(PlayerId node, Handler handler);
+
+  /// Per-node upload rate in bits/s; 0 means unconstrained (default).
+  void set_upload_bps(PlayerId node, double bps);
+
+  /// Queues a message. `payload_bits` defaults to 8*payload.size(); UDP/IP
+  /// overhead is added on top. Returns false if dropped at send time.
+  bool send(PlayerId from, PlayerId to,
+            std::shared_ptr<const std::vector<std::uint8_t>> payload,
+            std::size_t payload_bits = 0);
+
+  bool send(PlayerId from, PlayerId to, std::vector<std::uint8_t> payload) {
+    return send(from, to,
+                std::make_shared<const std::vector<std::uint8_t>>(std::move(payload)));
+  }
+
+  /// Delivers all messages due up to and including time t, advancing the clock.
+  void run_until(TimeMs t);
+
+  const NetStats& stats() const { return stats_; }
+  std::uint64_t bits_sent_by(PlayerId node) const { return node_bits_.at(node); }
+  /// Resets the per-node bit counters (e.g. at a measurement-window boundary).
+  void reset_bit_counters();
+
+ private:
+  struct Pending {
+    TimeMs due;
+    std::uint64_t seq;  // FIFO tie-break
+    Envelope env;
+    bool operator>(const Pending& o) const {
+      return due != o.due ? due > o.due : seq > o.seq;
+    }
+  };
+
+  SimClock clock_;
+  std::unique_ptr<LatencyModel> latency_;
+  double loss_rate_;
+  Rng rng_;
+  std::vector<Handler> handlers_;
+  std::vector<double> upload_bps_;
+  std::vector<double> upload_free_at_;  // per-node queue drain time (ms)
+  std::vector<std::uint64_t> node_bits_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue_;
+  std::uint64_t seq_ = 0;
+  NetStats stats_;
+};
+
+}  // namespace watchmen::net

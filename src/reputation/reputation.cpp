@@ -1,0 +1,54 @@
+#include "reputation/reputation.hpp"
+
+#include <algorithm>
+
+namespace watchmen::reputation {
+
+ReputationSystem::ReputationSystem(std::size_t n_players, ReputationConfig cfg)
+    : cfg_(cfg), tallies_(n_players) {}
+
+void ReputationSystem::report(PlayerId reporter, PlayerId subject, bool success,
+                              double confidence) {
+  if (subject >= tallies_.size() || reporter >= tallies_.size()) return;
+  if (reporter == subject) return;  // self-reports carry no weight
+
+  double w = std::clamp(confidence, 0.0, 1.0);
+  if (cfg_.credibility_weighting) {
+    // A reporter's word is worth its own standing: a near-banned cheater
+    // cannot effectively bad-mouth honest players.
+    w *= reputation(reporter);
+  }
+  Tally& t = tallies_[subject];
+  (success ? t.good : t.bad) += w;
+}
+
+double ReputationSystem::reputation(PlayerId subject) const {
+  const Tally& t = tallies_.at(subject);
+  const double total = t.good + t.bad;
+  if (total <= 0.0) return 1.0;
+  return t.good / total;
+}
+
+bool ReputationSystem::should_ban(PlayerId subject) const {
+  const Tally& t = tallies_.at(subject);
+  if (t.good + t.bad < cfg_.min_interactions) return false;
+  return reputation(subject) < cfg_.ban_threshold;
+}
+
+std::vector<PlayerId> ReputationSystem::banned() const {
+  std::vector<PlayerId> out;
+  for (PlayerId p = 0; p < tallies_.size(); ++p) {
+    if (should_ban(p)) out.push_back(p);
+  }
+  std::sort(out.begin(), out.end(), [this](PlayerId a, PlayerId b) {
+    return reputation(a) < reputation(b);
+  });
+  return out;
+}
+
+double ReputationSystem::total_weight(PlayerId subject) const {
+  const Tally& t = tallies_.at(subject);
+  return t.good + t.bad;
+}
+
+}  // namespace watchmen::reputation

@@ -1,0 +1,58 @@
+#pragma once
+// Reputation & punishment (paper §V-B).
+//
+// Players tag interactions with other players as successful (no cheat
+// detected) or failed; the reputation system bans a player when his
+// proportion of acceptable interactions drops below a threshold chosen from
+// the detector's success/false-positive rates. Reports are weighted by the
+// reporter's confidence and by the reporter's own credibility (their
+// current reputation), which damps bad-mouthing by cheaters — the simple
+// form of the robustness refinements the paper cites [20].
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace watchmen::reputation {
+
+struct ReputationConfig {
+  /// Ban when the credibility-weighted acceptable ratio drops below this.
+  double ban_threshold = 0.8;
+  /// Don't ban before this many weighted interactions (FP protection).
+  double min_interactions = 20.0;
+  /// Use reporter credibility weighting (bad-mouthing damping).
+  bool credibility_weighting = true;
+};
+
+class ReputationSystem {
+ public:
+  ReputationSystem(std::size_t n_players, ReputationConfig cfg = {});
+
+  /// Records an interaction tag. `confidence` in (0,1] scales the report
+  /// weight (e.g. the verifier's vantage confidence).
+  void report(PlayerId reporter, PlayerId subject, bool success,
+              double confidence = 1.0);
+
+  /// Weighted acceptable-interaction ratio in [0,1]; players with no
+  /// reports have perfect reputation (1.0).
+  double reputation(PlayerId subject) const;
+
+  bool should_ban(PlayerId subject) const;
+
+  /// Players currently over the ban line, sorted ascending by reputation.
+  std::vector<PlayerId> banned() const;
+
+  double total_weight(PlayerId subject) const;
+
+ private:
+  struct Tally {
+    double good = 0.0;
+    double bad = 0.0;
+  };
+
+  ReputationConfig cfg_;
+  std::vector<Tally> tallies_;
+};
+
+}  // namespace watchmen::reputation

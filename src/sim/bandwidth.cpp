@@ -1,0 +1,160 @@
+#include "sim/bandwidth.hpp"
+
+#include <algorithm>
+
+#include "core/messages.hpp"
+#include "net/network.hpp"
+
+namespace watchmen::sim {
+
+namespace {
+constexpr double kUpdatesPerSecond = 1000.0 / static_cast<double>(kFrameMs);  // 20
+constexpr double kInfrequentPerSecond =
+    kUpdatesPerSecond / static_cast<double>(interest::kGuidancePeriodFrames);  // 1
+}  // namespace
+
+WireSizes WireSizes::measure() {
+  const crypto::KeyRegistry keys(1, 2);
+  core::MsgHeader h;
+  h.origin = 0;
+  h.subject = 1;
+  h.frame = 1 << 20;
+  h.seq = 12345;
+
+  game::AvatarState s;
+  s.pos = {1024.125, 512.5, 96};
+  s.vel = {320, -100, 12};
+  s.yaw = 1.5;
+  s.pitch = -0.2;
+  s.health = 92;
+  s.armor = 50;
+  s.ammo = 77;
+  s.frags = 3;
+
+  WireSizes w;
+  const double overhead = static_cast<double>(net::kUdpOverheadBits);
+  w.state_update =
+      static_cast<double>(
+          core::seal(h, core::encode_state_body(s), keys.key_pair(0)).size()) * 8 +
+      overhead;
+  w.position_update =
+      static_cast<double>(
+          core::seal(h, core::encode_position_body(s.pos), keys.key_pair(0)).size()) * 8 +
+      overhead;
+  const interest::Guidance g = interest::make_guidance(s, 100, 2);
+  w.guidance =
+      static_cast<double>(
+          core::seal(h, core::encode_guidance_body(g), keys.key_pair(0)).size()) * 8 +
+      overhead;
+  w.subscribe =
+      static_cast<double>(
+          core::seal(h, core::encode_subscribe_body(interest::SetKind::kInterest),
+                     keys.key_pair(0)).size()) * 8 +
+      overhead;
+  w.state_payload = static_cast<double>(core::encode_state_body(s).size()) * 8;
+  w.snapshot_overhead = 22 * 8 + overhead;  // header + UDP/IP, no signature
+  return w;
+}
+
+SetSizeStats measure_set_sizes(const game::GameTrace& trace,
+                               const game::GameMap& map,
+                               const interest::InterestConfig& cfg,
+                               std::size_t stride) {
+  SetSizeStats out;
+  const std::size_t n = trace.n_players;
+  game::TraceReplayer rep(trace);
+  std::size_t samples = 0;
+  double is_acc = 0.0, vs_acc = 0.0, pvs_acc = 0.0;
+
+  for (std::size_t fi = 0; fi < trace.num_frames(); fi += stride) {
+    rep.seek(fi);
+    const game::TraceFrame& tf = trace.frames[fi];
+    for (PlayerId p = 0; p < n; ++p) {
+      const interest::PlayerSets sets = interest::compute_sets(
+          p, tf.avatars, map, static_cast<Frame>(fi),
+          [&](PlayerId a, PlayerId b) { return rep.last_interaction(a, b); },
+          cfg);
+      is_acc += static_cast<double>(sets.interest.size());
+      vs_acc += static_cast<double>(sets.vision.size());
+      std::size_t pvs = 0;
+      for (PlayerId q = 0; q < n; ++q) {
+        if (q != p && tf.avatars[p].alive && tf.avatars[q].alive &&
+            map.visible(tf.avatars[p].eye(), tf.avatars[q].eye())) {
+          ++pvs;
+        }
+      }
+      pvs_acc += static_cast<double>(pvs);
+      ++samples;
+    }
+  }
+  if (samples > 0 && n > 1) {
+    const double denom = static_cast<double>(samples) * static_cast<double>(n - 1);
+    out.avg_is = is_acc / static_cast<double>(samples);
+    out.vs_fraction = vs_acc / denom;
+    out.pvs_fraction = pvs_acc / denom;
+  }
+  return out;
+}
+
+double watchmen_upload_kbps(std::size_t n, const SetSizeStats& s,
+                            const WireSizes& w) {
+  const double others = static_cast<double>(n - 1);
+  const double is = s.avg_is;  // already bounded by the configured K
+  const double vs = s.vs_fraction * others;
+  const double other_count = std::max(0.0, others - is - vs);
+
+  // As a player: everything goes through the proxy once.
+  const double player = kUpdatesPerSecond * w.state_update +
+                        kInfrequentPerSecond * (w.guidance + w.position_update) +
+                        kInfrequentPerSecond * (is + vs) * w.subscribe;
+
+  // As a proxy (for one player on average): fan updates out to subscribers.
+  const double proxy = kUpdatesPerSecond * is * w.state_update +
+                       kInfrequentPerSecond * vs * w.guidance +
+                       kInfrequentPerSecond * other_count * w.position_update +
+                       kInfrequentPerSecond * (is + vs) * w.subscribe;
+
+  return (player + proxy) / 1000.0;
+}
+
+double donnybrook_upload_kbps(std::size_t n, const SetSizeStats& s,
+                              const WireSizes& w) {
+  // Frequent updates to the interest set, dead reckoning to everyone else,
+  // all sent directly by the player (no forwarders modelled).
+  const double others = static_cast<double>(n - 1);
+  const double is = s.avg_is;
+  return (kUpdatesPerSecond * is * w.state_update +
+          kInfrequentPerSecond * (others - is) * w.guidance) /
+         1000.0;
+}
+
+double naive_p2p_upload_kbps(std::size_t n, const WireSizes& w) {
+  return kUpdatesPerSecond * static_cast<double>(n - 1) * w.state_update / 1000.0;
+}
+
+double client_server_server_kbps(std::size_t n, const SetSizeStats& s,
+                                 const WireSizes& w) {
+  // The server aggregates each client's frame into ONE snapshot packet
+  // carrying the payloads of every PVS-visible entity (Quake's actual
+  // encoding) — which is what yields the paper's ~120·n kbps figure.
+  const double entities = s.pvs_fraction * static_cast<double>(n - 1);
+  const double per_client =
+      kUpdatesPerSecond * (w.snapshot_overhead + entities * w.state_payload);
+  return static_cast<double>(n) * per_client / 1000.0;
+}
+
+double watchmen_measured_kbps(const game::GameTrace& trace,
+                              const game::GameMap& map,
+                              core::SessionOptions opts) {
+  core::WatchmenSession session(trace, map, opts);
+  session.run();
+  const double seconds = static_cast<double>(trace.num_frames()) *
+                         static_cast<double>(kFrameMs) / 1000.0;
+  double total_bits = 0.0;
+  for (PlayerId p = 0; p < trace.n_players; ++p) {
+    total_bits += static_cast<double>(session.network().bits_sent_by(p));
+  }
+  return total_bits / seconds / static_cast<double>(trace.n_players) / 1000.0;
+}
+
+}  // namespace watchmen::sim

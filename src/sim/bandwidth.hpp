@@ -1,0 +1,64 @@
+#pragma once
+// Bandwidth accounting (paper §II-A and §VI): per-player upload for each
+// architecture, both measured from the packet-level simulation (Watchmen)
+// and from an analytic model parameterized by the set sizes observed in a
+// real trace. Centralized Quake III is ~120·n kbps at the server; a naive
+// P2P design grows quadratically in total.
+
+#include <cstddef>
+
+#include "core/session.hpp"
+#include "game/trace.hpp"
+#include "interest/sets.hpp"
+
+namespace watchmen::sim {
+
+/// Per-message wire sizes (bits, including UDP/IP overhead), computed from
+/// the actual encoders so the model matches the packet simulation.
+struct WireSizes {
+  double state_update = 0.0;
+  double position_update = 0.0;
+  double guidance = 0.0;
+  double subscribe = 0.0;
+  /// State payload alone (no envelope) — the per-entity cost inside an
+  /// aggregated client/server snapshot packet.
+  double state_payload = 0.0;
+  /// Header + UDP/IP without a signature — the per-packet cost of a
+  /// trusted server's snapshot.
+  double snapshot_overhead = 0.0;
+
+  static WireSizes measure();
+};
+
+/// Interest-set statistics from a trace. IS is capped by design; VS and PVS
+/// scale with player density, so we keep them as fractions of (n-1) for
+/// extrapolation to other player counts.
+struct SetSizeStats {
+  double avg_is = 0.0;        ///< average IS size (<= 5)
+  double vs_fraction = 0.0;   ///< average |VS| / (n-1)
+  double pvs_fraction = 0.0;  ///< average PVS visibility fraction
+};
+
+SetSizeStats measure_set_sizes(const game::GameTrace& trace,
+                               const game::GameMap& map,
+                               const interest::InterestConfig& cfg,
+                               std::size_t stride = 20);
+
+/// Analytic per-player upload (kbps) under each architecture, at `n`
+/// players, extrapolating the trace-measured set sizes.
+double watchmen_upload_kbps(std::size_t n, const SetSizeStats& s,
+                            const WireSizes& w);
+double donnybrook_upload_kbps(std::size_t n, const SetSizeStats& s,
+                              const WireSizes& w);
+double naive_p2p_upload_kbps(std::size_t n, const WireSizes& w);
+/// Client/server: the *server's* upload (players upload only their inputs).
+double client_server_server_kbps(std::size_t n, const SetSizeStats& s,
+                                 const WireSizes& w);
+
+/// Measured average per-player upload (kbps) from a full packet-level
+/// Watchmen session over the trace.
+double watchmen_measured_kbps(const game::GameTrace& trace,
+                              const game::GameMap& map,
+                              core::SessionOptions opts);
+
+}  // namespace watchmen::sim

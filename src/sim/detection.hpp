@@ -1,0 +1,70 @@
+#pragma once
+// Fig. 6 harness: effectiveness of the verification mechanisms.
+//
+// Methodology (paper §VII, "Effectiveness of Verifications"): a cheater
+// sends up to 10 % invalid messages; we measure the overall success ratio —
+// a high-confidence detection by at least one honest player — for each
+// verification type, with thresholds calibrated on honest traffic so false
+// positives stay under 5 %.
+
+#include <cstdint>
+
+#include "cheat/cheats.hpp"
+#include "core/session.hpp"
+#include "game/trace.hpp"
+#include "verify/checks.hpp"
+
+namespace watchmen::sim {
+
+/// The verification mechanisms evaluated in Fig. 6 (plus extras for the
+/// Table I bench).
+enum class Verification : std::uint8_t {
+  kPosition = 0,
+  kKill = 1,
+  kGuidance = 2,
+  kISSub = 3,
+  kVSSub = 4,
+};
+constexpr int kNumVerifications = 5;
+
+const char* to_string(Verification v);
+
+struct DetectionConfig {
+  core::SessionOptions session;
+  double cheat_rate = 0.10;  ///< probability a given message is invalid
+  PlayerId cheater = 0;
+  std::uint64_t seed = 4242;
+  /// Report frames within this distance of an injected cheat frame count as
+  /// detecting that injection.
+  Frame match_window = 3;
+};
+
+struct DetectionOutcome {
+  std::size_t injected = 0;         ///< cheat messages actually sent
+  std::size_t detected = 0;         ///< ... that drew a high-confidence report
+  std::size_t honest_messages = 0;  ///< same-type honest messages in the run
+  std::size_t false_positives = 0;  ///< high-confidence reports vs honest players
+
+  double success() const {
+    return injected == 0 ? 0.0
+                         : static_cast<double>(detected) / static_cast<double>(injected);
+  }
+  double fp_rate() const {
+    return honest_messages == 0 ? 0.0
+                                : static_cast<double>(false_positives) /
+                                      static_cast<double>(honest_messages);
+  }
+};
+
+/// Learns the honest guidance-deviation tolerance (ā + σ_a, §V-A) by
+/// replaying the trace with a zero tolerance and collecting the raw areas.
+verify::Tolerance calibrate_guidance_tolerance(const game::GameTrace& trace,
+                                               const game::GameMap& map,
+                                               core::SessionOptions opts);
+
+/// Runs the Fig. 6 experiment for one verification mechanism.
+DetectionOutcome run_detection(const game::GameTrace& trace,
+                               const game::GameMap& map, Verification v,
+                               const DetectionConfig& cfg);
+
+}  // namespace watchmen::sim

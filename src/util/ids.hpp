@@ -1,0 +1,25 @@
+#pragma once
+// Identifier types shared across modules.
+
+#include <cstdint>
+
+namespace watchmen {
+
+/// Player identifier: dense indices 0..n-1 within one game session.
+using PlayerId = std::uint32_t;
+
+constexpr PlayerId kInvalidPlayer = 0xffffffffu;
+
+/// Frame index within a session. Frames are 50 ms (Quake III).
+using Frame = std::int64_t;
+
+/// Simulated wall-clock time in milliseconds.
+using TimeMs = std::int64_t;
+
+/// Frame duration, Quake III server frame (paper, Section II-A).
+constexpr TimeMs kFrameMs = 50;
+
+constexpr Frame frame_of(TimeMs t) { return t / kFrameMs; }
+constexpr TimeMs time_of(Frame f) { return f * kFrameMs; }
+
+}  // namespace watchmen

@@ -1,0 +1,19 @@
+#include "util/stats.hpp"
+
+namespace watchmen {
+
+double gini(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto n = static_cast<double>(values.size());
+  double cum = 0.0;
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    cum += values[i];
+    weighted += static_cast<double>(i + 1) * values[i];
+  }
+  if (cum == 0.0) return 0.0;
+  return (2.0 * weighted) / (n * cum) - (n + 1.0) / n;
+}
+
+}  // namespace watchmen

@@ -1,0 +1,140 @@
+#pragma once
+// Streaming statistics and histograms used by the experiment harness.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace watchmen {
+
+/// Welford's online mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  void merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) { *this = o; return; }
+    const double delta = o.mean_ - mean_;
+    const auto n = static_cast<double>(n_), m = static_cast<double>(o.n_);
+    m2_ += o.m2_ + delta * delta * n * m / (n + m);
+    mean_ += delta * m / (n + m);
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    n_ += o.n_;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bin (so the total count is preserved).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {
+    if (bins == 0 || !(hi > lo)) throw std::invalid_argument("Histogram: bad range");
+  }
+
+  void add(double x, std::uint64_t weight = 1) {
+    const auto b = bin_of(x);
+    counts_[b] += weight;
+    total_ += weight;
+  }
+
+  std::size_t bin_of(double x) const {
+    if (x < lo_) return 0;
+    const double t = (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+    const auto b = static_cast<std::size_t>(t);
+    return std::min(b, counts_.size() - 1);
+  }
+
+  double bin_center(std::size_t b) const {
+    const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + (static_cast<double>(b) + 0.5) * w;
+  }
+
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t b) const { return counts_.at(b); }
+  std::uint64_t total() const { return total_; }
+  double fraction(std::size_t b) const {
+    return total_ == 0 ? 0.0 : static_cast<double>(counts_[b]) / static_cast<double>(total_);
+  }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Stores all samples; exact quantiles. Fine for experiment-sized data.
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); sorted_ = false; }
+  std::size_t count() const { return xs_.size(); }
+
+  double mean() const {
+    if (xs_.empty()) return 0.0;
+    return std::accumulate(xs_.begin(), xs_.end(), 0.0) / static_cast<double>(xs_.size());
+  }
+
+  double stddev() const {
+    if (xs_.size() < 2) return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (double x : xs_) acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs_.size() - 1));
+  }
+
+  /// Quantile q in [0,1] with linear interpolation.
+  double quantile(double q) const {
+    if (xs_.empty()) return 0.0;
+    sort();
+    const double pos = q * static_cast<double>(xs_.size() - 1);
+    const auto i = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(i);
+    if (i + 1 >= xs_.size()) return xs_.back();
+    return xs_[i] * (1.0 - frac) + xs_[i + 1] * frac;
+  }
+
+  const std::vector<double>& values() const { return xs_; }
+
+ private:
+  void sort() const {
+    if (!sorted_) {
+      std::sort(xs_.begin(), xs_.end());
+      sorted_ = true;
+    }
+  }
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+};
+
+/// Gini coefficient of a set of non-negative values (0 = perfectly even,
+/// 1 = fully concentrated). Used to quantify the Fig. 1 presence skew.
+double gini(std::vector<double> values);
+
+}  // namespace watchmen

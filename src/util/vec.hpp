@@ -1,0 +1,83 @@
+#pragma once
+// Small 3-D vector math used throughout the game simulation.
+//
+// Quake III uses a Z-up coordinate system with distances in "units"
+// (1 unit ~ 1 inch); we keep the same convention so that physics constants
+// (speeds, gravity) can be taken straight from the game.
+
+#include <cmath>
+#include <ostream>
+
+namespace watchmen {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  Vec3& operator*=(double s) { x *= s; y *= s; z *= s; return *this; }
+
+  constexpr bool operator==(const Vec3&) const = default;
+
+  constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const { return std::sqrt(dot(*this)); }
+  constexpr double norm2() const { return dot(*this); }
+
+  /// Unit vector in the same direction; the zero vector normalizes to zero.
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? *this / n : Vec3{};
+  }
+
+  double distance(const Vec3& o) const { return (*this - o).norm(); }
+  constexpr double distance2(const Vec3& o) const { return (*this - o).norm2(); }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+inline Vec3 lerp(const Vec3& a, const Vec3& b, double t) { return a + (b - a) * t; }
+
+/// Angle in radians between two (non-zero) vectors, in [0, pi].
+inline double angle_between(const Vec3& a, const Vec3& b) {
+  const double na = a.norm();
+  const double nb = b.norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  double c = a.dot(b) / (na * nb);
+  c = std::fmax(-1.0, std::fmin(1.0, c));
+  return std::acos(c);
+}
+
+/// Forward direction for yaw (radians, around +Z) and pitch (radians, +up).
+inline Vec3 direction_from_angles(double yaw, double pitch) {
+  const double cp = std::cos(pitch);
+  return {std::cos(yaw) * cp, std::sin(yaw) * cp, std::sin(pitch)};
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+/// Shortest-path angular difference wrapped to [-pi, pi].
+inline double wrap_angle(double a) {
+  constexpr double kTau = 6.283185307179586476925286766559;
+  a = std::fmod(a, kTau);
+  if (a > kTau / 2) a -= kTau;
+  if (a < -kTau / 2) a += kTau;
+  return a;
+}
+
+}  // namespace watchmen

@@ -1,0 +1,37 @@
+#pragma once
+// Tolerance calibration (paper §V-A): thresholds are not hard-coded; they
+// are learned from honest behaviour. For a deviation metric a, an action is
+// acceptable while a <= ā + σ_a, where ā and σ_a are the mean and standard
+// deviation observed for honest players — chosen "to keep the false
+// positive rate acceptable".
+
+#include <array>
+
+#include "util/stats.hpp"
+#include "verify/checks.hpp"
+#include "verify/report.hpp"
+
+namespace watchmen::verify {
+
+class Calibrator {
+ public:
+  /// Records a raw honest-behaviour metric (e.g. a guidance deviation area).
+  void observe(CheckType type, double metric) {
+    stats_[static_cast<std::size_t>(type)].add(metric);
+  }
+
+  std::size_t count(CheckType type) const {
+    return stats_[static_cast<std::size_t>(type)].count();
+  }
+
+  /// Tolerance = (mean, stddev) of the honest metric.
+  Tolerance tolerance(CheckType type) const {
+    const auto& st = stats_[static_cast<std::size_t>(type)];
+    return Tolerance{st.mean(), st.stddev()};
+  }
+
+ private:
+  std::array<RunningStats, kNumCheckTypes> stats_{};
+};
+
+}  // namespace watchmen::verify

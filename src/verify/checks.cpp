@@ -1,0 +1,213 @@
+#include "verify/checks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace watchmen::verify {
+
+CheckResult check_position(const Vec3& prev_pos, Frame prev_frame,
+                           const Vec3& cur_pos, Frame cur_frame,
+                           const game::GameMap* map,
+                           const game::PhysicsConstants& pc) {
+  CheckResult res;
+  const auto frames = static_cast<int>(std::max<Frame>(1, cur_frame - prev_frame));
+
+  // Respawn exemption: a move that lands (essentially) on a spawn spot is a
+  // legal teleport. Cheaters gain nothing from it — spawn spots are public
+  // and respawning costs a death.
+  if (map) {
+    for (const Vec3& spot : map->respawns()) {
+      if (std::hypot(cur_pos.x - spot.x, cur_pos.y - spot.y) < 80.0) {
+        return res;  // deviation 0, rating 1
+      }
+    }
+  }
+
+  const double dh = std::hypot(cur_pos.x - prev_pos.x, cur_pos.y - prev_pos.y);
+  const double dv = std::fabs(cur_pos.z - prev_pos.z);
+  const double legal_h = game::max_legal_horizontal(frames, pc);
+  const double legal_v = game::max_legal_vertical(frames, pc);
+  res.deviation = std::max(dh - legal_h, dv - legal_v);
+  // Rating saturates when the avatar moved ~3x the legal budget.
+  res.rating = rating_from_deviation(res.deviation, 2.0 * legal_h);
+  return res;
+}
+
+CheckResult check_guidance(const interest::Guidance& guidance,
+                           const std::vector<Vec3>& actual_path,
+                           Frame first_actual_frame, const Tolerance& tol) {
+  CheckResult res;
+  const double area =
+      interest::trajectory_deviation_area(guidance, actual_path, first_actual_frame);
+  // Paper: (a - (ā + σ_a)) < 0 is valid; everything above is suspected.
+  res.deviation = area - tol.threshold();
+  res.rating = rating_from_deviation(
+      res.deviation, std::max(tol.threshold() * 2.0, 4.0 * tol.stddev + 1e-9));
+  return res;
+}
+
+CheckResult check_kill(const KillClaimEvidence& e,
+                       const game::PhysicsConstants& pc) {
+  CheckResult res;
+  const game::WeaponSpec& spec = game::weapon_spec(e.weapon);
+
+  // 1. Distance plausibility: claimed distance must be within weapon reach
+  //    and consistent with the verifier's knowledge of the victim position,
+  //    allowing for the staleness of that knowledge.
+  double dev = 0.0;
+  if (spec.range > 0.0 && e.claimed_distance > spec.range) {
+    dev = std::max(dev, e.claimed_distance - spec.range);
+  }
+  const double known_distance = e.shooter_pos.distance(e.victim_pos);
+  const double staleness_slack =
+      game::max_legal_distance(
+          static_cast<int>(std::max<Frame>(1, e.victim_pos_age)), pc) +
+      game::max_legal_distance(
+          static_cast<int>(std::max<Frame>(1, e.shooter_pos_age)), pc) +
+      64.0;
+  dev = std::max(dev, std::fabs(known_distance - e.claimed_distance) -
+                          staleness_slack);
+
+  // 2. Refire rate: the shooter cannot claim a kill faster than the weapon
+  //    can fire (fast-rate on interactions).
+  const int refire = game::refire_frames(e.weapon);
+  if (e.frames_since_last_fire < refire) {
+    dev = std::max(
+        dev, 32.0 * static_cast<double>(refire - e.frames_since_last_fire));
+  }
+
+  // 3. Visibility: no line of sight to the claimed victim position is a
+  //    strong signal (shooting through walls) — but only for hitscan
+  //    weapons; projectiles kill around corners via splash legitimately.
+  if (!e.line_of_sight && spec.projectile_speed == 0.0) {
+    dev = std::max(dev, 512.0);
+  }
+
+  // 4. Ammo: claiming kills with an empty weapon.
+  if (e.shooter_ammo <= 0) dev = std::max(dev, 256.0);
+
+  // 5. IS residency: the paper observes that legitimate kills overwhelmingly
+  //    follow the target being in the attacker's IS for several frames; an
+  //    instant no-attention kill is weak evidence on its own, so it adds a
+  //    small deviation only when the kill also looks long-range.
+  if (e.frames_victim_in_shooter_is < 2 && e.claimed_distance > 1024.0) {
+    dev = std::max(dev, 96.0);
+  }
+
+  res.deviation = dev;
+  res.rating = rating_from_deviation(dev, 512.0);
+  return res;
+}
+
+CheckResult check_vs_subscription(const game::AvatarState& subscriber,
+                                  const Vec3& target_pos,
+                                  const interest::VisionConfig& vision,
+                                  double slack) {
+  CheckResult res;
+  const double dev = interest::cone_deviation(subscriber, target_pos, vision);
+  res.deviation = dev - slack;
+  // Sharp rating ramp: honest noise is absorbed by `slack`; a subscription
+  // a few hundred units outside the cone is already maximally suspicious.
+  res.rating = rating_from_deviation(res.deviation, vision.radius * 0.125);
+  return res;
+}
+
+CheckResult check_is_subscription(PlayerId subscriber, PlayerId target,
+                                  std::span<const game::AvatarState> avatars,
+                                  const game::GameMap& map, Frame now,
+                                  const interest::InteractionFn& last_interaction,
+                                  const interest::InterestConfig& cfg,
+                                  double knowledge_slack) {
+  CheckResult res;
+  const interest::PlayerSets sets =
+      interest::compute_sets(subscriber, avatars, map, now, last_interaction, cfg);
+
+  if (sets.in_interest(target)) {
+    res.deviation = 0.0;
+    res.rating = 1.0;
+    return res;
+  }
+
+  if (sets.in_vision(target)) {
+    // Visible but not in the verifier's top-K: rank excess is the deviation.
+    // Allow a few ranks of slack — the verifier recomputes attention from
+    // delayed knowledge, so honest subscriptions can look slightly off-rank.
+    std::size_t rank = cfg.is_size;
+    for (std::size_t i = 0; i < sets.vision.size(); ++i) {
+      if (sets.vision[i] == target) rank = cfg.is_size + i + 1;
+    }
+    // The verifier ranks candidates from stale positions and cannot see the
+    // subscriber's interaction recency, so honest in-IS targets can look
+    // deeply out of rank in dense games. Rank excess is therefore only a
+    // *suspicion* signal: its rating is capped below the high-confidence
+    // line and contributes through aggregation, never alone. Out-of-cone
+    // subscriptions — the actual information harvest — are handled below at
+    // full strength.
+    res.deviation = static_cast<double>(rank) -
+                    3.0 * static_cast<double>(cfg.is_size);
+    res.rating = std::min(
+        5.0, rating_from_deviation(res.deviation,
+                                   2.0 * static_cast<double>(cfg.is_size)));
+    return res;
+  }
+
+  // Not even visible. If the target is inside (or near) the cone, the
+  // verifier's stale knowledge may just disagree about occlusion — give the
+  // benefit of the doubt. A target far outside the cone is the classic
+  // maphack-assisted subscription: strongest deviation.
+  const double cone_dev =
+      interest::cone_deviation(avatars[subscriber], avatars[target].eye(),
+                               cfg.vision);
+  if (cone_dev <= knowledge_slack) return res;  // plausibly legitimate
+  res.deviation = std::max(cone_dev - knowledge_slack, 128.0);
+  res.rating = rating_from_deviation(res.deviation, cfg.vision.radius * 0.25);
+  return res;
+}
+
+CheckResult check_aim(const std::vector<double>& angular_errors,
+                      const Tolerance& tol, std::size_t min_samples) {
+  CheckResult res;
+  if (angular_errors.size() < min_samples) return res;
+
+  std::vector<double> sorted = angular_errors;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+
+  // Honest medians sit around tol.mean with spread tol.stddev; an aim that
+  // is *too good* — median below mean - stddev — is the aimbot signature.
+  // (This is the mirror image of the a > ā + σ_a rule: cheating here means
+  // suspiciously small deviations.)
+  const double floor = tol.mean - tol.stddev;
+  res.deviation = floor - median;
+  res.rating = rating_from_deviation(res.deviation, std::max(floor, 1e-6));
+  return res;
+}
+
+CheckResult check_rate(std::size_t observed, std::size_t expected,
+                       double loss_allowance, std::size_t slop) {
+  CheckResult res;
+  const double slop_d = static_cast<double>(slop);
+  if (expected == 0) {
+    // Nothing was expected; traffic beyond the boundary slop is excess.
+    res.deviation = std::max(0.0, static_cast<double>(observed) - slop_d);
+    res.rating = rating_from_deviation(res.deviation, 10.0);
+    return res;
+  }
+  const double exp_d = static_cast<double>(expected);
+  const double lo = exp_d * (1.0 - loss_allowance) - slop_d;
+  const double hi = exp_d + slop_d;
+  const double obs = static_cast<double>(observed);
+  if (obs > hi) {
+    res.deviation = obs - hi;  // fast-rate
+  } else if (obs < lo) {
+    res.deviation = lo - obs;  // suppression / blind / escape
+  } else {
+    res.deviation = 0.0;
+  }
+  // Saturate at a quarter of the expected volume: dropping (or adding) 25 %
+  // of a stream beyond the allowances is maximally suspicious.
+  res.rating = rating_from_deviation(res.deviation, exp_d * 0.25);
+  return res;
+}
+
+}  // namespace watchmen::verify

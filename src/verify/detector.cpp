@@ -1,0 +1,22 @@
+#include "verify/detector.hpp"
+
+namespace watchmen::verify {
+
+void Detector::report(const CheatReport& r) {
+  log_.push_back(r);
+  SuspectSummary& s = by_suspect_[r.suspect];
+  ++s.reports;
+  if (r.rating > 1.0) ++s.suspicious_reports;
+  const double w = r.weighted();
+  if (w >= cfg_.high_confidence_threshold) ++s.high_confidence_reports;
+  if (w > s.max_weighted) s.max_weighted = w;
+  s.total_weighted += w;
+}
+
+const SuspectSummary& Detector::summary(PlayerId suspect) const {
+  static const SuspectSummary kEmpty{};
+  const auto it = by_suspect_.find(suspect);
+  return it == by_suspect_.end() ? kEmpty : it->second;
+}
+
+}  // namespace watchmen::verify

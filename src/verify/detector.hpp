@@ -1,0 +1,55 @@
+#pragma once
+// Detection aggregation (paper §V): individual sanity checks produce rated
+// reports; a detector aggregates them into per-suspect evidence. A single
+// report never bans anyone (false positives exist, e.g. from message loss);
+// the aggregate feeds the reputation system.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "verify/report.hpp"
+
+namespace watchmen::verify {
+
+struct DetectorConfig {
+  /// Weighted rating (rating x confidence) at or above which a report counts
+  /// as a high-confidence detection. With proxy confidence 1.0 this means a
+  /// rating >= 6; a distant "other" witness (c=0.2) can never trigger one
+  /// alone.
+  double high_confidence_threshold = 6.0;
+};
+
+struct SuspectSummary {
+  std::uint64_t reports = 0;
+  std::uint64_t suspicious_reports = 0;      ///< rating > 1
+  std::uint64_t high_confidence_reports = 0; ///< weighted >= threshold
+  double max_weighted = 0.0;
+  double total_weighted = 0.0;
+};
+
+class Detector {
+ public:
+  explicit Detector(DetectorConfig cfg = {}) : cfg_(cfg) {}
+
+  const DetectorConfig& config() const { return cfg_; }
+
+  void report(const CheatReport& r);
+
+  const SuspectSummary& summary(PlayerId suspect) const;
+
+  /// True once at least one high-confidence report exists for the suspect.
+  bool flagged(PlayerId suspect) const {
+    return summary(suspect).high_confidence_reports > 0;
+  }
+
+  const std::vector<CheatReport>& reports() const { return log_; }
+  std::size_t total_reports() const { return log_.size(); }
+
+ private:
+  DetectorConfig cfg_;
+  std::unordered_map<PlayerId, SuspectSummary> by_suspect_;
+  std::vector<CheatReport> log_;
+};
+
+}  // namespace watchmen::verify

@@ -1,0 +1,58 @@
+#include "verify/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace watchmen::verify {
+
+const char* to_string(CheckType t) {
+  switch (t) {
+    case CheckType::kPosition: return "position";
+    case CheckType::kGuidance: return "guidance";
+    case CheckType::kKill: return "kill";
+    case CheckType::kSubscriptionIS: return "is-sub";
+    case CheckType::kSubscriptionVS: return "vs-sub";
+    case CheckType::kRate: return "rate";
+    case CheckType::kSignature: return "signature";
+    case CheckType::kEscape: return "escape";
+    case CheckType::kConsistency: return "consistency";
+    case CheckType::kAimbot: return "aimbot";
+  }
+  return "?";
+}
+
+const char* to_string(Vantage v) {
+  switch (v) {
+    case Vantage::kProxy: return "proxy";
+    case Vantage::kInterestWitness: return "is-witness";
+    case Vantage::kVisionWitness: return "vs-witness";
+    case Vantage::kOther: return "other";
+  }
+  return "?";
+}
+
+double confidence_weight(Vantage v) {
+  switch (v) {
+    case Vantage::kProxy: return 1.0;
+    case Vantage::kInterestWitness: return 0.8;
+    case Vantage::kVisionWitness: return 0.5;
+    case Vantage::kOther: return 0.2;
+  }
+  return 0.0;
+}
+
+double staleness_discount(Frame evidence_age_frames) {
+  if (evidence_age_frames <= 0) return 1.0;
+  // Half-life of ~60 frames (3 s); floors at 0.05 so very old evidence still
+  // counts a little.
+  const double d = std::exp2(-static_cast<double>(evidence_age_frames) / 60.0);
+  return std::max(0.05, d);
+}
+
+double rating_from_deviation(double deviation, double scale) {
+  if (deviation <= 0.0) return 1.0;
+  if (scale <= 0.0) return 10.0;
+  return 1.0 + 9.0 * std::min(1.0, deviation / scale);
+}
+
+}  // namespace watchmen::verify

@@ -1,0 +1,70 @@
+#pragma once
+// Verification report types (paper §V-A).
+//
+// Each verification rates an observed action from 1 (most likely normal) to
+// 10 (most likely cheating), modulated by a confidence factor that depends
+// on the vantage point of the verifier: proxies hold the most accurate
+// information (c_P), then players with the suspect in their IS (c_IS), then
+// VS (c_VS), then everyone else (c_O): c_P > c_IS > c_VS > c_O.
+
+#include <cstdint>
+
+#include "util/ids.hpp"
+
+namespace watchmen::verify {
+
+enum class CheckType : std::uint8_t {
+  kPosition = 0,        ///< successive position updates obey game physics
+  kGuidance = 1,        ///< dead-reckoning prediction vs actual trajectory
+  kKill = 2,            ///< kill claims: weapon, distance, visibility, IS time
+  kSubscriptionIS = 3,  ///< IS subscription justified by attention metric
+  kSubscriptionVS = 4,  ///< VS subscription justified by vision cone
+  kRate = 5,            ///< dissemination frequency (fast-rate / suppress)
+  kSignature = 6,       ///< bad signature / malformed message
+  kEscape = 7,          ///< stopped sending updates entirely
+  kConsistency = 8,     ///< protocol violation: direct sends / wrong proxy /
+                        ///< replayed sequence numbers
+  kAimbot = 9,          ///< statistical aim analysis (inhumanly perfect
+                        ///< tracking over a full round)
+};
+constexpr int kNumCheckTypes = 10;
+
+const char* to_string(CheckType t);
+
+/// Verifier vantage point, ordered by information accuracy.
+enum class Vantage : std::uint8_t {
+  kProxy = 0,
+  kInterestWitness = 1,
+  kVisionWitness = 2,
+  kOther = 3,
+};
+
+const char* to_string(Vantage v);
+
+/// Confidence factor c in (0, 1]; c_P > c_IS > c_VS > c_O.
+double confidence_weight(Vantage v);
+
+/// Additional confidence discount for stale evidence: comparing a fresh
+/// update against very old guidance carries little weight (§V-A).
+/// Returns a multiplier in (0, 1].
+double staleness_discount(Frame evidence_age_frames);
+
+struct CheatReport {
+  PlayerId verifier = kInvalidPlayer;
+  PlayerId suspect = kInvalidPlayer;
+  CheckType type = CheckType::kPosition;
+  Vantage vantage = Vantage::kOther;
+  Frame frame = 0;
+  double deviation = 0.0;  ///< raw deviation metric (check-specific units)
+  double rating = 1.0;     ///< 1..10 cheat rating
+
+  /// Confidence-weighted severity used by detectors and reputation.
+  double weighted() const { return rating * confidence_weight(vantage); }
+};
+
+/// Clamps-and-scales a deviation into the 1..10 rating.
+/// `deviation <= 0` means "within expected behaviour" and rates 1.
+/// `scale` is the deviation that saturates the rating at 10.
+double rating_from_deviation(double deviation, double scale);
+
+}  // namespace watchmen::verify

@@ -1,0 +1,245 @@
+// Tests for src/cheat + end-to-end detection: every implementable Table I
+// cheat, injected into a live session, must be caught by the verification
+// machinery — and an honest control run must stay clean.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cheat/cheats.hpp"
+#include "core/session.hpp"
+#include "game/map.hpp"
+#include "game/trace.hpp"
+
+namespace watchmen::cheat {
+namespace {
+
+class CheatDetection : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    map_ = new game::GameMap(game::make_longest_yard());
+    game::SessionConfig cfg;
+    cfg.n_players = 24;
+    cfg.n_frames = 800;  // 40 s
+    cfg.seed = 42;
+    trace_ = new game::GameTrace(game::record_session(*map_, cfg));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete map_;
+    trace_ = nullptr;
+    map_ = nullptr;
+  }
+
+  /// Runs a session with `mb` cheating as player `cheater`; returns the
+  /// number of high-confidence reports against the cheater and whether any
+  /// honest player got flagged.
+  struct Outcome {
+    std::uint64_t hc_vs_cheater = 0;
+    std::uint64_t flagged_honest = 0;
+  };
+
+  static Outcome run(core::Misbehavior* mb, PlayerId cheater = 0) {
+    core::SessionOptions opts;
+    opts.net = core::NetProfile::kKing;
+    opts.loss_rate = 0.01;
+    std::unordered_map<PlayerId, core::Misbehavior*> mbs;
+    if (mb) mbs[cheater] = mb;
+    core::WatchmenSession session(*trace_, *map_, opts, mbs);
+    session.run();
+
+    Outcome out;
+    out.hc_vs_cheater = session.detector().summary(cheater).high_confidence_reports;
+    for (PlayerId p = 0; p < trace_->n_players; ++p) {
+      if (p != cheater && session.detector().flagged(p)) ++out.flagged_honest;
+    }
+    return out;
+  }
+
+  static game::GameMap* map_;
+  static game::GameTrace* trace_;
+};
+
+game::GameMap* CheatDetection::map_ = nullptr;
+game::GameTrace* CheatDetection::trace_ = nullptr;
+
+TEST_F(CheatDetection, HonestControlStaysClean) {
+  // With 1 % message loss a handful of players may draw a single stray
+  // high-confidence report (e.g. a death whose obituary was lost twice);
+  // the paper's reputation layer absorbs these. What must NOT happen is
+  // honest players drawing sustained report streams.
+  const Outcome out = run(nullptr);
+  EXPECT_LE(out.hc_vs_cheater, 1u);
+  EXPECT_LE(out.flagged_honest, 4u);
+}
+
+TEST_F(CheatDetection, SpeedHackCaught) {
+  SpeedHackCheat ch(7, 0.10, 6.0);
+  const Outcome out = run(&ch);
+  EXPECT_GT(ch.cheat_frames().size(), 10u);
+  EXPECT_GT(out.hc_vs_cheater,
+            ch.cheat_frames().size() / 2)
+      << "most invalid positions should draw high-confidence reports";
+}
+
+TEST_F(CheatDetection, FakeKillsCaught) {
+  FakeKillCheat ch(7, 0.05, 0, 24);
+  const Outcome out = run(&ch);
+  EXPECT_GT(ch.cheat_frames().size(), 10u);
+  EXPECT_GE(out.hc_vs_cheater, ch.cheat_frames().size() / 2);
+}
+
+TEST_F(CheatDetection, GuidanceLieCaught) {
+  GuidanceLieCheat ch(7, 0.5, 4.0);
+  const Outcome out = run(&ch);
+  EXPECT_GT(ch.cheat_frames().size(), 5u);
+  EXPECT_GT(out.hc_vs_cheater, 0u);
+}
+
+TEST_F(CheatDetection, BogusSubscriptionsCaught) {
+  BogusSubscriptionCheat ch(7, 0.10, 0, *trace_, *map_,
+                            interest::SetKind::kInterest);
+  const Outcome out = run(&ch);
+  EXPECT_GT(ch.cheat_frames().size(), 5u);
+  EXPECT_GT(out.hc_vs_cheater, 0u);
+}
+
+TEST_F(CheatDetection, FastRateCaught) {
+  FastRateCheat ch(3, 100, 700);
+  const Outcome out = run(&ch);
+  EXPECT_GT(out.hc_vs_cheater, 5u);  // flagged round after round
+}
+
+TEST_F(CheatDetection, SuppressCorrectCaught) {
+  SuppressCorrectCheat ch(40, 20);
+  const Outcome out = run(&ch);
+  EXPECT_GT(out.hc_vs_cheater, 5u);
+}
+
+TEST_F(CheatDetection, EscapeCaught) {
+  EscapeCheat ch(400);
+  const Outcome out = run(&ch);
+  EXPECT_GT(out.hc_vs_cheater, 2u) << "silent rounds -> escape reports";
+}
+
+TEST_F(CheatDetection, TimeCheatCaught) {
+  TimeCheat ch(12, 100, 700);  // 600 ms look-ahead
+  const Outcome out = run(&ch);
+  EXPECT_GT(out.hc_vs_cheater, 20u);
+}
+
+TEST_F(CheatDetection, SpoofingCaught) {
+  const crypto::KeyRegistry keys(42, 24);  // same derivation as the session
+  SpoofCheat ch(7, 0.05, 0, 5, keys);
+  const Outcome out = run(&ch);
+  EXPECT_GT(ch.cheat_frames().size(), 10u);
+  // Signature verification rejects every spoof at the first receiver (a
+  // trailing message may still be in flight when the session ends).
+  EXPECT_GE(out.hc_vs_cheater + 2, ch.cheat_frames().size());
+}
+
+TEST_F(CheatDetection, ConsistencyCheatCaught) {
+  const crypto::KeyRegistry keys(42, 24);
+  ConsistencyCheat ch(7, 0.05, 0, 24, keys);
+  const Outcome out = run(&ch);
+  EXPECT_GT(ch.cheat_frames().size(), 10u);
+  EXPECT_GE(out.hc_vs_cheater + 2, ch.cheat_frames().size());
+}
+
+TEST_F(CheatDetection, ReplayCaught) {
+  ReplayCheat ch(7, 0.05);
+  const Outcome out = run(&ch);
+  EXPECT_GT(ch.cheat_frames().size(), 5u);
+  EXPECT_GT(out.hc_vs_cheater, 0u);
+}
+
+TEST_F(CheatDetection, ProxyTamperingCaught) {
+  MaliciousProxyCheat ch(/*tamper=*/true, 1.0, 7);
+  const Outcome out = run(&ch);
+  // Every tampered forward fails signature verification at its receiver.
+  EXPECT_GT(out.hc_vs_cheater, 100u);
+}
+
+TEST_F(CheatDetection, AimbotCaught) {
+  AimbotCheat ch(0, *trace_, *map_);
+  const Outcome out = run(&ch);
+  EXPECT_GT(ch.cheat_frames().size(), 50u) << "aimbot rarely engaged";
+  EXPECT_GT(out.hc_vs_cheater, 10u)
+      << "impossible turn rates / inhuman precision must be flagged";
+}
+
+TEST_F(CheatDetection, BlindOpponentCaught) {
+  MaliciousProxyCheat ch(/*tamper=*/false, 1.0, 7);
+  const Outcome out = run(&ch);
+  EXPECT_GT(out.hc_vs_cheater, 0u)
+      << "witnesses must notice the starved streams";
+}
+
+TEST_F(CheatDetection, CheatersDoNotFrameHonestPlayers) {
+  // Even with an active cheater, honest players stay (almost) unflagged:
+  // the cheater's presence must not inflate reports against the innocent.
+  SpeedHackCheat speed(7, 0.10, 6.0);
+  const Outcome out = run(&speed);
+  EXPECT_LE(out.flagged_honest, 4u);
+}
+
+// ------------------------------------------------------- unit-level bits
+
+TEST(CheatUnits, SpeedHackDisplacesPosition) {
+  SpeedHackCheat ch(7, 1.0, 6.0);
+  game::AvatarState s;
+  s.pos = {100, 100, 0};
+  const auto mutated = ch.mutate_state(s, 5);
+  EXPECT_GT(mutated.pos.distance(s.pos), game::max_legal_horizontal(1));
+  EXPECT_EQ(ch.cheat_frames().size(), 1u);
+}
+
+TEST(CheatUnits, SpeedHackSkipsDeadAvatars) {
+  SpeedHackCheat ch(7, 1.0, 6.0);
+  game::AvatarState s;
+  s.alive = false;
+  EXPECT_EQ(ch.mutate_state(s, 5).pos, s.pos);
+  EXPECT_TRUE(ch.cheat_frames().empty());
+}
+
+TEST(CheatUnits, SuppressPattern) {
+  SuppressCorrectCheat ch(40, 15);
+  int sent = 0;
+  for (Frame f = 0; f < 40; ++f) sent += ch.send_state_update(f);
+  EXPECT_EQ(sent, 25);
+}
+
+TEST(CheatUnits, EscapeStopsEverything) {
+  EscapeCheat ch(100);
+  EXPECT_TRUE(ch.send_state_update(99));
+  EXPECT_FALSE(ch.send_state_update(100));
+  EXPECT_EQ(ch.send_delay(99), 0);
+  EXPECT_GT(ch.send_delay(100), 1000000);
+}
+
+TEST(CheatUnits, TimeCheatWindow) {
+  TimeCheat ch(10, 50, 60);
+  EXPECT_EQ(ch.send_delay(49), 0);
+  EXPECT_EQ(ch.send_delay(55), 10);
+  EXPECT_EQ(ch.send_delay(61), 0);
+}
+
+TEST(CheatUnits, GuidanceLieReversesMotion) {
+  GuidanceLieCheat ch(7, 1.0, 4.0);
+  interest::Guidance g;
+  g.pos = {0, 0, 0};
+  g.vel = {320, 0, 0};
+  g.waypoints = {{320, 0, 0}};
+  const auto lie = ch.mutate_guidance(g, 0);
+  EXPECT_LT(lie.vel.x, 0.0) << "predicts the opposite direction";
+  EXPECT_GT(lie.vel.norm(), 1000.0);
+}
+
+TEST(CheatUnits, ToStringCoversAllTypes) {
+  for (int i = 0; i < kNumCheatTypes; ++i) {
+    EXPECT_STRNE(to_string(static_cast<CheatType>(i)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace watchmen::cheat

@@ -1,0 +1,215 @@
+// Tests for src/crypto: SHA-256 vectors, HMAC vectors, SchnorrLite signatures.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "crypto/hmac.hpp"
+#include "crypto/keys.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sig.hpp"
+
+namespace watchmen::crypto {
+namespace {
+
+std::string hex(const Digest& d) {
+  static const char* k = "0123456789abcdef";
+  std::string out;
+  for (auto b : d) {
+    out += k[b >> 4];
+    out += k[b & 0xf];
+  }
+  return out;
+}
+
+std::span<const std::uint8_t> as_bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+// ------------------------------------------------------------- SHA-256
+// FIPS 180-4 / NIST test vectors.
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex(Sha256::hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64-byte message exercises the padding-into-second-block path.
+  const std::string m(64, 'x');
+  const Digest a = Sha256::hash(m);
+  Sha256 h;  // same message split across updates
+  h.update(m.substr(0, 13));
+  h.update(m.substr(13));
+  EXPECT_EQ(a, h.finish());
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string m = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= m.size(); ++split) {
+    Sha256 h;
+    h.update(m.substr(0, split));
+    h.update(m.substr(split));
+    EXPECT_EQ(h.finish(), Sha256::hash(m)) << "split=" << split;
+  }
+}
+
+TEST(Sha256, DigestToU64IsStable) {
+  const auto d = Sha256::hash("abc");
+  EXPECT_EQ(digest_to_u64(d), digest_to_u64(Sha256::hash("abc")));
+  EXPECT_NE(digest_to_u64(d), digest_to_u64(Sha256::hash("abd")));
+}
+
+// ------------------------------------------------------------- HMAC
+// RFC 4231 test vectors.
+
+TEST(Hmac, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const std::string msg = "Hi There";
+  EXPECT_EQ(hex(hmac_sha256(key, as_bytes(msg))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const std::string key = "Jefe";
+  const std::string msg = "what do ya want for nothing?";
+  EXPECT_EQ(hex(hmac_sha256(as_bytes(key), as_bytes(msg))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+  EXPECT_EQ(hex(hmac_sha256(key, as_bytes(msg))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// ------------------------------------------------------------- Signatures
+
+TEST(Sig, SignVerifyRoundTrip) {
+  const KeyPair kp = KeyPair::generate(42);
+  const std::string msg = "state update: pos=(1,2,3) frame=17";
+  const Signature sig = sign(kp, as_bytes(msg));
+  EXPECT_TRUE(verify(kp.public_key, as_bytes(msg), sig));
+}
+
+TEST(Sig, TamperedMessageRejected) {
+  const KeyPair kp = KeyPair::generate(42);
+  const std::string msg = "state update: pos=(1,2,3) frame=17";
+  const Signature sig = sign(kp, as_bytes(msg));
+  const std::string tampered = "state update: pos=(9,2,3) frame=17";
+  EXPECT_FALSE(verify(kp.public_key, as_bytes(tampered), sig));
+}
+
+TEST(Sig, WrongKeyRejected) {
+  const KeyPair alice = KeyPair::generate(1);
+  const KeyPair bob = KeyPair::generate(2);
+  const std::string msg = "hello";
+  const Signature sig = sign(alice, as_bytes(msg));
+  EXPECT_FALSE(verify(bob.public_key, as_bytes(msg), sig));
+}
+
+TEST(Sig, TamperedSignatureRejected) {
+  const KeyPair kp = KeyPair::generate(7);
+  const std::string msg = "hello";
+  Signature sig = sign(kp, as_bytes(msg));
+  sig.s ^= 1;
+  EXPECT_FALSE(verify(kp.public_key, as_bytes(msg), sig));
+  sig.s ^= 1;
+  sig.e ^= 1;
+  EXPECT_FALSE(verify(kp.public_key, as_bytes(msg), sig));
+}
+
+TEST(Sig, DeterministicSigning) {
+  const KeyPair kp = KeyPair::generate(9);
+  const std::string msg = "reproducible";
+  EXPECT_EQ(sign(kp, as_bytes(msg)), sign(kp, as_bytes(msg)));
+}
+
+TEST(Sig, EncodeDecodeRoundTrip) {
+  const KeyPair kp = KeyPair::generate(11);
+  const Signature sig = sign(kp, as_bytes(std::string("x")));
+  const auto bytes = sig.encode();
+  EXPECT_EQ(bytes.size(), kSignatureBytes);
+  EXPECT_EQ(Signature::decode(bytes), sig);
+}
+
+TEST(Sig, RejectsOutOfRangeValues) {
+  const KeyPair kp = KeyPair::generate(5);
+  const std::string msg = "m";
+  EXPECT_FALSE(verify(kp.public_key, as_bytes(msg), Signature{0, 0}));
+  EXPECT_FALSE(verify(kp.public_key, as_bytes(msg), Signature{kGroupQ, 1}));
+  EXPECT_FALSE(verify(0, as_bytes(msg), sign(kp, as_bytes(msg))));
+}
+
+TEST(Sig, ModArithmetic) {
+  EXPECT_EQ(mod_pow(2, 10, 1000000007ULL), 1024u);
+  // Fermat: g^(p-1) == 1 (mod p)
+  EXPECT_EQ(mod_pow(kGroupG, kGroupQ, kGroupP), 1u);
+  EXPECT_EQ(mod_mul(kGroupP - 1, kGroupP - 1, kGroupP), 1u);
+}
+
+class SigManyKeys : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SigManyKeys, RoundTripAcrossSeeds) {
+  const KeyPair kp = KeyPair::generate(GetParam());
+  ASSERT_NE(kp.secret, 0u);
+  ASSERT_NE(kp.public_key, 0u);
+  const std::string msg = "seed " + std::to_string(GetParam());
+  const Signature sig = sign(kp, as_bytes(msg));
+  EXPECT_TRUE(verify(kp.public_key, as_bytes(msg), sig));
+  const std::string other = "seed x";
+  EXPECT_FALSE(verify(kp.public_key, as_bytes(other), sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SigManyKeys,
+                         ::testing::Values(0, 1, 2, 3, 17, 255, 1000, 99999,
+                                           0xffffffffffffffffULL));
+
+// ------------------------------------------------------------- KeyRegistry
+
+TEST(KeyRegistry, DistinctKeysPerPlayer) {
+  const KeyRegistry reg(1234, 48);
+  EXPECT_EQ(reg.size(), 48u);
+  for (PlayerId p = 1; p < 48; ++p) {
+    EXPECT_NE(reg.public_key(p), reg.public_key(p - 1));
+  }
+}
+
+TEST(KeyRegistry, KeysAreDeterministic) {
+  const KeyRegistry a(1234, 8);
+  const KeyRegistry b(1234, 8);
+  for (PlayerId p = 0; p < 8; ++p) EXPECT_EQ(a.public_key(p), b.public_key(p));
+}
+
+TEST(KeyRegistry, SignaturesInterop) {
+  const KeyRegistry reg(99, 4);
+  const std::string msg = "cross-check";
+  const Signature sig = sign(reg.key_pair(2), as_bytes(msg));
+  EXPECT_TRUE(verify(reg.public_key(2), as_bytes(msg), sig));
+  EXPECT_FALSE(verify(reg.public_key(3), as_bytes(msg), sig));
+}
+
+}  // namespace
+}  // namespace watchmen::crypto

@@ -1,0 +1,533 @@
+// Tests for src/game: map geometry, physics, combat, world stepping, traces.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "game/ai.hpp"
+#include "game/map.hpp"
+#include "game/physics.hpp"
+#include "game/trace.hpp"
+#include "game/world.hpp"
+
+namespace watchmen::game {
+namespace {
+
+// ---------------------------------------------------------------- Map
+
+TEST(Box, ContainsAndCenter) {
+  const Box b{{0, 0, 0}, {10, 10, 10}};
+  EXPECT_TRUE(b.contains({5, 5, 5}));
+  EXPECT_FALSE(b.contains({5, 5, 11}));
+  EXPECT_EQ(b.center(), Vec3(5, 5, 5));
+}
+
+TEST(Box, SegmentIntersection) {
+  const Box b{{4, 4, 0}, {6, 6, 10}};
+  EXPECT_TRUE(b.intersects_segment({0, 5, 5}, {10, 5, 5}));   // through
+  EXPECT_FALSE(b.intersects_segment({0, 0, 5}, {10, 0, 5}));  // beside
+  EXPECT_FALSE(b.intersects_segment({0, 5, 5}, {3, 5, 5}));   // stops short
+  EXPECT_TRUE(b.intersects_segment({5, 5, 5}, {5, 5, 20}));   // starts inside
+}
+
+TEST(Map, VisibilityBlockedByPillar) {
+  const GameMap map = make_test_arena();
+  // The central pillar (450..550)^2 x 150 blocks eye-level sight across.
+  EXPECT_FALSE(map.visible({100, 500, 56}, {900, 500, 56}));
+  EXPECT_TRUE(map.visible({100, 100, 56}, {900, 100, 56}));
+  // High above the pillar, sight is clear.
+  EXPECT_TRUE(map.visible({100, 500, 180}, {900, 500, 180}));
+}
+
+TEST(Map, GroundHeight) {
+  const GameMap map = make_test_arena();
+  EXPECT_DOUBLE_EQ(map.ground_height(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(map.ground_height(500, 500), 150.0);  // on the pillar
+}
+
+TEST(Map, ClampKeepsPointsInBounds) {
+  const GameMap map = make_test_arena();
+  const Vec3 p = map.clamp({-100, 5000, 50});
+  EXPECT_TRUE(map.in_bounds(p));
+  EXPECT_EQ(p.x, 0.0);
+  EXPECT_EQ(p.y, 1000.0);
+}
+
+TEST(Map, LongestYardHasPaperItems) {
+  const GameMap map = make_longest_yard();
+  EXPECT_FALSE(map.respawns().empty());
+  int railguns = 0, quads = 0, megas = 0;
+  for (const auto& s : map.item_spawns()) {
+    railguns += s.kind == ItemKind::kRailgun;
+    quads += s.kind == ItemKind::kQuadDamage;
+    megas += s.kind == ItemKind::kMegaHealth;
+  }
+  EXPECT_GE(railguns, 1);
+  EXPECT_GE(quads, 1);
+  EXPECT_GE(megas, 1);
+}
+
+TEST(Map, CampgroundsWallsOcclude) {
+  const GameMap map = make_campgrounds();
+  // Across a full-height wall: no line of sight even at eye height.
+  EXPECT_FALSE(map.visible({340, 340, 56}, {340, 1700, 56}));
+  EXPECT_FALSE(map.visible({340, 340, 56}, {1700, 340, 56}));
+  // Through a door gap (x in 820..1000 at the y=700 wall).
+  EXPECT_TRUE(map.visible({910, 500, 56}, {910, 900, 56}));
+}
+
+TEST(Map, CampgroundsIsPlayable) {
+  // Sessions on the indoor map must still produce combat: the wall-sliding
+  // movement lets AI navigate doorways.
+  const GameMap map = make_campgrounds();
+  SessionConfig cfg;
+  cfg.n_players = 16;
+  cfg.n_frames = 1200;
+  cfg.seed = 9;
+  const GameTrace trace = record_session(map, cfg);
+  std::size_t kills = 0;
+  for (const auto& f : trace.frames) kills += f.events.kills.size();
+  EXPECT_GT(kills, 10u);
+}
+
+TEST(Physics, WallSlidingMovesAlongWalls) {
+  const GameMap map = make_campgrounds();
+  AvatarState a;
+  a.pos = {500, 650, 0};  // just south of the y=680 wall
+  PlayerInput in;
+  in.wish_dir = Vec3{1, 2, 0}.normalized();  // push diagonally into the wall
+  for (int i = 0; i < 40; ++i) step_movement(a, in, map);
+  EXPECT_LT(a.pos.y, 681.0) << "went through the wall";
+  EXPECT_GT(a.pos.x, 600.0) << "stuck instead of sliding along the wall";
+}
+
+// ---------------------------------------------------------------- Physics
+
+TEST(Physics, SpeedNeverExceedsMax) {
+  const GameMap map = make_test_arena();
+  AvatarState a;
+  a.pos = {500, 100, 0};
+  PlayerInput in;
+  in.wish_dir = {1, 0, 0};
+  for (int i = 0; i < 100; ++i) {
+    step_movement(a, in, map);
+    EXPECT_LE(std::hypot(a.vel.x, a.vel.y),
+              kDefaultPhysics.max_ground_speed + 1e-9);
+  }
+  // After sustained input the avatar reaches (close to) full speed.
+  EXPECT_GT(std::hypot(a.vel.x, a.vel.y), kDefaultPhysics.max_ground_speed * 0.95);
+}
+
+TEST(Physics, JumpFollowsGravityArc) {
+  const GameMap map = make_test_arena();
+  AvatarState a;
+  a.pos = {200, 200, 0};
+  PlayerInput in;
+  in.jump = true;
+  step_movement(a, in, map);
+  EXPECT_GT(a.pos.z, 0.0);
+  in.jump = false;
+  double apex = a.pos.z;
+  for (int i = 0; i < 100 && a.pos.z > 0.0; ++i) {
+    step_movement(a, in, map);
+    apex = std::max(apex, a.pos.z);
+  }
+  EXPECT_EQ(a.pos.z, 0.0);  // landed
+  // Ballistic apex = v^2 / 2g ≈ 45.6 units; frame quantization loses a bit.
+  const double expected = kDefaultPhysics.jump_velocity *
+                          kDefaultPhysics.jump_velocity /
+                          (2.0 * kDefaultPhysics.gravity);
+  EXPECT_NEAR(apex, expected, 10.0);
+}
+
+TEST(Physics, AngularSpeedClamped) {
+  const GameMap map = make_test_arena();
+  AvatarState a;
+  a.pos = {200, 200, 0};
+  a.yaw = 0.0;
+  PlayerInput in;
+  in.yaw = 3.0;  // ask for a large instant turn
+  step_movement(a, in, map);
+  EXPECT_LE(std::fabs(a.yaw),
+            kDefaultPhysics.max_angular_speed * kDefaultPhysics.dt + 1e-9);
+}
+
+TEST(Physics, DeadAvatarDoesNotMove) {
+  const GameMap map = make_test_arena();
+  AvatarState a;
+  a.pos = {200, 200, 0};
+  a.alive = false;
+  PlayerInput in;
+  in.wish_dir = {1, 0, 0};
+  step_movement(a, in, map);
+  EXPECT_EQ(a.pos, Vec3(200, 200, 0));
+}
+
+TEST(Physics, LegalMoveBounds) {
+  // One frame at max ground speed covers 16 units.
+  EXPECT_TRUE(legal_move({0, 0, 0}, {16, 0, 0}, 1));
+  EXPECT_FALSE(legal_move({0, 0, 0}, {100, 0, 0}, 1));
+  EXPECT_TRUE(legal_move({0, 0, 0}, {100, 0, 0}, 10));
+  EXPECT_FALSE(legal_move({0, 0, 0}, {1, 0, 0}, 0));
+  EXPECT_TRUE(legal_move({5, 5, 5}, {5, 5, 5}, 0));
+}
+
+TEST(Physics, MaxLegalDistanceGrowsWithFrames) {
+  EXPECT_LT(max_legal_distance(1), max_legal_distance(2));
+  EXPECT_LT(max_legal_distance(2), max_legal_distance(10));
+}
+
+// ---------------------------------------------------------------- Weapons
+
+TEST(Weapons, SpecTable) {
+  EXPECT_EQ(weapon_spec(WeaponKind::kRailgun).damage, 100);
+  EXPECT_GT(weapon_spec(WeaponKind::kRocketLauncher).projectile_speed, 0.0);
+  EXPECT_EQ(weapon_spec(WeaponKind::kMachineGun).projectile_speed, 0.0);
+  EXPECT_GE(refire_frames(WeaponKind::kRailgun), 2);
+}
+
+TEST(Weapons, AllSpecsWellFormed) {
+  for (int i = 0; i < kNumWeapons; ++i) {
+    const WeaponSpec& spec = weapon_spec(static_cast<WeaponKind>(i));
+    EXPECT_EQ(static_cast<int>(spec.kind), i);
+    EXPECT_GT(spec.damage, 0);
+    EXPECT_GT(spec.refire_ms, 0);
+    EXPECT_GE(spec.pellets, 1);
+    // Exactly one of hitscan-range / projectile-speed is set.
+    EXPECT_NE(spec.range > 0.0, spec.projectile_speed > 0.0) << spec.name;
+  }
+}
+
+TEST(World, ShotgunFiresMultiplePellets) {
+  GameWorld world(make_test_arena(), 2, 1);
+  AvatarState& shooter = world.mutable_avatar(0);
+  shooter.pos = {200, 200, 0};
+  shooter.yaw = 0.0;
+  shooter.weapon = WeaponKind::kShotgun;
+  shooter.ammo = 5;
+  AvatarState& victim = world.mutable_avatar(1);
+  victim.pos = {350, 200, 0};  // close: most pellets connect
+  victim.health = 100;
+  victim.armor = 0;
+
+  std::vector<PlayerInput> in(2);
+  in[0].fire = true;
+  const FrameEvents& ev = world.step(in);
+  EXPECT_EQ(ev.shots.size(), 1u) << "one trigger pull, one shot event";
+  EXPECT_GT(ev.hits.size(), 3u) << "multiple pellets connect at close range";
+  EXPECT_LT(world.avatar(1).health, 100 - 3 * 6);
+  EXPECT_EQ(world.avatar(0).ammo, 4) << "one ammo per trigger pull";
+}
+
+TEST(World, ShotgunFallsOffAtRange) {
+  GameWorld world(make_test_arena(), 2, 1);
+  AvatarState& shooter = world.mutable_avatar(0);
+  shooter.pos = {50, 200, 0};
+  shooter.yaw = 0.0;
+  shooter.weapon = WeaponKind::kShotgun;
+  shooter.ammo = 5;
+  world.mutable_avatar(1).pos = {950, 200, 0};  // near max range, wide spread
+
+  std::vector<PlayerInput> in(2);
+  in[0].fire = true;
+  const FrameEvents& ev = world.step(in);
+  EXPECT_LT(ev.hits.size(), 6u) << "spread should scatter pellets at range";
+}
+
+TEST(World, PlasmaIsAFastProjectile) {
+  GameWorld world(make_test_arena(), 2, 1);
+  AvatarState& shooter = world.mutable_avatar(0);
+  shooter.pos = {200, 200, 0};
+  shooter.yaw = 0.0;
+  shooter.weapon = WeaponKind::kPlasmaGun;
+  shooter.ammo = 5;
+  world.mutable_avatar(1).pos = {900, 900, 0};
+  std::vector<PlayerInput> in(2);
+  in[0].fire = true;
+  world.step(in);
+  ASSERT_EQ(world.projectiles().size(), 1u);
+  EXPECT_EQ(world.projectiles()[0].weapon, WeaponKind::kPlasmaGun);
+  EXPECT_NEAR(world.projectiles()[0].vel.norm(), 2000.0, 1.0);
+}
+
+TEST(World, NewWeaponPickupsWork) {
+  GameMap map = make_test_arena();
+  map.add_item_spawn({ItemKind::kLightningGun, {150, 150, 0}, 20.0});
+  GameWorld world(map, 1, 1);
+  world.mutable_avatar(0).pos = {150, 150, 0};
+  std::vector<PlayerInput> in(1);
+  world.step(in);
+  EXPECT_EQ(world.avatar(0).weapon, WeaponKind::kLightningGun);
+}
+
+// ---------------------------------------------------------------- World
+
+TEST(World, SpawnsPlayersAlive) {
+  GameWorld world(make_test_arena(), 4, 1);
+  for (PlayerId p = 0; p < 4; ++p) {
+    EXPECT_TRUE(world.avatar(p).alive);
+    EXPECT_EQ(world.avatar(p).health, 100);
+    EXPECT_TRUE(world.map().in_bounds(world.avatar(p).pos));
+  }
+}
+
+TEST(World, HitscanKillAndRespawn) {
+  GameWorld world(make_test_arena(), 2, 1);
+  // Arrange a point-blank railgun execution.
+  AvatarState& shooter = world.mutable_avatar(0);
+  AvatarState& victim = world.mutable_avatar(1);
+  shooter.pos = {200, 200, 0};
+  shooter.yaw = 0.0;
+  shooter.pitch = 0.0;
+  shooter.weapon = WeaponKind::kRailgun;
+  shooter.ammo = 10;
+  victim.pos = {400, 200, 0};
+  victim.health = 50;
+  victim.armor = 0;
+
+  std::vector<PlayerInput> in(2);
+  in[0].yaw = 0.0;
+  in[0].fire = true;
+  const FrameEvents& ev = world.step(in);
+  ASSERT_EQ(ev.kills.size(), 1u);
+  EXPECT_EQ(ev.kills[0].killer, 0u);
+  EXPECT_EQ(ev.kills[0].victim, 1u);
+  EXPECT_FALSE(world.avatar(1).alive);
+  EXPECT_EQ(world.avatar(0).frags, 1);
+
+  // Victim respawns after the delay.
+  in[0].fire = false;
+  for (int i = 0; i <= GameWorld::kRespawnDelayFrames; ++i) world.step(in);
+  EXPECT_TRUE(world.avatar(1).alive);
+  EXPECT_EQ(world.avatar(1).health, GameWorld::kSpawnHealth);
+}
+
+TEST(World, ArmorAbsorbsDamage) {
+  GameWorld world(make_test_arena(), 2, 1);
+  AvatarState& shooter = world.mutable_avatar(0);
+  AvatarState& victim = world.mutable_avatar(1);
+  shooter.pos = {200, 200, 0};
+  shooter.yaw = 0.0;
+  shooter.weapon = WeaponKind::kRailgun;  // 100 damage
+  victim.pos = {400, 200, 0};
+  victim.health = 100;
+  victim.armor = 100;
+
+  std::vector<PlayerInput> in(2);
+  in[0].fire = true;
+  world.step(in);
+  // 2/3 of 100 absorbed by armor: health -34, armor -66.
+  EXPECT_EQ(world.avatar(1).health, 100 - 34);
+  EXPECT_EQ(world.avatar(1).armor, 100 - 66);
+  EXPECT_TRUE(world.avatar(1).alive);
+}
+
+TEST(World, RefireCooldownEnforced) {
+  GameWorld world(make_test_arena(), 2, 1);
+  AvatarState& shooter = world.mutable_avatar(0);
+  shooter.pos = {200, 200, 0};
+  shooter.weapon = WeaponKind::kRailgun;
+  shooter.ammo = 10;
+  world.mutable_avatar(1).pos = {900, 900, 0};  // out of the line of fire
+
+  std::vector<PlayerInput> in(2);
+  in[0].fire = true;
+  int shots = 0;
+  for (int i = 0; i < 30; ++i) {
+    shots += static_cast<int>(world.step(in).shots.size());
+  }
+  // 1.5 s railgun cooldown => at most one shot per 30 frames.
+  EXPECT_EQ(shots, 1);
+}
+
+TEST(World, AmmoDepletes) {
+  GameWorld world(make_test_arena(), 2, 1);
+  AvatarState& shooter = world.mutable_avatar(0);
+  shooter.pos = {200, 200, 0};
+  shooter.weapon = WeaponKind::kMachineGun;
+  shooter.ammo = 3;
+  world.mutable_avatar(1).pos = {900, 900, 0};
+
+  std::vector<PlayerInput> in(2);
+  in[0].fire = true;
+  int shots = 0;
+  for (int i = 0; i < 100; ++i) shots += static_cast<int>(world.step(in).shots.size());
+  EXPECT_EQ(shots, 3);
+  EXPECT_EQ(world.avatar(0).ammo, 0);
+}
+
+TEST(World, ItemPickupAndRespawn) {
+  GameWorld world(make_test_arena(), 1, 1);
+  AvatarState& a = world.mutable_avatar(0);
+  const auto& item = world.items().at(0);  // health at (500,200)
+  ASSERT_EQ(item.spawn.kind, ItemKind::kHealth);
+  a.pos = item.spawn.pos;
+  a.health = 50;
+
+  std::vector<PlayerInput> in(1);
+  const FrameEvents& ev = world.step(in);
+  ASSERT_EQ(ev.pickups.size(), 1u);
+  EXPECT_EQ(world.avatar(0).health, 75);
+  EXPECT_FALSE(world.items().at(0).available);
+}
+
+TEST(World, InteractionRecencyTracksHits) {
+  GameWorld world(make_test_arena(), 2, 1);
+  EXPECT_LT(world.last_interaction(0, 1), 0);
+  AvatarState& shooter = world.mutable_avatar(0);
+  shooter.pos = {200, 200, 0};
+  shooter.weapon = WeaponKind::kMachineGun;
+  world.mutable_avatar(1).pos = {400, 200, 0};
+  std::vector<PlayerInput> in(2);
+  in[0].fire = true;
+  // Machinegun has spread; fire for a few frames until something connects.
+  for (int i = 0; i < 40 && world.last_interaction(0, 1) < 0; ++i) world.step(in);
+  EXPECT_GE(world.last_interaction(0, 1), 0);
+  EXPECT_EQ(world.last_interaction(0, 1), world.last_interaction(1, 0));
+}
+
+TEST(World, RocketProjectileTravelsAndDetonates) {
+  GameWorld world(make_test_arena(), 2, 1);
+  AvatarState& shooter = world.mutable_avatar(0);
+  shooter.pos = {200, 200, 0};
+  shooter.yaw = 0.0;
+  shooter.weapon = WeaponKind::kRocketLauncher;
+  shooter.ammo = 5;
+  AvatarState& victim = world.mutable_avatar(1);
+  victim.pos = {800, 200, 0};
+  victim.health = 100;
+  victim.armor = 0;
+
+  std::vector<PlayerInput> in(2);
+  in[0].fire = true;
+  world.step(in);
+  ASSERT_EQ(world.projectiles().size(), 1u);
+  in[0].fire = false;
+  // 600 units at 900 u/s ≈ 0.67 s ≈ 14 frames.
+  bool dead = false;
+  for (int i = 0; i < 30; ++i) {
+    world.step(in);
+    if (!world.avatar(1).alive) { dead = true; break; }
+  }
+  EXPECT_TRUE(dead);
+}
+
+TEST(World, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    const GameMap map = make_longest_yard();
+    GameWorld world(map, 8, seed);
+    auto roster = make_roster(map, 8, 8, seed);
+    std::vector<PlayerInput> in(8);
+    for (int f = 0; f < 100; ++f) {
+      for (PlayerId p = 0; p < 8; ++p) in[p] = roster[p]->decide(p, world);
+      world.step(in);
+    }
+    std::vector<Vec3> pos;
+    for (PlayerId p = 0; p < 8; ++p) pos.push_back(world.avatar(p).pos);
+    return pos;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+// ---------------------------------------------------------------- Traces
+
+TEST(Trace, RecordProducesFullSession) {
+  const GameMap map = make_longest_yard();
+  SessionConfig cfg;
+  cfg.n_players = 8;
+  cfg.n_humans = 6;
+  cfg.n_frames = 200;
+  const GameTrace trace = record_session(map, cfg);
+  EXPECT_EQ(trace.n_players, 8u);
+  EXPECT_EQ(trace.num_frames(), 200u);
+  for (const auto& f : trace.frames) EXPECT_EQ(f.avatars.size(), 8u);
+}
+
+TEST(Trace, SessionHasActivity) {
+  const GameMap map = make_longest_yard();
+  SessionConfig cfg;
+  cfg.n_players = 16;
+  cfg.n_humans = 12;
+  cfg.n_frames = 1200;  // 1 minute
+  const GameTrace trace = record_session(map, cfg);
+  std::size_t shots = 0, kills = 0, pickups = 0;
+  for (const auto& f : trace.frames) {
+    shots += f.events.shots.size();
+    kills += f.events.kills.size();
+    pickups += f.events.pickups.size();
+  }
+  EXPECT_GT(shots, 50u);
+  EXPECT_GT(kills, 0u);
+  EXPECT_GT(pickups, 5u);
+}
+
+TEST(Trace, SerializeRoundTrip) {
+  const GameMap map = make_longest_yard();
+  SessionConfig cfg;
+  cfg.n_players = 4;
+  cfg.n_frames = 50;
+  const GameTrace trace = record_session(map, cfg);
+  const auto bytes = trace.serialize();
+  const GameTrace back = GameTrace::deserialize(bytes);
+  EXPECT_EQ(back.map_name, trace.map_name);
+  EXPECT_EQ(back.n_players, trace.n_players);
+  ASSERT_EQ(back.num_frames(), trace.num_frames());
+  for (std::size_t f = 0; f < trace.num_frames(); ++f) {
+    for (PlayerId p = 0; p < 4; ++p) {
+      EXPECT_NEAR(back.frames[f].avatars[p].pos.x, trace.frames[f].avatars[p].pos.x, 1e-3);
+      EXPECT_EQ(back.frames[f].avatars[p].health, trace.frames[f].avatars[p].health);
+      EXPECT_EQ(back.frames[f].avatars[p].alive, trace.frames[f].avatars[p].alive);
+    }
+    EXPECT_EQ(back.frames[f].events.kills.size(), trace.frames[f].events.kills.size());
+  }
+}
+
+TEST(Trace, DeserializeGarbageThrows) {
+  const std::vector<std::uint8_t> junk = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_THROW(GameTrace::deserialize(junk), DecodeError);
+}
+
+TEST(Trace, ReplayerTracksInteractions) {
+  const GameMap map = make_longest_yard();
+  SessionConfig cfg;
+  cfg.n_players = 16;
+  cfg.n_humans = 16;
+  cfg.n_frames = 600;
+  const GameTrace trace = record_session(map, cfg);
+
+  // Find a frame with a hit, then confirm the replayer reports it.
+  std::size_t hit_frame = 0;
+  PlayerId a = kInvalidPlayer, b = kInvalidPlayer;
+  for (std::size_t f = 0; f < trace.num_frames(); ++f) {
+    if (!trace.frames[f].events.hits.empty()) {
+      hit_frame = f;
+      a = trace.frames[f].events.hits[0].shooter;
+      b = trace.frames[f].events.hits[0].target;
+      break;
+    }
+  }
+  ASSERT_NE(a, kInvalidPlayer) << "no hits in 30 s session";
+
+  TraceReplayer rep(trace);
+  rep.seek(hit_frame);
+  EXPECT_EQ(rep.last_interaction(a, b), static_cast<Frame>(hit_frame));
+  // Seeking backwards rebuilds state.
+  if (hit_frame > 0) {
+    rep.seek(hit_frame - 1);
+    EXPECT_LT(rep.last_interaction(a, b), static_cast<Frame>(hit_frame));
+  }
+}
+
+TEST(Trace, RecordIsDeterministic) {
+  const GameMap map = make_longest_yard();
+  SessionConfig cfg;
+  cfg.n_players = 6;
+  cfg.n_frames = 100;
+  const auto a = record_session(map, cfg).serialize();
+  const auto b = record_session(map, cfg).serialize();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace watchmen::game

@@ -1,0 +1,165 @@
+// Tests for src/net: clock, latency models, discrete-event network.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/latency.hpp"
+#include "net/network.hpp"
+#include "util/stats.hpp"
+
+namespace watchmen::net {
+namespace {
+
+std::vector<std::uint8_t> payload(std::size_t n) {
+  return std::vector<std::uint8_t>(n, 0xaa);
+}
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock c;
+  EXPECT_EQ(c.now(), 0);
+  c.advance_to(100);
+  EXPECT_EQ(c.now(), 100);
+  c.advance_to(50);  // never goes backwards
+  EXPECT_EQ(c.now(), 100);
+  EXPECT_EQ(c.frame(), 2);
+}
+
+TEST(Latency, FixedIsConstant) {
+  FixedLatency lat(25.0);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(lat.sample(0, 1, rng), 25.0);
+}
+
+TEST(Latency, KingOneWayMeanIsNear31ms) {
+  // King reports RTTs (paper mean 62 ms) => one-way base ~31 ms.
+  auto lat = make_king_latency(48, 7);
+  EXPECT_NEAR(lat->mean_base(), 31.0, 3.0);
+}
+
+TEST(Latency, PeerwiseOneWayMeanIsNear34ms) {
+  auto lat = make_peerwise_latency(48, 7);
+  EXPECT_NEAR(lat->mean_base(), 34.0, 3.5);
+}
+
+TEST(Latency, BaseIsSymmetricAndZeroSelf) {
+  auto lat = make_king_latency(16, 3);
+  EXPECT_DOUBLE_EQ(lat->base(2, 9), lat->base(9, 2));
+  EXPECT_DOUBLE_EQ(lat->base(5, 5), 0.0);
+}
+
+TEST(Latency, SampleAddsPositiveJitter) {
+  auto lat = make_king_latency(8, 3);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(lat->sample(0, 1, rng), lat->base(0, 1));
+  }
+}
+
+TEST(SimNetwork, DeliversInLatencyOrder) {
+  auto net = SimNetwork(2, std::make_unique<FixedLatency>(30.0), 0.0, 1);
+  std::vector<TimeMs> deliveries;
+  net.set_handler(1, [&](const Envelope& e) { deliveries.push_back(e.delivered_at); });
+  net.send(0, 1, payload(10));
+  net.run_until(100);
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0], 30);
+}
+
+TEST(SimNetwork, FifoForEqualDueTimes) {
+  auto net = SimNetwork(2, std::make_unique<FixedLatency>(10.0), 0.0, 1);
+  std::vector<std::uint8_t> order;
+  net.set_handler(1, [&](const Envelope& e) { order.push_back(e.bytes()[0]); });
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    net.send(0, 1, std::vector<std::uint8_t>{i});
+  }
+  net.run_until(100);
+  EXPECT_EQ(order, (std::vector<std::uint8_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimNetwork, RunUntilRespectsDeadline) {
+  auto net = SimNetwork(2, std::make_unique<FixedLatency>(50.0), 0.0, 1);
+  int count = 0;
+  net.set_handler(1, [&](const Envelope&) { ++count; });
+  net.send(0, 1, payload(4));
+  net.run_until(49);
+  EXPECT_EQ(count, 0);
+  net.run_until(50);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SimNetwork, LossRateApproximatelyHonored) {
+  auto net = SimNetwork(2, std::make_unique<FixedLatency>(1.0), 0.10, 9);
+  int received = 0;
+  net.set_handler(1, [&](const Envelope&) { ++received; });
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) net.send(0, 1, payload(1));
+  net.run_until(1000);
+  EXPECT_NEAR(static_cast<double>(received) / n, 0.90, 0.01);
+  EXPECT_EQ(net.stats().dropped + net.stats().delivered,
+            static_cast<std::uint64_t>(n));
+}
+
+TEST(SimNetwork, BandwidthAccountingIncludesOverhead) {
+  auto net = SimNetwork(2, std::make_unique<FixedLatency>(1.0), 0.0, 1);
+  net.set_handler(1, [](const Envelope&) {});
+  net.send(0, 1, payload(100));
+  EXPECT_EQ(net.bits_sent_by(0), 100 * 8 + kUdpOverheadBits);
+  net.reset_bit_counters();
+  EXPECT_EQ(net.bits_sent_by(0), 0u);
+}
+
+TEST(SimNetwork, UploadCapacityQueuesMessages) {
+  // 8 kbit/s uplink; each message is 1000 bits + 224 overhead = 1224 bits
+  // => 153 ms serialization each. Second message must arrive ~153 ms later.
+  auto net = SimNetwork(2, std::make_unique<FixedLatency>(10.0), 0.0, 1);
+  net.set_upload_bps(0, 8000.0);
+  std::vector<TimeMs> at;
+  net.set_handler(1, [&](const Envelope& e) { at.push_back(e.delivered_at); });
+  net.send(0, 1, payload(125));
+  net.send(0, 1, payload(125));
+  net.run_until(2000);
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(at[1] - at[0]), 153.0, 3.0);
+}
+
+TEST(SimNetwork, UnconstrainedUplinkNoQueueing) {
+  auto net = SimNetwork(2, std::make_unique<FixedLatency>(10.0), 0.0, 1);
+  std::vector<TimeMs> at;
+  net.set_handler(1, [&](const Envelope& e) { at.push_back(e.delivered_at); });
+  net.send(0, 1, payload(125));
+  net.send(0, 1, payload(125));
+  net.run_until(2000);
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_EQ(at[0], at[1]);
+}
+
+TEST(SimNetwork, SelfSendHasZeroLatency) {
+  auto net = SimNetwork(2, std::make_unique<FixedLatency>(40.0), 0.0, 1);
+  TimeMs when = -1;
+  net.set_handler(0, [&](const Envelope& e) { when = e.delivered_at; });
+  net.send(0, 0, payload(1));
+  net.run_until(100);
+  EXPECT_EQ(when, 0);
+}
+
+TEST(SimNetwork, BadNodeIdThrows) {
+  auto net = SimNetwork(2, std::make_unique<FixedLatency>(1.0), 0.0, 1);
+  EXPECT_THROW(net.send(0, 7, payload(1)), std::out_of_range);
+}
+
+TEST(SimNetwork, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    auto net = SimNetwork(3, std::make_unique<LanLatency>(), 0.05, seed);
+    std::vector<TimeMs> at;
+    net.set_handler(1, [&](const Envelope& e) { at.push_back(e.delivered_at); });
+    for (int i = 0; i < 50; ++i) net.send(0, 1, payload(8));
+    net.run_until(500);
+    return at;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace watchmen::net

@@ -1,0 +1,315 @@
+// Focused protocol tests for WatchmenPeer: message dispatch, replay
+// windows, handoff validation, churn notices, and hybrid/heterogeneous
+// pool configurations — driven through small scripted sessions.
+
+#include <gtest/gtest.h>
+
+#include "cheat/cheats.hpp"
+#include "core/session.hpp"
+#include "game/map.hpp"
+#include "game/trace.hpp"
+
+namespace watchmen::core {
+namespace {
+
+class PeerProtocol : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    map_ = new game::GameMap(game::make_longest_yard());
+    game::SessionConfig cfg;
+    cfg.n_players = 12;
+    cfg.n_frames = 400;
+    cfg.seed = 11;
+    trace_ = new game::GameTrace(game::record_session(*map_, cfg));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete map_;
+    trace_ = nullptr;
+    map_ = nullptr;
+  }
+  static game::GameMap* map_;
+  static game::GameTrace* trace_;
+};
+
+game::GameMap* PeerProtocol::map_ = nullptr;
+game::GameTrace* PeerProtocol::trace_ = nullptr;
+
+TEST_F(PeerProtocol, PoolWeightsApplyToAllPeers) {
+  SessionOptions opts;
+  opts.net = NetProfile::kLan;
+  opts.loss_rate = 0.0;
+  // Players 0-3 never serve as proxies.
+  for (PlayerId p = 0; p < 4; ++p) opts.pool_weights.emplace_back(p, 0.0);
+  WatchmenSession session(*trace_, *map_, opts);
+  session.run_frames(200);
+
+  for (PlayerId p = 0; p < 12; ++p) {
+    for (PlayerId weak = 0; weak < 4; ++weak) {
+      EXPECT_FALSE(session.peer(p).schedule().in_pool(weak));
+      EXPECT_TRUE(session.peer(p).proxied_players().empty() ||
+                  true);  // structural sanity only
+    }
+    // Weak players still get proxied by someone else.
+    EXPECT_GE(session.peer(p).schedule().proxy_at(0, 100), 4u);
+  }
+}
+
+TEST_F(PeerProtocol, UploadCapsApplyThroughOptions) {
+  SessionOptions opts;
+  opts.net = NetProfile::kLan;
+  opts.loss_rate = 0.0;
+  opts.upload_bps.emplace_back(0, 50'000.0);  // heavily constrained
+  opts.pool_weights.emplace_back(0, 0.0);     // and excluded from the pool
+  WatchmenSession session(*trace_, *map_, opts);
+  session.run();
+  // The constrained player-role upload still fits: everyone keeps hearing
+  // from player 0.
+  for (PlayerId p = 1; p < 12; ++p) {
+    EXPECT_GT(session.peer(p).knowledge_of(0).pos_frame, 300);
+  }
+}
+
+TEST_F(PeerProtocol, ReplayedWiresAreDroppedAndBlamed) {
+  cheat::ReplayCheat ch(3, 0.10);
+  std::unordered_map<PlayerId, Misbehavior*> mbs{{2, &ch}};
+  SessionOptions opts;
+  opts.net = NetProfile::kLan;
+  opts.loss_rate = 0.0;
+  WatchmenSession session(*trace_, *map_, opts, mbs);
+  session.run();
+
+  ASSERT_GT(ch.cheat_frames().size(), 5u);
+  // Replays are rejected through two complementary paths: stale-sequence
+  // drops (when the receiver tracks the replayed origin) and wrong-proxy
+  // consistency violations (when the replayer forwards someone else's
+  // signed message). Together they must cover most injections.
+  std::uint64_t drops = 0;
+  for (PlayerId p = 0; p < 12; ++p) {
+    drops += session.peer(p).metrics().dropped_replays;
+  }
+  EXPECT_GT(drops, 0u);
+  EXPECT_TRUE(session.detector().flagged(2));
+  EXPECT_GE(session.detector().summary(2).high_confidence_reports,
+            ch.cheat_frames().size() / 2);
+}
+
+TEST_F(PeerProtocol, TamperedForwardsCountSignatureRejects) {
+  cheat::MaliciousProxyCheat ch(/*tamper=*/true, 1.0, 3);
+  std::unordered_map<PlayerId, Misbehavior*> mbs{{4, &ch}};
+  SessionOptions opts;
+  opts.net = NetProfile::kLan;
+  opts.loss_rate = 0.0;
+  WatchmenSession session(*trace_, *map_, opts, mbs);
+  session.run();
+
+  std::uint64_t rejects = 0;
+  for (PlayerId p = 0; p < 12; ++p) {
+    rejects += session.peer(p).metrics().sig_rejects;
+  }
+  EXPECT_GT(rejects, 100u);
+  EXPECT_TRUE(session.detector().flagged(4));
+  // Nobody else gets blamed for the tampering.
+  const auto& s4 = session.detector().summary(4);
+  for (PlayerId p = 0; p < 12; ++p) {
+    if (p == 4) continue;
+    EXPECT_LT(session.detector().summary(p).high_confidence_reports,
+              s4.high_confidence_reports / 4 + 2);
+  }
+}
+
+TEST_F(PeerProtocol, HandoffsKeepSubscriptionsAliveAcrossRounds) {
+  SessionOptions opts;
+  opts.net = NetProfile::kLan;
+  opts.loss_rate = 0.0;
+  WatchmenSession session(*trace_, *map_, opts);
+  session.run();
+
+  // A healthy session: everyone kept receiving frequent updates through
+  // many proxy rotations (10 rounds in 400 frames).
+  for (PlayerId p = 0; p < 12; ++p) {
+    EXPECT_GT(session.peer(p).metrics().updates_received, 1000u);
+  }
+  // And proxy handoffs happened: each peer proxied someone at some point.
+  std::size_t total_handoffs = 0;
+  for (PlayerId p = 0; p < 12; ++p) {
+    total_handoffs += session.peer(p).metrics().sent_by_type[static_cast<int>(
+        MsgType::kHandoff)];
+  }
+  // ~12 players x 9 boundaries x 2 (redundant copies).
+  EXPECT_GT(total_handoffs, 100u);
+}
+
+TEST_F(PeerProtocol, ChurnNoticeFromNonProxyIsRejected) {
+  // Craft a churn notice from a player that is NOT the subject's proxy:
+  // receivers must flag the sender and keep the subject in the pool.
+  SessionOptions opts;
+  opts.net = NetProfile::kLan;
+  opts.loss_rate = 0.0;
+  WatchmenSession session(*trace_, *map_, opts);
+  session.run_frames(100);
+
+  const PlayerId subject = 3;
+  const std::int64_t round = session.peer(0).schedule().round_of(99);
+  // Find a player that is NOT subject's proxy.
+  PlayerId liar = 0;
+  while (liar == subject ||
+         session.peer(0).schedule().proxy_of(subject, round) == liar) {
+    ++liar;
+  }
+  MsgHeader h;
+  h.type = MsgType::kChurnNotice;
+  h.origin = liar;
+  h.subject = subject;
+  h.frame = 99;
+  h.seq = 1 << 20;
+  const auto wire =
+      seal(h, encode_churn_body(round + 2), session.keys().key_pair(liar));
+  for (PlayerId p = 0; p < 12; ++p) {
+    if (p != liar) session.network().send(liar, p, wire);
+  }
+  session.run_frames(150);  // past the claimed removal round
+
+  for (PlayerId p = 0; p < 12; ++p) {
+    EXPECT_TRUE(session.peer(p).schedule().in_pool(subject))
+        << "forged churn notice evicted an honest player";
+  }
+  EXPECT_GT(session.detector().summary(liar).high_confidence_reports, 0u);
+}
+
+TEST_F(PeerProtocol, DisconnectedPlayerEventuallyLeavesEveryPool) {
+  SessionOptions opts;
+  opts.net = NetProfile::kLan;
+  opts.loss_rate = 0.0;
+  WatchmenSession session(*trace_, *map_, opts);
+  session.run_frames(80);
+  session.disconnect(7);
+  session.run_frames(200);
+  for (PlayerId p = 0; p < 12; ++p) {
+    if (p == 7) continue;
+    EXPECT_FALSE(session.peer(p).schedule().in_pool(7)) << "peer " << p;
+  }
+}
+
+TEST_F(PeerProtocol, SpoofedChurnBodyCannotRewriteThePast) {
+  // A removal round in the past must be ignored even from the real proxy.
+  SessionOptions opts;
+  opts.net = NetProfile::kLan;
+  opts.loss_rate = 0.0;
+  WatchmenSession session(*trace_, *map_, opts);
+  session.run_frames(120);
+
+  const PlayerId subject = 5;
+  const std::int64_t round = session.peer(0).schedule().round_of(119);
+  const PlayerId proxy = session.peer(0).schedule().proxy_of(subject, round);
+  MsgHeader h;
+  h.type = MsgType::kChurnNotice;
+  h.origin = proxy;
+  h.subject = subject;
+  h.frame = 119;
+  h.seq = 1 << 20;
+  const auto wire =
+      seal(h, encode_churn_body(0), session.keys().key_pair(proxy));
+  for (PlayerId p = 0; p < 12; ++p) {
+    if (p != proxy) session.network().send(proxy, p, wire);
+  }
+  session.run_frames(100);
+  for (PlayerId p = 0; p < 12; ++p) {
+    EXPECT_TRUE(session.peer(p).schedule().in_pool(subject));
+  }
+}
+
+TEST_F(PeerProtocol, EscapeTriggersChurnNotices) {
+  cheat::EscapeCheat ch(160);
+  std::unordered_map<PlayerId, Misbehavior*> mbs{{6, &ch}};
+  SessionOptions opts;
+  opts.net = NetProfile::kLan;
+  opts.loss_rate = 0.0;
+  WatchmenSession session(*trace_, *map_, opts, mbs);
+  session.run();
+
+  // The escaped player is detected AND evicted from the pool.
+  EXPECT_TRUE(session.detector().flagged(6));
+  std::size_t evicted = 0;
+  for (PlayerId p = 0; p < 12; ++p) {
+    if (p != 6 && !session.peer(p).schedule().in_pool(6)) ++evicted;
+  }
+  EXPECT_GE(evicted, 10u);
+}
+
+TEST_F(PeerProtocol, ForgedSubscriberListIgnored) {
+  // In direct-update mode, only a player's own proxy may hand it a
+  // subscriber list; a forged list would let an attacker redirect a
+  // victim's frequent stream to itself.
+  SessionOptions opts;
+  opts.net = NetProfile::kLan;
+  opts.loss_rate = 0.0;
+  opts.watchmen.direct_updates = true;
+  WatchmenSession session(*trace_, *map_, opts);
+  session.run_frames(100);
+
+  const PlayerId victim = 2;
+  PlayerId liar = 5;
+  while (liar == victim ||
+         session.peer(0).schedule().proxy_at(victim, 99) == liar) {
+    ++liar;
+  }
+  // The liar names itself as victim's sole IS subscriber.
+  MsgHeader h;
+  h.type = MsgType::kSubscriberList;
+  h.origin = liar;
+  h.subject = victim;
+  h.frame = 99;
+  h.seq = 1 << 20;
+  const auto wire = seal(h, encode_subscriber_list_body({liar}),
+                         session.keys().key_pair(liar));
+  session.network().send(liar, victim, wire);
+
+  const auto before = session.peer(liar).metrics().updates_received;
+  session.run_frames(10);
+  // The victim must not have started pushing to the liar beyond what its
+  // genuine subscriptions deliver: receiving rate unchanged (~10 frames of
+  // normal traffic, not a fresh 20 Hz stream from the victim on top).
+  const auto after = session.peer(liar).metrics().updates_received;
+  EXPECT_LT(after - before, 600u);
+  session.run_frames(100);  // and the session stays healthy
+  EXPECT_GT(session.peer(victim).metrics().updates_received, 400u);
+}
+
+TEST_F(PeerProtocol, DirectModeSurvivesChurn) {
+  SessionOptions opts;
+  opts.net = NetProfile::kLan;
+  opts.loss_rate = 0.0;
+  opts.watchmen.direct_updates = true;
+  WatchmenSession session(*trace_, *map_, opts);
+  session.run_frames(80);
+  session.disconnect(3);
+  session.run_frames(240);
+
+  for (PlayerId p = 0; p < 12; ++p) {
+    if (p == 3) continue;
+    EXPECT_FALSE(session.peer(p).schedule().in_pool(3));
+    EXPECT_GT(session.peer(p).metrics().updates_received, 800u);
+  }
+}
+
+TEST_F(PeerProtocol, MetricsAccounting) {
+  SessionOptions opts;
+  opts.net = NetProfile::kLan;
+  opts.loss_rate = 0.0;
+  WatchmenSession session(*trace_, *map_, opts);
+  session.run();
+
+  for (PlayerId p = 0; p < 12; ++p) {
+    const PeerMetrics& m = session.peer(p).metrics();
+    // 400 frames: one state update per frame, guidance+pos every 20.
+    EXPECT_EQ(m.sent_by_type[static_cast<int>(MsgType::kStateUpdate)], 400u);
+    EXPECT_EQ(m.sent_by_type[static_cast<int>(MsgType::kGuidance)], 20u);
+    EXPECT_EQ(m.sent_by_type[static_cast<int>(MsgType::kPositionUpdate)], 20u);
+    EXPECT_EQ(m.sig_rejects, 0u);
+    EXPECT_EQ(m.dropped_replays, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace watchmen::core

@@ -1,0 +1,123 @@
+// Tests for src/reputation: tagging, thresholds, credibility damping.
+
+#include <gtest/gtest.h>
+
+#include "reputation/reputation.hpp"
+
+namespace watchmen::reputation {
+namespace {
+
+TEST(Reputation, NewPlayersArePerfect) {
+  const ReputationSystem rep(4);
+  for (PlayerId p = 0; p < 4; ++p) {
+    EXPECT_DOUBLE_EQ(rep.reputation(p), 1.0);
+    EXPECT_FALSE(rep.should_ban(p));
+  }
+}
+
+TEST(Reputation, RatioReflectsReports) {
+  ReputationSystem rep(4);
+  for (int i = 0; i < 8; ++i) rep.report(0, 1, true);
+  for (int i = 0; i < 2; ++i) rep.report(0, 1, false);
+  EXPECT_NEAR(rep.reputation(1), 0.8, 1e-9);
+}
+
+TEST(Reputation, BanRequiresMinimumEvidence) {
+  ReputationConfig cfg;
+  cfg.ban_threshold = 0.8;
+  cfg.min_interactions = 20.0;
+  ReputationSystem rep(4, cfg);
+  // 5 failures: terrible ratio, but not enough evidence yet.
+  for (int i = 0; i < 5; ++i) rep.report(0, 1, false);
+  EXPECT_FALSE(rep.should_ban(1));
+  for (int i = 0; i < 20; ++i) rep.report(2, 1, false);
+  EXPECT_TRUE(rep.should_ban(1));
+}
+
+TEST(Reputation, GoodPlayersSurviveOccasionalFalsePositives) {
+  ReputationSystem rep(4);
+  for (int i = 0; i < 50; ++i) rep.report(0, 1, true);
+  for (int i = 0; i < 3; ++i) rep.report(2, 1, false);
+  EXPECT_GT(rep.reputation(1), 0.9);
+  EXPECT_FALSE(rep.should_ban(1));
+}
+
+TEST(Reputation, ConfidenceScalesWeight) {
+  ReputationSystem rep(4);
+  rep.report(0, 1, false, 1.0);
+  rep.report(0, 2, false, 0.2);
+  EXPECT_DOUBLE_EQ(rep.total_weight(1), 1.0);
+  EXPECT_DOUBLE_EQ(rep.total_weight(2), 0.2);
+}
+
+TEST(Reputation, SelfReportsIgnored) {
+  ReputationSystem rep(4);
+  rep.report(1, 1, true);
+  rep.report(1, 1, true);
+  EXPECT_DOUBLE_EQ(rep.total_weight(1), 0.0);
+}
+
+TEST(Reputation, BadMouthingDamped) {
+  // A detected cheater smears an honest player; its low credibility makes
+  // the smear nearly weightless.
+  ReputationSystem rep(4);
+  // Establish cheater 0's bad standing.
+  for (int i = 0; i < 30; ++i) rep.report(1, 0, false);
+  ASSERT_LT(rep.reputation(0), 0.1);
+  // Cheater bad-mouths honest player 2, who has a modest good history.
+  for (int i = 0; i < 10; ++i) rep.report(3, 2, true);
+  for (int i = 0; i < 30; ++i) rep.report(0, 2, false);
+  EXPECT_GT(rep.reputation(2), 0.8);
+  EXPECT_FALSE(rep.should_ban(2));
+}
+
+TEST(Reputation, WithoutCredibilityWeightingSmearsLand) {
+  ReputationConfig cfg;
+  cfg.credibility_weighting = false;
+  ReputationSystem rep(4, cfg);
+  for (int i = 0; i < 30; ++i) rep.report(1, 0, false);
+  for (int i = 0; i < 10; ++i) rep.report(3, 2, true);
+  for (int i = 0; i < 30; ++i) rep.report(0, 2, false);
+  EXPECT_LT(rep.reputation(2), 0.5) << "control: damping off, smear works";
+}
+
+TEST(Reputation, BannedListSortedWorstFirst) {
+  ReputationSystem rep(4);
+  for (int i = 0; i < 30; ++i) rep.report(3, 0, false);
+  for (int i = 0; i < 25; ++i) rep.report(3, 1, false);
+  for (int i = 0; i < 8; ++i) rep.report(3, 1, true);
+  const auto banned = rep.banned();
+  ASSERT_EQ(banned.size(), 2u);
+  EXPECT_EQ(banned[0], 0u);  // worst reputation first
+  EXPECT_EQ(banned[1], 1u);
+}
+
+TEST(Reputation, OutOfRangeSubjectsIgnored) {
+  ReputationSystem rep(2);
+  rep.report(0, 99, false);  // no crash, no effect
+  rep.report(99, 1, false);
+  EXPECT_DOUBLE_EQ(rep.total_weight(1), 0.0);
+}
+
+class BanThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BanThresholdSweep, ThresholdIsRespected) {
+  ReputationConfig cfg;
+  cfg.ban_threshold = GetParam();
+  cfg.min_interactions = 10.0;
+  cfg.credibility_weighting = false;
+  ReputationSystem rep(3);
+  // Player 1 ends with ratio exactly 0.5.
+  for (int i = 0; i < 15; ++i) rep.report(0, 1, true);
+  for (int i = 0; i < 15; ++i) rep.report(2, 1, false);
+  ReputationSystem rep2(3, cfg);
+  for (int i = 0; i < 15; ++i) rep2.report(0, 1, true);
+  for (int i = 0; i < 15; ++i) rep2.report(2, 1, false);
+  EXPECT_EQ(rep2.should_ban(1), GetParam() > 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, BanThresholdSweep,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.8));
+
+}  // namespace
+}  // namespace watchmen::reputation

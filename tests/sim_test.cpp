@@ -1,0 +1,130 @@
+// Tests for src/sim: the Fig. 6 detection harness and bandwidth accounting.
+
+#include <gtest/gtest.h>
+
+#include "sim/bandwidth.hpp"
+#include "sim/detection.hpp"
+
+namespace watchmen::sim {
+namespace {
+
+class SimHarness : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    map_ = new game::GameMap(game::make_longest_yard());
+    game::SessionConfig cfg;
+    cfg.n_players = 24;
+    cfg.n_frames = 800;
+    cfg.seed = 42;
+    trace_ = new game::GameTrace(game::record_session(*map_, cfg));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete map_;
+    trace_ = nullptr;
+    map_ = nullptr;
+  }
+  static game::GameMap* map_;
+  static game::GameTrace* trace_;
+};
+
+game::GameMap* SimHarness::map_ = nullptr;
+game::GameTrace* SimHarness::trace_ = nullptr;
+
+TEST_F(SimHarness, CalibrationLearnsFromHonestTraffic) {
+  core::SessionOptions opts;
+  opts.net = core::NetProfile::kLan;
+  opts.loss_rate = 0.0;
+  const verify::Tolerance tol =
+      calibrate_guidance_tolerance(*trace_, *map_, opts);
+  EXPECT_GT(tol.mean, 0.0);
+  EXPECT_GT(tol.stddev, 0.0);
+  EXPECT_LT(tol.threshold(), 1000.0) << "honest areas are bounded";
+}
+
+TEST_F(SimHarness, DetectionBeatsFalsePositivesOnEveryVerification) {
+  core::SessionOptions opts;
+  opts.net = core::NetProfile::kKing;
+  opts.loss_rate = 0.01;
+  opts.watchmen.guidance_tolerance =
+      calibrate_guidance_tolerance(*trace_, *map_, opts);
+
+  for (int vi = 0; vi < kNumVerifications; ++vi) {
+    DetectionConfig dc;
+    dc.session = opts;
+    const DetectionOutcome out =
+        run_detection(*trace_, *map_, static_cast<Verification>(vi), dc);
+    EXPECT_GT(out.injected, 5u) << to_string(static_cast<Verification>(vi));
+    EXPECT_GT(out.success(), 0.5) << to_string(static_cast<Verification>(vi));
+    EXPECT_LE(out.fp_rate(), 0.05) << to_string(static_cast<Verification>(vi));
+    // Kill claims are the rarest honest message type (~1.5/s in a 24-player
+    // deathmatch); everything else numbers in the thousands.
+    EXPECT_GT(out.honest_messages, 30u);
+  }
+}
+
+TEST_F(SimHarness, OutcomeArithmetic) {
+  DetectionOutcome out;
+  EXPECT_DOUBLE_EQ(out.success(), 0.0);
+  EXPECT_DOUBLE_EQ(out.fp_rate(), 0.0);
+  out.injected = 10;
+  out.detected = 7;
+  out.honest_messages = 1000;
+  out.false_positives = 5;
+  EXPECT_DOUBLE_EQ(out.success(), 0.7);
+  EXPECT_DOUBLE_EQ(out.fp_rate(), 0.005);
+}
+
+// ---------------------------------------------------------------- bandwidth
+
+TEST(Bandwidth, WireSizesMatchPaperScale) {
+  const WireSizes w = WireSizes::measure();
+  // Paper: ~700-bit state updates, ~100-bit signatures. With headers and
+  // UDP/IP overhead our state update lands in the same range.
+  EXPECT_GT(w.state_update, 500.0);
+  EXPECT_LT(w.state_update, 1200.0);
+  EXPECT_LT(w.subscribe, w.state_update);
+  EXPECT_GT(w.guidance, w.position_update);
+}
+
+TEST_F(SimHarness, SetSizesAreSane) {
+  const interest::InterestConfig cfg;
+  const SetSizeStats s = measure_set_sizes(*trace_, *map_, cfg);
+  EXPECT_GT(s.avg_is, 0.5);
+  EXPECT_LE(s.avg_is, 5.0);
+  EXPECT_GT(s.vs_fraction, 0.0);
+  EXPECT_LT(s.vs_fraction, 1.0);
+  EXPECT_GT(s.pvs_fraction, s.vs_fraction) << "PVS has no cone restriction";
+}
+
+TEST_F(SimHarness, ScalingShapesMatchPaper) {
+  const interest::InterestConfig cfg;
+  const SetSizeStats s = measure_set_sizes(*trace_, *map_, cfg);
+  const WireSizes w = WireSizes::measure();
+
+  // Naive P2P per-player upload grows ~linearly with n.
+  EXPECT_GT(naive_p2p_upload_kbps(96, w), 1.8 * naive_p2p_upload_kbps(48, w));
+  // Multi-resolution schemes grow much slower than naive P2P.
+  EXPECT_LT(watchmen_upload_kbps(256, s, w), 0.2 * naive_p2p_upload_kbps(256, w));
+  EXPECT_LT(donnybrook_upload_kbps(256, s, w),
+            0.2 * naive_p2p_upload_kbps(256, w));
+  // Watchmen pays a security premium over Donnybrook, but bounded (< 3x).
+  EXPECT_GT(watchmen_upload_kbps(48, s, w), donnybrook_upload_kbps(48, s, w));
+  EXPECT_LT(watchmen_upload_kbps(48, s, w),
+            3.0 * donnybrook_upload_kbps(48, s, w));
+  // Server total grows superlinearly (paper: ~120n kbps and PVS grows too).
+  EXPECT_GT(client_server_server_kbps(96, s, w),
+            3.0 * client_server_server_kbps(48, s, w));
+}
+
+TEST_F(SimHarness, MeasuredBandwidthWithinConsumerUplink) {
+  core::SessionOptions opts;
+  opts.net = core::NetProfile::kKing;
+  opts.loss_rate = 0.01;
+  const double kbps = watchmen_measured_kbps(*trace_, *map_, opts);
+  EXPECT_GT(kbps, 20.0);
+  EXPECT_LT(kbps, 1000.0) << "must fit a consumer uplink at n=24";
+}
+
+}  // namespace
+}  // namespace watchmen::sim

@@ -1,0 +1,285 @@
+// Tests for src/util: vectors, RNG, stats, serialization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/vec.hpp"
+
+namespace watchmen {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// ---------------------------------------------------------------- Vec3
+
+TEST(Vec3, BasicArithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+}
+
+TEST(Vec3, CrossProductIsOrthogonal) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{-4, 1, 2};
+  const Vec3 c = a.cross(b);
+  EXPECT_NEAR(c.dot(a), 0.0, 1e-12);
+  EXPECT_NEAR(c.dot(b), 0.0, 1e-12);
+}
+
+TEST(Vec3, NormAndNormalize) {
+  const Vec3 v{3, 4, 0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-12);
+  EXPECT_EQ(Vec3{}.normalized(), Vec3{});
+}
+
+TEST(Vec3, AngleBetween) {
+  EXPECT_NEAR(angle_between({1, 0, 0}, {0, 1, 0}), kPi / 2, 1e-12);
+  EXPECT_NEAR(angle_between({1, 0, 0}, {1, 0, 0}), 0.0, 1e-9);
+  EXPECT_NEAR(angle_between({1, 0, 0}, {-1, 0, 0}), kPi, 1e-9);
+}
+
+TEST(Vec3, DirectionFromAngles) {
+  const Vec3 east = direction_from_angles(0.0, 0.0);
+  EXPECT_NEAR(east.x, 1.0, 1e-12);
+  EXPECT_NEAR(east.norm(), 1.0, 1e-12);
+  const Vec3 up = direction_from_angles(0.0, kPi / 2);
+  EXPECT_NEAR(up.z, 1.0, 1e-12);
+}
+
+TEST(Vec3, WrapAngle) {
+  EXPECT_NEAR(wrap_angle(3 * kPi), kPi, 1e-9);
+  EXPECT_NEAR(wrap_angle(-3 * kPi), -kPi, 1e-9);
+  EXPECT_NEAR(wrap_angle(0.5), 0.5, 1e-12);
+}
+
+TEST(Vec3, Lerp) {
+  EXPECT_EQ(lerp({0, 0, 0}, {10, 20, 30}, 0.5), Vec3(5, 10, 15));
+  EXPECT_EQ(lerp({1, 1, 1}, {2, 2, 2}, 0.0), Vec3(1, 1, 1));
+  EXPECT_EQ(lerp({1, 1, 1}, {2, 2, 2}, 1.0), Vec3(2, 2, 2));
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(99);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(21);
+  RunningStats st;
+  for (int i = 0; i < 100000; ++i) st.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(st.mean(), 10.0, 0.1);
+  EXPECT_NEAR(st.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, LognormalMeanMatchesFormula) {
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2)
+  Rng rng(77);
+  const double mu = std::log(62.0) - 0.45 * 0.45 / 2.0;
+  RunningStats st;
+  for (int i = 0; i < 200000; ++i) st.add(rng.lognormal(mu, 0.45));
+  EXPECT_NEAR(st.mean(), 62.0, 1.0);
+}
+
+TEST(Rng, SubstreamSeedsAreDistinct) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    seeds.insert(substream_seed(42, 1, id));
+    seeds.insert(substream_seed(42, 2, id));
+  }
+  EXPECT_EQ(seeds.size(), 200u);
+}
+
+// ---------------------------------------------------------------- Stats
+
+TEST(RunningStats, MeanVarMinMax) {
+  RunningStats st;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(x);
+  EXPECT_EQ(st.count(), 8u);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_NEAR(st.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  RunningStats a, b, all;
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-5.0);   // clamps to first bin
+  h.add(100.0);  // clamps to last bin
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(9), 9.5);
+}
+
+TEST(Samples, Quantiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(s.quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(s.quantile(0.5), 50.5, 1e-9);
+}
+
+TEST(Gini, UniformIsZero) {
+  EXPECT_NEAR(gini({1, 1, 1, 1}), 0.0, 1e-12);
+}
+
+TEST(Gini, ConcentratedIsHigh) {
+  EXPECT_GT(gini({0, 0, 0, 100}), 0.7);
+}
+
+TEST(Gini, EmptyAndZeroSafe) {
+  EXPECT_DOUBLE_EQ(gini({}), 0.0);
+  EXPECT_DOUBLE_EQ(gini({0, 0, 0}), 0.0);
+}
+
+// ---------------------------------------------------------------- Bytes
+
+TEST(Bytes, RoundTripScalars) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i32(-42);
+  w.i64(-1234567890123LL);
+  w.f32(3.5f);
+  w.f64(-2.25);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123LL);
+  EXPECT_EQ(r.f32(), 3.5f);
+  EXPECT_EQ(r.f64(), -2.25);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, VarintRoundTrip) {
+  ByteWriter w;
+  const std::uint64_t values[] = {0, 1, 127, 128, 300, 1u << 20,
+                                  0xffffffffffffffffULL};
+  for (auto v : values) w.varint(v);
+  ByteReader r(w.data());
+  for (auto v : values) EXPECT_EQ(r.varint(), v);
+}
+
+TEST(Bytes, VarintCompact) {
+  ByteWriter w;
+  w.varint(5);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(Bytes, StringAndBlob) {
+  ByteWriter w;
+  w.str("hello watchmen");
+  const std::vector<std::uint8_t> blob = {1, 2, 3, 255};
+  w.blob(blob);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.str(), "hello watchmen");
+  EXPECT_EQ(r.blob(), blob);
+}
+
+TEST(Bytes, ReadPastEndThrows) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.data());
+  r.u8();
+  r.u8();
+  EXPECT_THROW(r.u8(), DecodeError);
+}
+
+TEST(Bytes, TruncatedVarintThrows) {
+  const std::vector<std::uint8_t> bad = {0x80, 0x80};  // never terminates
+  ByteReader r(bad);
+  EXPECT_THROW(r.varint(), DecodeError);
+}
+
+}  // namespace
+}  // namespace watchmen

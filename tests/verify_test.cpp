@@ -1,0 +1,408 @@
+// Tests for src/verify: ratings, confidence, sanity checks, calibration,
+// detector aggregation.
+
+#include <gtest/gtest.h>
+
+#include "game/map.hpp"
+#include "verify/calibration.hpp"
+#include "verify/checks.hpp"
+#include "verify/detector.hpp"
+#include "verify/report.hpp"
+
+namespace watchmen::verify {
+namespace {
+
+// ---------------------------------------------------------------- ratings
+
+TEST(Rating, WithinExpectedIsOne) {
+  EXPECT_DOUBLE_EQ(rating_from_deviation(0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(rating_from_deviation(-5.0, 100.0), 1.0);
+}
+
+TEST(Rating, ScalesLinearlyAndSaturates) {
+  EXPECT_NEAR(rating_from_deviation(50.0, 100.0), 5.5, 1e-9);
+  EXPECT_DOUBLE_EQ(rating_from_deviation(100.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(rating_from_deviation(1e9, 100.0), 10.0);
+}
+
+TEST(Rating, ZeroScaleMeansCertain) {
+  EXPECT_DOUBLE_EQ(rating_from_deviation(0.1, 0.0), 10.0);
+}
+
+TEST(Confidence, OrderingMatchesPaper) {
+  // c_P > c_IS > c_VS > c_O
+  EXPECT_GT(confidence_weight(Vantage::kProxy),
+            confidence_weight(Vantage::kInterestWitness));
+  EXPECT_GT(confidence_weight(Vantage::kInterestWitness),
+            confidence_weight(Vantage::kVisionWitness));
+  EXPECT_GT(confidence_weight(Vantage::kVisionWitness),
+            confidence_weight(Vantage::kOther));
+  EXPECT_GT(confidence_weight(Vantage::kOther), 0.0);
+}
+
+TEST(Confidence, StalenessDiscountDecays) {
+  EXPECT_DOUBLE_EQ(staleness_discount(0), 1.0);
+  EXPECT_GT(staleness_discount(10), staleness_discount(100));
+  EXPECT_GE(staleness_discount(100000), 0.05);  // floors, never zero
+}
+
+TEST(Report, WeightedCombinesRatingAndConfidence) {
+  CheatReport r;
+  r.rating = 10.0;
+  r.vantage = Vantage::kProxy;
+  EXPECT_DOUBLE_EQ(r.weighted(), 10.0);
+  r.vantage = Vantage::kOther;
+  EXPECT_LT(r.weighted(), 6.0);  // a distant witness can never HC alone
+}
+
+// ---------------------------------------------------------------- position
+
+TEST(CheckPosition, LegalMovePasses) {
+  const auto res = check_position({0, 0, 0}, 10, {15, 0, 0}, 11);
+  EXPECT_FALSE(res.suspicious());
+  EXPECT_DOUBLE_EQ(res.rating, 1.0);
+}
+
+TEST(CheckPosition, SpeedHackFlagged) {
+  const auto res = check_position({0, 0, 0}, 10, {200, 0, 0}, 11);
+  EXPECT_TRUE(res.suspicious());
+  EXPECT_GT(res.rating, 6.0);
+}
+
+TEST(CheckPosition, LongGapAllowsMore) {
+  // The same 200-unit displacement is legal over 20 frames.
+  const auto res = check_position({0, 0, 0}, 0, {200, 0, 0}, 20);
+  EXPECT_FALSE(res.suspicious());
+}
+
+TEST(CheckPosition, VerticalTeleportFlagged) {
+  const auto res = check_position({0, 0, 0}, 10, {0, 0, 400}, 11);
+  EXPECT_TRUE(res.suspicious());
+}
+
+TEST(CheckPosition, RespawnSpotExempt) {
+  const game::GameMap map = game::make_test_arena();
+  const Vec3 spawn = map.respawns().front();
+  const auto res =
+      check_position({900, 900, 0}, 10, spawn, 11, &map);
+  EXPECT_FALSE(res.suspicious()) << "respawn teleports are legal";
+  // Same jump to a non-spawn location is not.
+  const auto bad = check_position({900, 900, 0}, 10, {500, 350, 0}, 11, &map);
+  EXPECT_TRUE(bad.suspicious());
+}
+
+TEST(CheckPosition, DeviationGrowsWithExcess) {
+  const auto small = check_position({0, 0, 0}, 0, {30, 0, 0}, 1);
+  const auto big = check_position({0, 0, 0}, 0, {300, 0, 0}, 1);
+  EXPECT_LT(small.deviation, big.deviation);
+  EXPECT_LE(small.rating, big.rating);
+}
+
+// ---------------------------------------------------------------- guidance
+
+TEST(CheckGuidance, AccuratePredictionPasses) {
+  game::AvatarState a;
+  a.pos = {0, 0, 0};
+  a.vel = {100, 0, 0};
+  const auto g = interest::make_guidance(a, 0, 0);
+  std::vector<Vec3> path;
+  for (int f = 1; f <= 20; ++f) path.push_back({100.0 * 0.05 * f, 0, 0});
+  const auto res = check_guidance(g, path, 1, Tolerance{50, 25});
+  EXPECT_FALSE(res.suspicious());
+}
+
+TEST(CheckGuidance, LyingPredictionFlagged) {
+  game::AvatarState a;
+  a.pos = {0, 0, 0};
+  a.vel = {400, 0, 0};  // claims to run +x fast
+  const auto g = interest::make_guidance(a, 0, 0);
+  std::vector<Vec3> path;  // actually runs -x
+  for (int f = 1; f <= 20; ++f) path.push_back({-300.0 * 0.05 * f, 0, 0});
+  const auto res = check_guidance(g, path, 1, Tolerance{50, 25});
+  EXPECT_TRUE(res.suspicious());
+  EXPECT_GT(res.rating, 6.0);
+}
+
+TEST(CheckGuidance, ToleranceThresholdIsMeanPlusSigma) {
+  // Paper: a <= ā + σ_a is acceptable.
+  const Tolerance tol{100, 30};
+  EXPECT_DOUBLE_EQ(tol.threshold(), 130.0);
+  game::AvatarState a;
+  const auto g = interest::make_guidance(a, 0, 0);
+  // One sample at distance d => area = d * 0.05.
+  std::vector<Vec3> just_under{{129.0 / 0.05, 0, 0}};
+  std::vector<Vec3> just_over{{131.0 / 0.05, 0, 0}};
+  EXPECT_FALSE(check_guidance(g, just_under, 1, tol).suspicious());
+  EXPECT_TRUE(check_guidance(g, just_over, 1, tol).suspicious());
+}
+
+// ---------------------------------------------------------------- kill
+
+namespace {
+KillClaimEvidence plausible_kill() {
+  KillClaimEvidence e;
+  e.weapon = game::WeaponKind::kRailgun;
+  e.claimed_distance = 600.0;
+  e.shooter_pos = {0, 0, 0};
+  e.victim_pos = {600, 0, 0};
+  e.victim_pos_age = 1;
+  e.frames_since_last_fire = 100;
+  e.frames_victim_in_shooter_is = 40;
+  e.line_of_sight = true;
+  e.shooter_ammo = 5;
+  return e;
+}
+}  // namespace
+
+TEST(CheckKill, PlausibleClaimPasses) {
+  EXPECT_FALSE(check_kill(plausible_kill()).suspicious());
+}
+
+TEST(CheckKill, BeyondWeaponRangeFlagged) {
+  auto e = plausible_kill();
+  e.weapon = game::WeaponKind::kMachineGun;  // range 2500
+  e.claimed_distance = 6000.0;
+  e.victim_pos = {6000, 0, 0};
+  const auto res = check_kill(e);
+  EXPECT_TRUE(res.suspicious());
+  EXPECT_GT(res.rating, 6.0);
+}
+
+TEST(CheckKill, DistanceInconsistencyFlagged) {
+  auto e = plausible_kill();
+  e.claimed_distance = 100.0;  // claims point blank; victim known 2200 away
+  e.victim_pos = {2200, 0, 0};
+  EXPECT_TRUE(check_kill(e).suspicious());
+}
+
+TEST(CheckKill, StaleVictimKnowledgeTolerated) {
+  auto e = plausible_kill();
+  e.claimed_distance = 400.0;
+  e.victim_pos = {600, 0, 0};  // 200 units off, but knowledge is old
+  e.victim_pos_age = 20;
+  EXPECT_FALSE(check_kill(e).suspicious());
+}
+
+TEST(CheckKill, TooFastRefireFlagged) {
+  auto e = plausible_kill();
+  e.frames_since_last_fire = 2;  // railgun needs 30 frames
+  EXPECT_TRUE(check_kill(e).suspicious());
+}
+
+TEST(CheckKill, NoLineOfSightFlagsHitscanOnly) {
+  auto e = plausible_kill();
+  e.line_of_sight = false;
+  EXPECT_TRUE(check_kill(e).suspicious()) << "railgun through a wall";
+  e.weapon = game::WeaponKind::kRocketLauncher;  // splash around corners
+  e.frames_since_last_fire = 100;
+  EXPECT_FALSE(check_kill(e).suspicious());
+}
+
+TEST(CheckKill, EmptyWeaponFlagged) {
+  auto e = plausible_kill();
+  e.shooter_ammo = 0;
+  EXPECT_TRUE(check_kill(e).suspicious());
+}
+
+// ---------------------------------------------------------------- subs
+
+TEST(CheckVsSub, InConePasses) {
+  game::AvatarState me;
+  me.pos = {0, 0, 0};
+  me.yaw = 0.0;
+  const interest::VisionConfig vision;
+  EXPECT_FALSE(
+      check_vs_subscription(me, {500, 0, 56}, vision, 64.0).suspicious());
+}
+
+TEST(CheckVsSub, BehindFlagged) {
+  game::AvatarState me;
+  me.pos = {1000, 1000, 0};
+  me.yaw = 0.0;
+  const interest::VisionConfig vision;
+  const auto res = check_vs_subscription(me, {200, 1000, 56}, vision, 64.0);
+  EXPECT_TRUE(res.suspicious());
+  EXPECT_GT(res.rating, 6.0);
+}
+
+TEST(CheckVsSub, SlackAbsorbsStaleness) {
+  game::AvatarState me;
+  me.pos = {0, 0, 0};
+  me.yaw = 0.0;
+  const interest::VisionConfig vision;
+  // Just outside the cone by a little: generous slack passes it.
+  const Vec3 target{-50, 300, 56};
+  EXPECT_TRUE(check_vs_subscription(me, target, vision, 0.0).suspicious());
+  EXPECT_FALSE(check_vs_subscription(me, target, vision, 600.0).suspicious());
+}
+
+TEST(CheckIsSub, JustifiedTopKPasses) {
+  const game::GameMap map("open", {0, 0, 0}, {4000, 4000, 200});
+  std::vector<game::AvatarState> avatars(3);
+  avatars[0].pos = {0, 0, 0};
+  avatars[1].pos = {100, 0, 0};
+  avatars[2].pos = {200, 0, 0};
+  const interest::InterestConfig cfg;
+  EXPECT_FALSE(
+      check_is_subscription(0, 1, avatars, map, 0, nullptr, cfg).suspicious());
+}
+
+TEST(CheckIsSub, InvisibleTargetFlagged) {
+  const game::GameMap map("open", {0, 0, 0}, {4000, 4000, 200});
+  std::vector<game::AvatarState> avatars(3);
+  avatars[0].pos = {2000, 2000, 0};
+  avatars[0].yaw = 0.0;          // facing +x
+  avatars[1].pos = {2100, 2000, 0};
+  avatars[2].pos = {100, 2000, 0};  // far behind
+  const interest::InterestConfig cfg;
+  const auto res = check_is_subscription(0, 2, avatars, map, 0, nullptr, cfg);
+  EXPECT_TRUE(res.suspicious());
+  EXPECT_GT(res.rating, 6.0);
+}
+
+TEST(CheckIsSub, RankExcessCappedBelowHighConfidence) {
+  // Rank-based suspicion must never reach high confidence on its own.
+  const game::GameMap map("open", {0, 0, 0}, {8000, 8000, 200});
+  std::vector<game::AvatarState> avatars(30);
+  avatars[0].pos = {0, 0, 0};
+  avatars[0].yaw = 0.0;
+  for (int i = 1; i < 30; ++i) {
+    avatars[i].pos = {50.0 + 60.0 * i, 10.0 * i, 0};
+  }
+  const interest::InterestConfig cfg;
+  const auto res =
+      check_is_subscription(0, 29, avatars, map, 0, nullptr, cfg);
+  EXPECT_LE(res.rating, 5.0);
+}
+
+// ---------------------------------------------------------------- aim
+
+TEST(CheckAim, HumanNoisePasses) {
+  // Honest tracking error hovers around the tolerance mean.
+  std::vector<double> errors;
+  for (int i = 0; i < 40; ++i) errors.push_back(0.2 + 0.01 * (i % 7));
+  EXPECT_FALSE(check_aim(errors, Tolerance{0.30, 0.25}).suspicious());
+}
+
+TEST(CheckAim, InhumanPrecisionFlagged) {
+  std::vector<double> errors(40, 0.002);  // machine-locked aim
+  const auto res = check_aim(errors, Tolerance{0.30, 0.25});
+  EXPECT_TRUE(res.suspicious());
+  EXPECT_GT(res.rating, 6.0);
+}
+
+TEST(CheckAim, FewSamplesAreInconclusive) {
+  std::vector<double> errors(5, 0.0);
+  EXPECT_FALSE(check_aim(errors, Tolerance{0.30, 0.25}).suspicious());
+}
+
+TEST(CheckAim, OccasionalPerfectShotsTolerated) {
+  // A handful of dead-on frames inside otherwise-human noise must pass:
+  // the median, not the minimum, drives the verdict.
+  std::vector<double> errors;
+  for (int i = 0; i < 40; ++i) errors.push_back(i % 8 == 0 ? 0.0 : 0.25);
+  EXPECT_FALSE(check_aim(errors, Tolerance{0.30, 0.25}).suspicious());
+}
+
+// ---------------------------------------------------------------- rate
+
+TEST(CheckRate, ExactRatePasses) {
+  EXPECT_FALSE(check_rate(40, 40).suspicious());
+}
+
+TEST(CheckRate, LossAllowanceTolerated) {
+  EXPECT_FALSE(check_rate(36, 40, 0.10, 3).suspicious());
+}
+
+TEST(CheckRate, SuppressionFlagged) {
+  const auto res = check_rate(10, 40, 0.10, 3);
+  EXPECT_TRUE(res.suspicious());
+  EXPECT_GT(res.rating, 6.0);
+}
+
+TEST(CheckRate, SilenceIsMaximal) {
+  const auto res = check_rate(0, 40, 0.10, 3);
+  EXPECT_DOUBLE_EQ(res.rating, 10.0);
+}
+
+TEST(CheckRate, FastRateFlagged) {
+  const auto res = check_rate(100, 40, 0.10, 3);
+  EXPECT_TRUE(res.suspicious());
+  EXPECT_GT(res.rating, 6.0);
+}
+
+TEST(CheckRate, NothingExpectedSlopTolerated) {
+  EXPECT_FALSE(check_rate(2, 0, 0.10, 3).suspicious());
+  EXPECT_TRUE(check_rate(50, 0, 0.10, 3).suspicious());
+}
+
+class RateSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RateSweep, HonestWindowNeverFlags) {
+  // Property: observed in [expected*(1-loss)-slop, expected+slop] passes.
+  const std::size_t expected = GetParam();
+  for (std::size_t obs = static_cast<std::size_t>(expected * 0.9) > 3
+                             ? static_cast<std::size_t>(expected * 0.9) - 3
+                             : 0;
+       obs <= expected + 3; ++obs) {
+    EXPECT_FALSE(check_rate(obs, expected, 0.10, 3).suspicious())
+        << "obs=" << obs << " expected=" << expected;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, RateSweep,
+                         ::testing::Values(10, 20, 40, 80, 200, 400));
+
+// ---------------------------------------------------------------- calibration
+
+TEST(Calibrator, LearnsMeanAndStddev) {
+  Calibrator cal;
+  for (double x : {10.0, 20.0, 30.0}) cal.observe(CheckType::kGuidance, x);
+  const Tolerance tol = cal.tolerance(CheckType::kGuidance);
+  EXPECT_DOUBLE_EQ(tol.mean, 20.0);
+  EXPECT_NEAR(tol.stddev, 10.0, 1e-9);
+  EXPECT_EQ(cal.count(CheckType::kGuidance), 3u);
+  EXPECT_EQ(cal.count(CheckType::kPosition), 0u);
+}
+
+// ---------------------------------------------------------------- detector
+
+TEST(Detector, AggregatesPerSuspect) {
+  Detector det;
+  CheatReport r;
+  r.verifier = 1;
+  r.suspect = 7;
+  r.rating = 10.0;
+  r.vantage = Vantage::kProxy;
+  det.report(r);
+  r.rating = 2.0;
+  det.report(r);
+
+  const SuspectSummary& s = det.summary(7);
+  EXPECT_EQ(s.reports, 2u);
+  EXPECT_EQ(s.suspicious_reports, 2u);
+  EXPECT_EQ(s.high_confidence_reports, 1u);
+  EXPECT_DOUBLE_EQ(s.max_weighted, 10.0);
+  EXPECT_TRUE(det.flagged(7));
+  EXPECT_FALSE(det.flagged(3));
+}
+
+TEST(Detector, LowConfidenceNeverFlags) {
+  Detector det;
+  CheatReport r;
+  r.suspect = 5;
+  r.rating = 10.0;
+  r.vantage = Vantage::kOther;  // weight 0.2 -> weighted 2.0
+  for (int i = 0; i < 100; ++i) det.report(r);
+  EXPECT_FALSE(det.flagged(5));
+  EXPECT_EQ(det.summary(5).high_confidence_reports, 0u);
+}
+
+TEST(Detector, UnknownSuspectIsEmpty) {
+  const Detector det;
+  EXPECT_EQ(det.summary(42).reports, 0u);
+  EXPECT_FALSE(det.flagged(42));
+}
+
+}  // namespace
+}  // namespace watchmen::verify
