@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dead_reckoning.dir/ablation_dead_reckoning.cpp.o"
+  "CMakeFiles/ablation_dead_reckoning.dir/ablation_dead_reckoning.cpp.o.d"
+  "ablation_dead_reckoning"
+  "ablation_dead_reckoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dead_reckoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

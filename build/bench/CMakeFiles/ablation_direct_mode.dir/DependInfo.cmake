@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_direct_mode.cpp" "bench/CMakeFiles/ablation_direct_mode.dir/ablation_direct_mode.cpp.o" "gcc" "bench/CMakeFiles/ablation_direct_mode.dir/ablation_direct_mode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/watchmen_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/watchmen_reputation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/watchmen_cheat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/watchmen_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/watchmen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/watchmen_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/watchmen_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/watchmen_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/watchmen_interest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/watchmen_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/watchmen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_direct_mode.dir/ablation_direct_mode.cpp.o"
+  "CMakeFiles/ablation_direct_mode.dir/ablation_direct_mode.cpp.o.d"
+  "ablation_direct_mode"
+  "ablation_direct_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_direct_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interest_params.dir/ablation_interest_params.cpp.o"
+  "CMakeFiles/ablation_interest_params.dir/ablation_interest_params.cpp.o.d"
+  "ablation_interest_params"
+  "ablation_interest_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interest_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_maps.dir/ablation_maps.cpp.o"
+  "CMakeFiles/ablation_maps.dir/ablation_maps.cpp.o.d"
+  "ablation_maps"
+  "ablation_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

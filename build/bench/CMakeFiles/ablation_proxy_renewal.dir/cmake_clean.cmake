@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_proxy_renewal.dir/ablation_proxy_renewal.cpp.o"
+  "CMakeFiles/ablation_proxy_renewal.dir/ablation_proxy_renewal.cpp.o.d"
+  "ablation_proxy_renewal"
+  "ablation_proxy_renewal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_proxy_renewal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cheat_intensity.dir/ext_cheat_intensity.cpp.o"
+  "CMakeFiles/ext_cheat_intensity.dir/ext_cheat_intensity.cpp.o.d"
+  "ext_cheat_intensity"
+  "ext_cheat_intensity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cheat_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

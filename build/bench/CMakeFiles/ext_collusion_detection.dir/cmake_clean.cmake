@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_collusion_detection.dir/ext_collusion_detection.cpp.o"
+  "CMakeFiles/ext_collusion_detection.dir/ext_collusion_detection.cpp.o.d"
+  "ext_collusion_detection"
+  "ext_collusion_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_collusion_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_heatmap.dir/fig1_heatmap.cpp.o"
+  "CMakeFiles/fig1_heatmap.dir/fig1_heatmap.cpp.o.d"
+  "fig1_heatmap"
+  "fig1_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

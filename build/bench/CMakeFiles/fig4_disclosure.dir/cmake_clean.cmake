@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_disclosure.dir/fig4_disclosure.cpp.o"
+  "CMakeFiles/fig4_disclosure.dir/fig4_disclosure.cpp.o.d"
+  "fig4_disclosure"
+  "fig4_disclosure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_disclosure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

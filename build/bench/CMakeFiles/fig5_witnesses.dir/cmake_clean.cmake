@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_witnesses.dir/fig5_witnesses.cpp.o"
+  "CMakeFiles/fig5_witnesses.dir/fig5_witnesses.cpp.o.d"
+  "fig5_witnesses"
+  "fig5_witnesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_witnesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_detection.dir/fig6_detection.cpp.o"
+  "CMakeFiles/fig6_detection.dir/fig6_detection.cpp.o.d"
+  "fig6_detection"
+  "fig6_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

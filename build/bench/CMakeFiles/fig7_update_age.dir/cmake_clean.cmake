@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_update_age.dir/fig7_update_age.cpp.o"
+  "CMakeFiles/fig7_update_age.dir/fig7_update_age.cpp.o.d"
+  "fig7_update_age"
+  "fig7_update_age.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_update_age.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_bandwidth_scaling.dir/sec6_bandwidth_scaling.cpp.o"
+  "CMakeFiles/sec6_bandwidth_scaling.dir/sec6_bandwidth_scaling.cpp.o.d"
+  "sec6_bandwidth_scaling"
+  "sec6_bandwidth_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_bandwidth_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

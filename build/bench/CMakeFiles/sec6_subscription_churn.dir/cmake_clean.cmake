@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_subscription_churn.dir/sec6_subscription_churn.cpp.o"
+  "CMakeFiles/sec6_subscription_churn.dir/sec6_subscription_churn.cpp.o.d"
+  "sec6_subscription_churn"
+  "sec6_subscription_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_subscription_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cheats.dir/table1_cheats.cpp.o"
+  "CMakeFiles/table1_cheats.dir/table1_cheats.cpp.o.d"
+  "table1_cheats"
+  "table1_cheats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cheats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collusion_probe.dir/collusion_probe.cpp.o"
+  "CMakeFiles/collusion_probe.dir/collusion_probe.cpp.o.d"
+  "collusion_probe"
+  "collusion_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collusion_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deathmatch_48.dir/deathmatch_48.cpp.o"
+  "CMakeFiles/deathmatch_48.dir/deathmatch_48.cpp.o.d"
+  "deathmatch_48"
+  "deathmatch_48.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deathmatch_48.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

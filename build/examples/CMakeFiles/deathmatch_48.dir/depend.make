@@ -1,0 +1,2 @@
+# Empty dependencies file for deathmatch_48.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_server.dir/hybrid_server.cpp.o"
+  "CMakeFiles/hybrid_server.dir/hybrid_server.cpp.o.d"
+  "hybrid_server"
+  "hybrid_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

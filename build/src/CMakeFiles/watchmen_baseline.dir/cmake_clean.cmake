@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchmen_baseline.dir/baseline/exposure.cpp.o"
+  "CMakeFiles/watchmen_baseline.dir/baseline/exposure.cpp.o.d"
+  "libwatchmen_baseline.a"
+  "libwatchmen_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchmen_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

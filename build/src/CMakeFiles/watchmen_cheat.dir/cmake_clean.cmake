@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchmen_cheat.dir/cheat/cheats.cpp.o"
+  "CMakeFiles/watchmen_cheat.dir/cheat/cheats.cpp.o.d"
+  "libwatchmen_cheat.a"
+  "libwatchmen_cheat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchmen_cheat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwatchmen_cheat.a"
+)

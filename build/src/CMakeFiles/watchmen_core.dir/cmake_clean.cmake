@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchmen_core.dir/core/handoff.cpp.o"
+  "CMakeFiles/watchmen_core.dir/core/handoff.cpp.o.d"
+  "CMakeFiles/watchmen_core.dir/core/messages.cpp.o"
+  "CMakeFiles/watchmen_core.dir/core/messages.cpp.o.d"
+  "CMakeFiles/watchmen_core.dir/core/peer.cpp.o"
+  "CMakeFiles/watchmen_core.dir/core/peer.cpp.o.d"
+  "CMakeFiles/watchmen_core.dir/core/proxy_schedule.cpp.o"
+  "CMakeFiles/watchmen_core.dir/core/proxy_schedule.cpp.o.d"
+  "CMakeFiles/watchmen_core.dir/core/session.cpp.o"
+  "CMakeFiles/watchmen_core.dir/core/session.cpp.o.d"
+  "libwatchmen_core.a"
+  "libwatchmen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchmen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchmen_crypto.dir/crypto/hmac.cpp.o"
+  "CMakeFiles/watchmen_crypto.dir/crypto/hmac.cpp.o.d"
+  "CMakeFiles/watchmen_crypto.dir/crypto/sha256.cpp.o"
+  "CMakeFiles/watchmen_crypto.dir/crypto/sha256.cpp.o.d"
+  "CMakeFiles/watchmen_crypto.dir/crypto/sig.cpp.o"
+  "CMakeFiles/watchmen_crypto.dir/crypto/sig.cpp.o.d"
+  "libwatchmen_crypto.a"
+  "libwatchmen_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchmen_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/game/ai.cpp" "src/CMakeFiles/watchmen_game.dir/game/ai.cpp.o" "gcc" "src/CMakeFiles/watchmen_game.dir/game/ai.cpp.o.d"
+  "/root/repo/src/game/map.cpp" "src/CMakeFiles/watchmen_game.dir/game/map.cpp.o" "gcc" "src/CMakeFiles/watchmen_game.dir/game/map.cpp.o.d"
+  "/root/repo/src/game/physics.cpp" "src/CMakeFiles/watchmen_game.dir/game/physics.cpp.o" "gcc" "src/CMakeFiles/watchmen_game.dir/game/physics.cpp.o.d"
+  "/root/repo/src/game/trace.cpp" "src/CMakeFiles/watchmen_game.dir/game/trace.cpp.o" "gcc" "src/CMakeFiles/watchmen_game.dir/game/trace.cpp.o.d"
+  "/root/repo/src/game/weapons.cpp" "src/CMakeFiles/watchmen_game.dir/game/weapons.cpp.o" "gcc" "src/CMakeFiles/watchmen_game.dir/game/weapons.cpp.o.d"
+  "/root/repo/src/game/world.cpp" "src/CMakeFiles/watchmen_game.dir/game/world.cpp.o" "gcc" "src/CMakeFiles/watchmen_game.dir/game/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/watchmen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchmen_game.dir/game/ai.cpp.o"
+  "CMakeFiles/watchmen_game.dir/game/ai.cpp.o.d"
+  "CMakeFiles/watchmen_game.dir/game/map.cpp.o"
+  "CMakeFiles/watchmen_game.dir/game/map.cpp.o.d"
+  "CMakeFiles/watchmen_game.dir/game/physics.cpp.o"
+  "CMakeFiles/watchmen_game.dir/game/physics.cpp.o.d"
+  "CMakeFiles/watchmen_game.dir/game/trace.cpp.o"
+  "CMakeFiles/watchmen_game.dir/game/trace.cpp.o.d"
+  "CMakeFiles/watchmen_game.dir/game/weapons.cpp.o"
+  "CMakeFiles/watchmen_game.dir/game/weapons.cpp.o.d"
+  "CMakeFiles/watchmen_game.dir/game/world.cpp.o"
+  "CMakeFiles/watchmen_game.dir/game/world.cpp.o.d"
+  "libwatchmen_game.a"
+  "libwatchmen_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchmen_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

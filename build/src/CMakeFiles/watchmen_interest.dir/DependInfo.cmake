@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interest/attention.cpp" "src/CMakeFiles/watchmen_interest.dir/interest/attention.cpp.o" "gcc" "src/CMakeFiles/watchmen_interest.dir/interest/attention.cpp.o.d"
+  "/root/repo/src/interest/deadreckoning.cpp" "src/CMakeFiles/watchmen_interest.dir/interest/deadreckoning.cpp.o" "gcc" "src/CMakeFiles/watchmen_interest.dir/interest/deadreckoning.cpp.o.d"
+  "/root/repo/src/interest/delta.cpp" "src/CMakeFiles/watchmen_interest.dir/interest/delta.cpp.o" "gcc" "src/CMakeFiles/watchmen_interest.dir/interest/delta.cpp.o.d"
+  "/root/repo/src/interest/sets.cpp" "src/CMakeFiles/watchmen_interest.dir/interest/sets.cpp.o" "gcc" "src/CMakeFiles/watchmen_interest.dir/interest/sets.cpp.o.d"
+  "/root/repo/src/interest/subscription.cpp" "src/CMakeFiles/watchmen_interest.dir/interest/subscription.cpp.o" "gcc" "src/CMakeFiles/watchmen_interest.dir/interest/subscription.cpp.o.d"
+  "/root/repo/src/interest/vision.cpp" "src/CMakeFiles/watchmen_interest.dir/interest/vision.cpp.o" "gcc" "src/CMakeFiles/watchmen_interest.dir/interest/vision.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/watchmen_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/watchmen_game.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchmen_interest.dir/interest/attention.cpp.o"
+  "CMakeFiles/watchmen_interest.dir/interest/attention.cpp.o.d"
+  "CMakeFiles/watchmen_interest.dir/interest/deadreckoning.cpp.o"
+  "CMakeFiles/watchmen_interest.dir/interest/deadreckoning.cpp.o.d"
+  "CMakeFiles/watchmen_interest.dir/interest/delta.cpp.o"
+  "CMakeFiles/watchmen_interest.dir/interest/delta.cpp.o.d"
+  "CMakeFiles/watchmen_interest.dir/interest/sets.cpp.o"
+  "CMakeFiles/watchmen_interest.dir/interest/sets.cpp.o.d"
+  "CMakeFiles/watchmen_interest.dir/interest/subscription.cpp.o"
+  "CMakeFiles/watchmen_interest.dir/interest/subscription.cpp.o.d"
+  "CMakeFiles/watchmen_interest.dir/interest/vision.cpp.o"
+  "CMakeFiles/watchmen_interest.dir/interest/vision.cpp.o.d"
+  "libwatchmen_interest.a"
+  "libwatchmen_interest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchmen_interest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

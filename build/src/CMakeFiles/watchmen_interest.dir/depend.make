@@ -1,0 +1,2 @@
+# Empty dependencies file for watchmen_interest.
+# This may be replaced when dependencies are built.

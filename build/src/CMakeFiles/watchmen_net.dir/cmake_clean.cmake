@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchmen_net.dir/net/latency.cpp.o"
+  "CMakeFiles/watchmen_net.dir/net/latency.cpp.o.d"
+  "CMakeFiles/watchmen_net.dir/net/network.cpp.o"
+  "CMakeFiles/watchmen_net.dir/net/network.cpp.o.d"
+  "libwatchmen_net.a"
+  "libwatchmen_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchmen_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchmen_reputation.dir/reputation/reputation.cpp.o"
+  "CMakeFiles/watchmen_reputation.dir/reputation/reputation.cpp.o.d"
+  "libwatchmen_reputation.a"
+  "libwatchmen_reputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchmen_reputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

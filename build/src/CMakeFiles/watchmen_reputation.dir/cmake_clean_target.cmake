@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwatchmen_reputation.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchmen_sim.dir/sim/bandwidth.cpp.o"
+  "CMakeFiles/watchmen_sim.dir/sim/bandwidth.cpp.o.d"
+  "CMakeFiles/watchmen_sim.dir/sim/detection.cpp.o"
+  "CMakeFiles/watchmen_sim.dir/sim/detection.cpp.o.d"
+  "libwatchmen_sim.a"
+  "libwatchmen_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchmen_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

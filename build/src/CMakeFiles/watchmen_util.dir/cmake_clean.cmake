@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchmen_util.dir/util/stats.cpp.o"
+  "CMakeFiles/watchmen_util.dir/util/stats.cpp.o.d"
+  "libwatchmen_util.a"
+  "libwatchmen_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchmen_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/checks.cpp" "src/CMakeFiles/watchmen_verify.dir/verify/checks.cpp.o" "gcc" "src/CMakeFiles/watchmen_verify.dir/verify/checks.cpp.o.d"
+  "/root/repo/src/verify/detector.cpp" "src/CMakeFiles/watchmen_verify.dir/verify/detector.cpp.o" "gcc" "src/CMakeFiles/watchmen_verify.dir/verify/detector.cpp.o.d"
+  "/root/repo/src/verify/report.cpp" "src/CMakeFiles/watchmen_verify.dir/verify/report.cpp.o" "gcc" "src/CMakeFiles/watchmen_verify.dir/verify/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/watchmen_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/watchmen_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/watchmen_interest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

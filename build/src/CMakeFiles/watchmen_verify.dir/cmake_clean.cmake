@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchmen_verify.dir/verify/checks.cpp.o"
+  "CMakeFiles/watchmen_verify.dir/verify/checks.cpp.o.d"
+  "CMakeFiles/watchmen_verify.dir/verify/detector.cpp.o"
+  "CMakeFiles/watchmen_verify.dir/verify/detector.cpp.o.d"
+  "CMakeFiles/watchmen_verify.dir/verify/report.cpp.o"
+  "CMakeFiles/watchmen_verify.dir/verify/report.cpp.o.d"
+  "libwatchmen_verify.a"
+  "libwatchmen_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchmen_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

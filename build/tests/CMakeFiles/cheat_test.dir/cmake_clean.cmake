@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheat_test.dir/cheat_test.cpp.o"
+  "CMakeFiles/cheat_test.dir/cheat_test.cpp.o.d"
+  "cheat_test"
+  "cheat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peer_test.dir/peer_test.cpp.o"
+  "CMakeFiles/peer_test.dir/peer_test.cpp.o.d"
+  "peer_test"
+  "peer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

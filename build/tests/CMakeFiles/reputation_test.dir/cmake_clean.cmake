@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reputation_test.dir/reputation_test.cpp.o"
+  "CMakeFiles/reputation_test.dir/reputation_test.cpp.o.d"
+  "reputation_test"
+  "reputation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reputation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
