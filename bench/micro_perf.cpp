@@ -7,12 +7,15 @@
 
 #include "core/messages.hpp"
 #include "core/proxy_schedule.hpp"
+#include "core/session.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/sig.hpp"
 #include "game/trace.hpp"
 #include "interest/delta.hpp"
 #include "interest/sets.hpp"
+#include "interest/visibility_cache.hpp"
 #include "net/network.hpp"
+#include "util/rng.hpp"
 
 using namespace watchmen;
 
@@ -99,6 +102,144 @@ void BM_ComputeSets(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ComputeSets)->Arg(16)->Arg(48)->Arg(128);
+
+// ---------------------------------------------------------------------------
+// Interest-management hot path (see DESIGN.md "Performance architecture").
+// BM_Visible_* isolate the occlusion raycast with and without the spatial
+// index; BM_ComputeSets*_Nplayers measure the *full* per-frame set
+// computation for all N players — the optimized variants use the production
+// path (occluder index + frame-scoped visibility cache + shared eye table +
+// reusable output buffers), the Baseline variants the pre-optimization one
+// (compute_sets_reference + brute-force raycasts + per-call allocation).
+
+/// Deterministic eye-height segment endpoints spread over the map.
+std::vector<std::pair<Vec3, Vec3>> sample_segments(const game::GameMap& map,
+                                                   std::size_t count) {
+  Rng rng(12345);
+  const Vec3 lo = map.bounds_min(), hi = map.bounds_max();
+  std::vector<std::pair<Vec3, Vec3>> segs;
+  segs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto pt = [&] {
+      Vec3 p;
+      p.x = lo.x + rng.uniform() * (hi.x - lo.x);
+      p.y = lo.y + rng.uniform() * (hi.y - lo.y);
+      p.z = map.ground_height(p.x, p.y) + 56.0;
+      return p;
+    };
+    segs.emplace_back(pt(), pt());
+  }
+  return segs;
+}
+
+void BM_Visible_Brute(benchmark::State& state) {
+  game::GameMap map = game::make_longest_yard();
+  map.set_use_index(false);
+  const auto segs = sample_segments(map, 512);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = segs[i++ & 511];
+    benchmark::DoNotOptimize(map.visible(a, b));
+  }
+}
+BENCHMARK(BM_Visible_Brute);
+
+void BM_Visible_Indexed(benchmark::State& state) {
+  game::GameMap map = game::make_longest_yard();
+  const auto segs = sample_segments(map, 512);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = segs[i++ & 511];
+    benchmark::DoNotOptimize(map.visible(a, b));
+  }
+}
+BENCHMARK(BM_Visible_Indexed);
+
+struct FrameBenchState {
+  game::GameMap map;
+  game::GameTrace trace;
+  interest::InterestConfig icfg;
+  std::vector<interest::PlayerSets> prev, cur;
+  interest::VisibilityCache cache;
+  interest::EyeTable eyes;
+  std::size_t fi = 0;
+
+  explicit FrameBenchState(std::size_t n) : map(game::make_longest_yard()) {
+    game::SessionConfig cfg;
+    cfg.n_players = n;
+    cfg.n_frames = 120;
+    trace = game::record_session(map, cfg);
+    prev.resize(n);
+    cur.resize(n);
+  }
+
+  std::size_t n() const { return prev.size(); }
+
+  void frame_baseline() {
+    const auto& av = trace.frames[fi].avatars;
+    for (PlayerId p = 0; p < n(); ++p) {
+      prev[p] = interest::compute_sets_reference(
+          p, av, map, static_cast<Frame>(fi), nullptr, icfg, &prev[p]);
+    }
+    fi = (fi + 1) % trace.num_frames();
+  }
+
+  void frame_optimized() {
+    const auto& av = trace.frames[fi].avatars;
+    cache.begin_frame(n());
+    eyes.build(av);
+    for (PlayerId p = 0; p < n(); ++p) {
+      interest::compute_sets_into(p, av, map, static_cast<Frame>(fi), nullptr,
+                                  icfg, &prev[p], &cache, cur[p], &eyes);
+    }
+    std::swap(prev, cur);
+    fi = (fi + 1) % trace.num_frames();
+  }
+};
+
+void BM_ComputeSetsBaseline(benchmark::State& state) {
+  FrameBenchState s(static_cast<std::size_t>(state.range(0)));
+  s.map.set_use_index(false);
+  for (auto _ : state) s.frame_baseline();
+}
+BENCHMARK(BM_ComputeSetsBaseline)
+    ->Arg(48)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+/// The headline numbers: BM_ComputeSets_{48,128,256}players, one full
+/// N-player frame of the optimized interest pipeline.
+void BM_ComputeSets_Nplayers(benchmark::State& state) {
+  FrameBenchState s(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) s.frame_optimized();
+}
+BENCHMARK(BM_ComputeSets_Nplayers)
+    ->Name("BM_ComputeSets_48players")->Arg(48)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ComputeSets_Nplayers)
+    ->Name("BM_ComputeSets_128players")->Arg(128)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ComputeSets_Nplayers)
+    ->Name("BM_ComputeSets_256players")->Arg(256)->Unit(benchmark::kMicrosecond);
+
+/// Whole session frame (interest sets + message production + simulated
+/// network + verification) — how the interest-path win lands in the frame
+/// budget end to end.
+void BM_SessionFrame_48players(benchmark::State& state) {
+  const game::GameMap map = game::make_longest_yard();
+  game::SessionConfig cfg;
+  cfg.n_players = 48;
+  cfg.n_frames = 300;
+  const game::GameTrace trace = game::record_session(map, cfg);
+  core::SessionOptions opts;
+  auto session = std::make_unique<core::WatchmenSession>(trace, map, opts);
+  for (auto _ : state) {
+    if (static_cast<std::size_t>(session->current_frame()) >=
+        trace.num_frames()) {
+      state.PauseTiming();
+      session = std::make_unique<core::WatchmenSession>(trace, map, opts);
+      state.ResumeTiming();
+    }
+    session->run_frames(1);
+  }
+}
+BENCHMARK(BM_SessionFrame_48players)->Unit(benchmark::kMicrosecond);
 
 void BM_ProxyOf(benchmark::State& state) {
   const core::ProxySchedule sched(42, 48);

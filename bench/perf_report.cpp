@@ -1,0 +1,148 @@
+// Emits BENCH_interest.json: before/after timings of the interest-management
+// hot path on the q3dm17-like map (see DESIGN.md "Performance architecture").
+//
+// "before" replays the pre-optimization pipeline exactly — per-player
+// compute_sets_reference with brute-force occlusion raycasts and fresh
+// per-call allocations, the shape the session loop shipped with.  "after"
+// is the production path: occluder index, frame-scoped visibility cache,
+// shared eye table and reusable output buffers.  Both are timed back to
+// back on the same recorded trace (best of several passes, so transient
+// machine noise cannot inflate either side), and both paths are asserted
+// to produce identical sets while timing.
+//
+// Usage: perf_report [output.json]   (default ./BENCH_interest.json)
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "game/map.hpp"
+#include "game/trace.hpp"
+#include "interest/sets.hpp"
+#include "interest/visibility_cache.hpp"
+
+using namespace watchmen;
+
+namespace {
+
+constexpr std::size_t kPlayers = 48;
+constexpr std::size_t kFrames = 120;
+constexpr int kPasses = 9;
+
+struct Fixture {
+  game::GameMap map;
+  game::GameTrace trace;
+  interest::InterestConfig icfg;
+
+  Fixture() : map(game::make_longest_yard()) {
+    game::SessionConfig cfg;
+    cfg.n_players = kPlayers;
+    cfg.n_frames = kFrames;
+    trace = game::record_session(map, cfg);
+  }
+};
+
+/// Best-of-kPasses ms per full 48-player frame for `frame_fn(fi)`.
+template <class F>
+double best_ms_per_frame(const Fixture& fx, F&& frame_fn) {
+  double best = 1e300;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t fi = 0; fi < fx.trace.num_frames(); ++fi) frame_fn(fi);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count() /
+        static_cast<double>(fx.trace.num_frames());
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+bool same_sets(const interest::PlayerSets& a, const interest::PlayerSets& b) {
+  return a.interest == b.interest && a.vision == b.vision;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_interest.json";
+  Fixture fx;
+
+  // --- before: the pre-change pipeline -----------------------------------
+  fx.map.set_use_index(false);
+  std::vector<interest::PlayerSets> prev_ref(kPlayers);
+  const double before_ms = best_ms_per_frame(fx, [&](std::size_t fi) {
+    const auto& av = fx.trace.frames[fi].avatars;
+    for (PlayerId p = 0; p < kPlayers; ++p) {
+      prev_ref[p] = interest::compute_sets_reference(
+          p, av, fx.map, static_cast<Frame>(fi), nullptr, fx.icfg,
+          &prev_ref[p]);
+    }
+  });
+
+  // --- after: the optimized pipeline, checked against the reference ------
+  fx.map.set_use_index(true);
+  std::vector<interest::PlayerSets> prev(kPlayers), cur(kPlayers);
+  interest::VisibilityCache cache;
+  interest::EyeTable eyes;
+  std::size_t mismatches = 0;
+  for (auto& s : prev_ref) s = {};
+  const double after_ms = best_ms_per_frame(fx, [&](std::size_t fi) {
+    const auto& av = fx.trace.frames[fi].avatars;
+    cache.begin_frame(kPlayers);
+    eyes.build(av);
+    for (PlayerId p = 0; p < kPlayers; ++p) {
+      interest::compute_sets_into(p, av, fx.map, static_cast<Frame>(fi),
+                                  nullptr, fx.icfg, &prev[p], &cache, cur[p],
+                                  &eyes);
+    }
+    std::swap(prev, cur);
+  });
+  // Equivalence spot-check over one replay (outside the timed region).
+  for (auto& s : prev) s = {};
+  for (auto& s : prev_ref) s = {};
+  for (std::size_t fi = 0; fi < fx.trace.num_frames(); ++fi) {
+    const auto& av = fx.trace.frames[fi].avatars;
+    cache.begin_frame(kPlayers);
+    eyes.build(av);
+    for (PlayerId p = 0; p < kPlayers; ++p) {
+      interest::compute_sets_into(p, av, fx.map, static_cast<Frame>(fi),
+                                  nullptr, fx.icfg, &prev[p], &cache, cur[p],
+                                  &eyes);
+      fx.map.set_use_index(false);
+      const auto ref = interest::compute_sets_reference(
+          p, av, fx.map, static_cast<Frame>(fi), nullptr, fx.icfg,
+          &prev_ref[p]);
+      fx.map.set_use_index(true);
+      if (!same_sets(cur[p], ref)) ++mismatches;
+      prev_ref[p] = ref;
+    }
+    std::swap(prev, cur);
+  }
+
+  const double speedup = before_ms / after_ms;
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "perf_report: cannot write " << out_path << "\n";
+    return 2;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"BM_ComputeSets_48players\",\n"
+      << "  \"map\": \"" << fx.map.name() << "\",\n"
+      << "  \"players\": " << kPlayers << ",\n"
+      << "  \"frames\": " << kFrames << ",\n"
+      << "  \"passes\": " << kPasses << ",\n"
+      << "  \"before_ms_per_frame\": " << before_ms << ",\n"
+      << "  \"after_ms_per_frame\": " << after_ms << ",\n"
+      << "  \"speedup\": " << speedup << ",\n"
+      << "  \"set_mismatches\": " << mismatches << "\n"
+      << "}\n";
+  out.close();
+
+  std::printf("before %.4f ms/frame, after %.4f ms/frame, speedup %.2fx, "
+              "mismatches %zu -> %s\n",
+              before_ms, after_ms, speedup, mismatches, out_path);
+  return mismatches == 0 ? 0 : 1;
+}

@@ -31,6 +31,7 @@ WatchmenSession::WatchmenSession(
       schedule_(opts.seed, trace.n_players, opts.watchmen.renewal_frames),
       detector_(opts.detector),
       replayer_(trace),
+      pool_(opts.compute_threads),
       connected_(trace.n_players, true) {
   net_ = std::make_unique<net::SimNetwork>(
       trace.n_players,
@@ -73,17 +74,35 @@ void WatchmenSession::run_frames(std::size_t n) {
     // Every player publishes; subscriptions derive from the in-game sets
     // the tracing module recorded (computed here from the replayed state,
     // with hysteresis against the previous frame's sets).
-    if (prev_sets_.size() != trace_->n_players) prev_sets_.resize(trace_->n_players);
-    for (PlayerId p = 0; p < trace_->n_players; ++p) {
+    //
+    // The set computation is the frame budget's hot phase and runs on the
+    // pool: each player's sets are a pure function of the frame snapshot
+    // plus its own previous sets, written into its own slot, so any worker
+    // interleaving produces bit-identical results. The shared visibility
+    // cache is epoch-stamped and idempotent (racing writers store the same
+    // pure raycast verdict). Message production stays sequential below to
+    // keep the network event order deterministic.
+    const std::size_t n = trace_->n_players;
+    if (prev_sets_.size() != n) prev_sets_.resize(n);
+    if (frame_sets_.size() != n) frame_sets_.resize(n);
+    eye_table_.build(tf.avatars);
+    vis_cache_.begin_frame(n);
+    const interest::InteractionFn last_hit = [this](PlayerId a, PlayerId b) {
+      return replayer_.last_interaction(a, b);
+    };
+    pool_.parallel_for(n, [&](std::size_t p) {
+      if (!connected_[p]) return;
+      interest::compute_sets_into(static_cast<PlayerId>(p), tf.avatars, *map_,
+                                  f, last_hit, opts_.watchmen.interest,
+                                  &prev_sets_[p], &vis_cache_, frame_sets_[p],
+                                  &eye_table_);
+    });
+    for (PlayerId p = 0; p < n; ++p) {
       if (!connected_[p]) continue;
-      interest::PlayerSets sets = interest::compute_sets(
-          p, tf.avatars, *map_, f,
-          [this](PlayerId a, PlayerId b) {
-            return replayer_.last_interaction(a, b);
-          },
-          opts_.watchmen.interest, &prev_sets_[p]);
-      peers_[p]->produce(tf.avatars, sets, tf.events.kills);
-      prev_sets_[p] = std::move(sets);
+      peers_[p]->produce(tf.avatars, frame_sets_[p], tf.events.kills);
+      // The just-computed sets become the hysteresis input; the old buffer
+      // is recycled as next frame's output (steady state allocates nothing).
+      std::swap(prev_sets_[p], frame_sets_[p]);
     }
 
     // Deliver what arrives within this frame, then close the frame.

@@ -13,7 +13,9 @@
 #include "core/proxy_schedule.hpp"
 #include "crypto/keys.hpp"
 #include "game/trace.hpp"
+#include "interest/visibility_cache.hpp"
 #include "net/network.hpp"
+#include "util/thread_pool.hpp"
 #include "verify/detector.hpp"
 
 namespace watchmen::core {
@@ -40,6 +42,12 @@ struct SessionOptions {
   /// Per-node upload caps in bits/s (0 = unconstrained), applied to the
   /// simulated network before the session starts.
   std::vector<std::pair<PlayerId, double>> upload_bps;
+  /// Worker threads for the per-player interest-set computation (the frame
+  /// budget's hot phase): 0 = one per hardware thread, 1 = sequential.
+  /// Results are bit-identical for every value (compute_sets_into is a pure
+  /// function of the frame inputs and each player writes only its own slot;
+  /// tests/determinism_test.cpp compares pool sizes 1, 2 and 8).
+  std::size_t compute_threads = 0;
 };
 
 class WatchmenSession {
@@ -88,7 +96,11 @@ class WatchmenSession {
   verify::Detector detector_;
   game::TraceReplayer replayer_;
   std::vector<std::unique_ptr<WatchmenPeer>> peers_;
-  std::vector<interest::PlayerSets> prev_sets_;  ///< for IS hysteresis
+  std::vector<interest::PlayerSets> prev_sets_;   ///< for IS hysteresis
+  std::vector<interest::PlayerSets> frame_sets_;  ///< this frame's output
+  interest::VisibilityCache vis_cache_;  ///< frame-scoped pair LoS cache
+  interest::EyeTable eye_table_;         ///< per-frame shared eye positions
+  util::ThreadPool pool_;
   std::vector<bool> connected_;
   Frame next_frame_ = 0;
 };

@@ -5,30 +5,6 @@
 
 namespace watchmen::game {
 
-bool Box::intersects_segment(const Vec3& a, const Vec3& b) const {
-  // Slab test against the segment parameterized as a + t*(b-a), t in [0,1].
-  const Vec3 d = b - a;
-  double t0 = 0.0;
-  double t1 = 1.0;
-  const double amin[3] = {min.x, min.y, min.z};
-  const double amax[3] = {max.x, max.y, max.z};
-  const double o[3] = {a.x, a.y, a.z};
-  const double dir[3] = {d.x, d.y, d.z};
-  for (int i = 0; i < 3; ++i) {
-    if (std::fabs(dir[i]) < 1e-12) {
-      if (o[i] < amin[i] || o[i] > amax[i]) return false;
-      continue;
-    }
-    double ta = (amin[i] - o[i]) / dir[i];
-    double tb = (amax[i] - o[i]) / dir[i];
-    if (ta > tb) std::swap(ta, tb);
-    t0 = std::max(t0, ta);
-    t1 = std::min(t1, tb);
-    if (t0 > t1) return false;
-  }
-  return true;
-}
-
 const char* to_string(ItemKind kind) {
   switch (kind) {
     case ItemKind::kHealth: return "health";
@@ -48,7 +24,15 @@ const char* to_string(ItemKind kind) {
 GameMap::GameMap(std::string name, Vec3 bounds_min, Vec3 bounds_max)
     : name_(std::move(name)), bounds_min_(bounds_min), bounds_max_(bounds_max) {}
 
-bool GameMap::visible(const Vec3& a, const Vec3& b) const {
+void GameMap::add_occluder(Box b) {
+  occluders_.push_back(b);
+  // Maps are built once up front (a handful of boxes), so an eager rebuild
+  // per add keeps the index valid without any lazy-init synchronization —
+  // visible() stays a pure const read, safe to call from worker threads.
+  index_.build(occluders_, bounds_min_, bounds_max_);
+}
+
+bool GameMap::visible_brute_force(const Vec3& a, const Vec3& b) const {
   for (const Box& box : occluders_) {
     if (box.intersects_segment(a, b)) return false;
   }
@@ -62,6 +46,7 @@ Vec3 GameMap::clamp(const Vec3& p) const {
 }
 
 double GameMap::ground_height(double x, double y) const {
+  if (use_index_) return index_.max_top_under(x, y, bounds_min_.z);
   double h = bounds_min_.z;
   for (const Box& box : occluders_) {
     if (x >= box.min.x && x <= box.max.x && y >= box.min.y && y <= box.max.y) {

@@ -11,25 +11,10 @@
 #include <string>
 #include <vector>
 
+#include "game/occluder_index.hpp"
 #include "util/vec.hpp"
 
 namespace watchmen::game {
-
-/// Axis-aligned box, used for platforms/pillars (which also occlude vision).
-struct Box {
-  Vec3 min;
-  Vec3 max;
-
-  bool contains(const Vec3& p) const {
-    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y &&
-           p.z >= min.z && p.z <= max.z;
-  }
-
-  Vec3 center() const { return (min + max) * 0.5; }
-
-  /// True if the open segment (a, b) intersects the box interior.
-  bool intersects_segment(const Vec3& a, const Vec3& b) const;
-};
 
 enum class ItemKind : std::uint8_t {
   kHealth,      // +25 health
@@ -60,7 +45,7 @@ class GameMap {
   const Vec3& bounds_min() const { return bounds_min_; }
   const Vec3& bounds_max() const { return bounds_max_; }
 
-  void add_occluder(Box b) { occluders_.push_back(b); }
+  void add_occluder(Box b);
   void add_respawn(Vec3 p) { respawns_.push_back(p); }
   void add_item_spawn(ItemSpawn s) { item_spawns_.push_back(s); }
 
@@ -71,7 +56,22 @@ class GameMap {
   /// Line-of-sight: true if no occluder blocks the segment a->b.
   /// This is the geometric core of both the PVS baseline and the Watchmen
   /// vision set ("avatars behind a wall do not appear in the vision set").
-  bool visible(const Vec3& a, const Vec3& b) const;
+  /// Served by the OccluderIndex unless set_use_index(false) selected the
+  /// brute-force scan (kept for equivalence testing).
+  bool visible(const Vec3& a, const Vec3& b) const {
+    if (use_index_) return !index_.segment_hits(a, b);
+    return visible_brute_force(a, b);
+  }
+
+  /// The original O(all boxes) line-of-sight scan; reference implementation
+  /// for the index equivalence tests and the perf-report baseline.
+  bool visible_brute_force(const Vec3& a, const Vec3& b) const;
+
+  /// Selects between the OccluderIndex (default) and the brute-force scan.
+  void set_use_index(bool on) { use_index_ = on; }
+  bool use_index() const { return use_index_; }
+
+  const OccluderIndex& occluder_index() const { return index_; }
 
   /// Clamp a point into the playable bounds.
   Vec3 clamp(const Vec3& p) const;
@@ -93,6 +93,8 @@ class GameMap {
   std::vector<Box> occluders_;
   std::vector<Vec3> respawns_;
   std::vector<ItemSpawn> item_spawns_;
+  OccluderIndex index_;
+  bool use_index_ = true;
 };
 
 /// The q3dm17-style arena used by all paper experiments.

@@ -1,0 +1,280 @@
+#include "game/occluder_index.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace watchmen::game {
+
+bool Box::intersects_segment(const Vec3& a, const Vec3& b) const {
+  // Slab test against the segment parameterized as a + t*(b-a), t in [0,1].
+  const Vec3 d = b - a;
+  double t0 = 0.0;
+  double t1 = 1.0;
+  const double amin[3] = {min.x, min.y, min.z};
+  const double amax[3] = {max.x, max.y, max.z};
+  const double o[3] = {a.x, a.y, a.z};
+  const double dir[3] = {d.x, d.y, d.z};
+  for (int i = 0; i < 3; ++i) {
+    if (std::fabs(dir[i]) < 1e-12) {
+      if (o[i] < amin[i] || o[i] > amax[i]) return false;
+      continue;
+    }
+    double ta = (amin[i] - o[i]) / dir[i];
+    double tb = (amax[i] - o[i]) / dir[i];
+    if (ta > tb) std::swap(ta, tb);
+    t0 = std::max(t0, ta);
+    t1 = std::min(t1, tb);
+    if (t0 > t1) return false;
+  }
+  return true;
+}
+
+void OccluderIndex::build(const std::vector<Box>& boxes, const Vec3& bounds_min,
+                          const Vec3& bounds_max) {
+  boxes_ = boxes;
+  masks_.clear();
+  cell_top_.clear();
+  order_.clear();
+  top_sorted_.clear();
+  nx_ = ny_ = 0;
+  oversized_ = boxes_.size() > kMaxBoxes;
+  if (boxes_.empty() || oversized_) return;
+
+  // Height-descending order powers the z prune: eye-to-eye segments in an
+  // arena usually run above most platform tops, so scans terminate early.
+  order_.resize(boxes_.size());
+  for (std::uint32_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  std::sort(order_.begin(), order_.end(), [&](std::uint32_t l, std::uint32_t r) {
+    return boxes_[l].max.z != boxes_[r].max.z ? boxes_[l].max.z > boxes_[r].max.z
+                                              : l < r;
+  });
+  top_sorted_.reserve(order_.size());
+  for (std::uint32_t i : order_) top_sorted_.push_back(boxes_[i].max.z);
+  if (boxes_.size() <= kFlatModeMax) return;  // flat scan; no grid needed
+
+  // Grid covers the union of the map bounds and the boxes themselves, so
+  // clamped cell lookups stay conservative even for out-of-bounds queries.
+  double xmin = bounds_min.x, xmax = bounds_max.x;
+  double ymin = bounds_min.y, ymax = bounds_max.y;
+  for (const Box& b : boxes_) {
+    xmin = std::min(xmin, b.min.x);
+    xmax = std::max(xmax, b.max.x);
+    ymin = std::min(ymin, b.min.y);
+    ymax = std::max(ymax, b.max.y);
+  }
+  const double ex = std::max(xmax - xmin, 1e-6);
+  const double ey = std::max(ymax - ymin, 1e-6);
+  eps_ = 1e-9 * std::max(ex, ey);
+
+  // Resolution heuristic: ~2*sqrt(B) cells per axis keeps cells-per-segment
+  // and boxes-per-cell balanced for both sparse arena maps and dense ones.
+  const int res = static_cast<int>(
+      2.0 * std::ceil(std::sqrt(static_cast<double>(boxes_.size()))));
+  nx_ = std::clamp(res, 4, 64);
+  ny_ = nx_;
+  x0_ = xmin;
+  y0_ = ymin;
+  cx_ = ex / nx_;
+  cy_ = ey / ny_;
+  inv_cx_ = 1.0 / cx_;
+  inv_cy_ = 1.0 / cy_;
+
+  words_ = (boxes_.size() + 63) / 64;
+  masks_.assign(static_cast<std::size_t>(nx_) * ny_ * words_, 0);
+  cell_top_.assign(static_cast<std::size_t>(nx_) * ny_, bounds_min.z);
+  for (std::size_t i = 0; i < boxes_.size(); ++i) {
+    const Box& b = boxes_[i];
+    const int ix0 = cell_x(b.min.x - eps_);
+    const int ix1 = cell_x(b.max.x + eps_);
+    const int iy0 = cell_y(b.min.y - eps_);
+    const int iy1 = cell_y(b.max.y + eps_);
+    for (int iy = iy0; iy <= iy1; ++iy) {
+      for (int ix = ix0; ix <= ix1; ++ix) {
+        const std::size_t cell = static_cast<std::size_t>(iy) * nx_ + ix;
+        masks_[cell * words_ + i / 64] |= std::uint64_t{1} << (i % 64);
+        cell_top_[cell] = std::max(cell_top_[cell], b.max.z);
+      }
+    }
+  }
+}
+
+int OccluderIndex::cell_x(double x) const {
+  const double f = (x - x0_) * inv_cx_;
+  if (f <= 0.0) return 0;
+  const int i = static_cast<int>(f);
+  return i >= nx_ ? nx_ - 1 : i;
+}
+
+int OccluderIndex::cell_y(double y) const {
+  const double f = (y - y0_) * inv_cy_;
+  if (f <= 0.0) return 0;
+  const int i = static_cast<int>(f);
+  return i >= ny_ ? ny_ - 1 : i;
+}
+
+namespace {
+
+/// Conservative mul-based slab pre-reject. Returns false only when the
+/// exact division-based Box::intersects_segment is certain to return false
+/// (the 1e-9 parameter-space slack dwarfs the inv-multiply rounding);
+/// returns true for possible hits, which the caller confirms exactly.
+inline bool may_intersect(const Box& box, const double o[3], const double d[3],
+                          const double inv[3]) {
+  double t0 = 0.0;
+  double t1 = 1.0;
+  const double bmin[3] = {box.min.x, box.min.y, box.min.z};
+  const double bmax[3] = {box.max.x, box.max.y, box.max.z};
+  for (int i = 0; i < 3; ++i) {
+    if (std::fabs(d[i]) < 1e-12) {
+      // Matches the exact test's parallel-axis handling, widened by eps.
+      if (o[i] < bmin[i] - 1e-9 || o[i] > bmax[i] + 1e-9) return false;
+      continue;
+    }
+    double ta = (bmin[i] - o[i]) * inv[i];
+    double tb = (bmax[i] - o[i]) * inv[i];
+    if (ta > tb) std::swap(ta, tb);
+    t0 = std::max(t0, ta - 1e-9);
+    t1 = std::min(t1, tb + 1e-9);
+    if (t0 > t1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool OccluderIndex::segment_hits_flat(const Vec3& a, const Vec3& b,
+                                      const double o[3], const double d[3],
+                                      const double inv[3]) const {
+  // Height-ordered scan with a z prune: once the segment's lowest point is
+  // above a box top (with margin covering division rounding in the exact
+  // slab test), it is above every later box too, so the scan stops. Arena
+  // maps put most eye-to-eye segments above the platform tops, so typical
+  // queries touch only the tall pillars at the front of the order.
+  const double zmin = std::min(a.z, b.z);
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    if (top_sorted_[i] + 1e-6 < zmin) break;
+    const Box& box = boxes_[order_[i]];
+    if (may_intersect(box, o, d, inv) && box.intersects_segment(a, b)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool OccluderIndex::segment_hits(const Vec3& a, const Vec3& b) const {
+  if (boxes_.empty()) return false;
+  if (oversized_) {
+    for (const Box& box : boxes_) {
+      if (box.intersects_segment(a, b)) return true;
+    }
+    return false;
+  }
+
+  const double o[3] = {a.x, a.y, a.z};
+  const double d[3] = {b.x - a.x, b.y - a.y, b.z - a.z};
+  const double inv[3] = {std::fabs(d[0]) < 1e-12 ? 0.0 : 1.0 / d[0],
+                         std::fabs(d[1]) < 1e-12 ? 0.0 : 1.0 / d[1],
+                         std::fabs(d[2]) < 1e-12 ? 0.0 : 1.0 / d[2]};
+
+  if (masks_.empty()) return segment_hits_flat(a, b, o, d, inv);
+
+  // Clip the segment's parameter range to the (dilated) grid rectangle; a
+  // segment that never enters the rectangle cannot hit any box.
+  double t0 = 0.0, t1 = 1.0;
+  const double gx0 = x0_ - eps_, gx1 = x0_ + cx_ * nx_ + eps_;
+  const double gy0 = y0_ - eps_, gy1 = y0_ + cy_ * ny_ + eps_;
+  const auto clip = [&](double orig, double dir, double invd, double lo,
+                        double hi) {
+    if (std::fabs(dir) < 1e-12) return orig >= lo && orig <= hi;
+    double ta = (lo - orig) * invd;
+    double tb = (hi - orig) * invd;
+    if (ta > tb) std::swap(ta, tb);
+    t0 = std::max(t0, ta);
+    t1 = std::min(t1, tb);
+    return t0 <= t1;
+  };
+  if (!clip(o[0], d[0], inv[0], gx0, gx1) ||
+      !clip(o[1], d[1], inv[1], gy0, gy1)) {
+    return false;
+  }
+
+  const double px0 = o[0] + t0 * d[0], px1 = o[0] + t1 * d[0];
+  const int ixlo = cell_x(std::min(px0, px1) - eps_);
+  const int ixhi = cell_x(std::max(px0, px1) + eps_);
+
+  // Column walk: for each x-column the clipped segment crosses, OR in the
+  // masks of the cells its (dilated) y-interval covers. The dilation makes
+  // the visited cell set a superset of every cell the true segment touches,
+  // so exactness rests solely on the final Box::intersects_segment confirm.
+  std::uint64_t tested[kMaxWords] = {};
+  for (int ix = ixlo; ix <= ixhi; ++ix) {
+    const double xlo = x0_ + cx_ * ix - eps_;
+    const double xhi = x0_ + cx_ * (ix + 1) + eps_;
+    double ct0 = t0, ct1 = t1;
+    if (std::fabs(d[0]) >= 1e-12) {
+      double ta = (xlo - o[0]) * inv[0];
+      double tb = (xhi - o[0]) * inv[0];
+      if (ta > tb) std::swap(ta, tb);
+      ct0 = std::max(ct0, ta);
+      ct1 = std::min(ct1, tb);
+      if (ct0 > ct1) continue;
+    } else if (o[0] < xlo || o[0] > xhi) {
+      continue;
+    }
+    const double ya = o[1] + ct0 * d[1];
+    const double yb = o[1] + ct1 * d[1];
+    const int iylo = cell_y(std::min(ya, yb) - eps_);
+    const int iyhi = cell_y(std::max(ya, yb) + eps_);
+    // Column z interval for the cell-level z prune. The dilated [ct0, ct1]
+    // is a superset of the true in-column parameter range, so zlo is a
+    // conservative lower bound on the segment's height in this column.
+    const double zlo = std::min(o[2] + ct0 * d[2], o[2] + ct1 * d[2]);
+    for (int iy = iylo; iy <= iyhi; ++iy) {
+      const std::size_t cell = static_cast<std::size_t>(iy) * nx_ + ix;
+      if (zlo > cell_top_[cell] + 1e-6) continue;
+      const std::uint64_t* mask = &masks_[cell * words_];
+      for (std::size_t w = 0; w < words_; ++w) {
+        std::uint64_t fresh = mask[w] & ~tested[w];
+        tested[w] |= mask[w];
+        while (fresh) {
+          const int bit = std::countr_zero(fresh);
+          fresh &= fresh - 1;
+          const Box& box = boxes_[w * 64 + bit];
+          if (may_intersect(box, o, d, inv) && box.intersects_segment(a, b)) {
+            return true;
+          }
+        }
+      }
+    }
+  }
+  return false;
+}
+
+double OccluderIndex::max_top_under(double x, double y, double floor_z) const {
+  double h = floor_z;
+  if (boxes_.empty()) return h;
+  if (oversized_ || masks_.empty()) {
+    for (const Box& box : boxes_) {
+      if (x >= box.min.x && x <= box.max.x && y >= box.min.y && y <= box.max.y) {
+        h = std::max(h, box.max.z);
+      }
+    }
+    return h;
+  }
+  const std::uint64_t* mask = cell_mask(cell_x(x), cell_y(y));
+  for (std::size_t w = 0; w < words_; ++w) {
+    std::uint64_t m = mask[w];
+    while (m) {
+      const int bit = std::countr_zero(m);
+      m &= m - 1;
+      const Box& box = boxes_[w * 64 + bit];
+      if (x >= box.min.x && x <= box.max.x && y >= box.min.y && y <= box.max.y) {
+        h = std::max(h, box.max.z);
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace watchmen::game

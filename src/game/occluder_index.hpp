@@ -1,0 +1,103 @@
+#pragma once
+// Spatial acceleration for occlusion queries: a uniform XY grid over the
+// map's axis-aligned occluder boxes.
+//
+// GameMap::visible() is the single hottest primitive of the interest-
+// management path: every Vision/Interest-set recomputation raycasts between
+// avatar eyes, and the naive implementation scans *all* occluders per
+// segment. The index restricts each query to the boxes whose XY footprint
+// overlaps the grid cells the segment actually crosses, so raycast cost is
+// O(cells touched + candidate boxes) instead of O(all boxes).
+//
+// Correctness contract: the cell walk is *conservative* (cells are visited
+// with a small epsilon dilation, and boxes are registered into every cell
+// their dilated XY footprint overlaps), and every candidate is confirmed
+// with the exact Box::intersects_segment slab test. The index therefore
+// returns bit-identical answers to the brute-force scan — enforced by a
+// randomized equivalence test in tests/occlusion_test.cpp — and the brute
+// path stays available behind GameMap::set_use_index(false).
+
+#include <cstdint>
+#include <vector>
+
+#include "util/vec.hpp"
+
+namespace watchmen::game {
+
+/// Axis-aligned box, used for platforms/pillars (which also occlude vision).
+struct Box {
+  Vec3 min;
+  Vec3 max;
+
+  bool contains(const Vec3& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y &&
+           p.z >= min.z && p.z <= max.z;
+  }
+
+  Vec3 center() const { return (min + max) * 0.5; }
+
+  /// True if the open segment (a, b) intersects the box interior.
+  bool intersects_segment(const Vec3& a, const Vec3& b) const;
+};
+
+class OccluderIndex {
+ public:
+  OccluderIndex() = default;
+
+  /// (Re)builds the grid over `boxes`. `bounds_min/max` are the map bounds;
+  /// the grid covers their union with the boxes' extents.
+  void build(const std::vector<Box>& boxes, const Vec3& bounds_min,
+             const Vec3& bounds_max);
+
+  /// True if any box intersects segment a->b. Exact: candidates from the
+  /// conservative cell walk are confirmed with Box::intersects_segment.
+  bool segment_hits(const Vec3& a, const Vec3& b) const;
+
+  /// Max of `floor_z` and the top (max.z) of every box whose XY footprint
+  /// contains (x, y) — the GameMap::ground_height point query.
+  double max_top_under(double x, double y, double floor_z) const;
+
+  bool empty() const { return boxes_.empty(); }
+  std::size_t num_boxes() const { return boxes_.size(); }
+  int grid_nx() const { return nx_; }
+  int grid_ny() const { return ny_; }
+
+ private:
+  // Per-cell candidate sets are bitmasks over box indices, `words_` 64-bit
+  // words per cell. Masks make the union-accumulate + dedup during the cell
+  // walk branch-free; box counts beyond kMaxBoxes fall back to brute scans.
+  static constexpr std::size_t kMaxBoxes = 1024;
+  static constexpr std::size_t kMaxWords = kMaxBoxes / 64;
+  // Small box counts skip the cell walk: a height-sorted scan with a cheap
+  // z prune beats grid traversal when there are only a handful of boxes
+  // (arena maps), while the grid pays off on dense geometry.
+  static constexpr std::size_t kFlatModeMax = 40;
+
+  bool segment_hits_flat(const Vec3& a, const Vec3& b, const double o[3],
+                         const double d[3], const double inv[3]) const;
+
+  int cell_x(double x) const;
+  int cell_y(double y) const;
+  const std::uint64_t* cell_mask(int ix, int iy) const {
+    return &masks_[(static_cast<std::size_t>(iy) * nx_ + ix) * words_];
+  }
+
+  std::vector<Box> boxes_;
+  /// Box indices sorted by descending max.z, and that sorted top height;
+  /// a segment whose lowest point is above boxes_[order_[i]].max.z is above
+  /// every later box too, so flat scans stop at the first such entry.
+  std::vector<std::uint32_t> order_;
+  std::vector<double> top_sorted_;
+  std::vector<std::uint64_t> masks_;  ///< nx*ny cells × words_ mask words
+  std::vector<double> cell_top_;      ///< per cell: max box top, for z prune
+  int nx_ = 0;
+  int ny_ = 0;
+  std::size_t words_ = 0;
+  double x0_ = 0.0, y0_ = 0.0;      ///< grid origin
+  double inv_cx_ = 0.0, inv_cy_ = 0.0;
+  double cx_ = 0.0, cy_ = 0.0;      ///< cell sizes
+  double eps_ = 0.0;                ///< conservative dilation, scaled to extent
+  bool oversized_ = false;          ///< too many boxes: always brute-scan
+};
+
+}  // namespace watchmen::game

@@ -1,6 +1,9 @@
 #include "interest/sets.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "interest/visibility_cache.hpp"
 
 namespace watchmen::interest {
 
@@ -13,6 +16,11 @@ const char* to_string(SetKind k) {
   return "?";
 }
 
+void PlayerSets::rebuild_index() {
+  interest_by_id = interest;
+  std::sort(interest_by_id.begin(), interest_by_id.end());
+}
+
 SetKind PlayerSets::classify(PlayerId p) const {
   if (in_interest(p)) return SetKind::kInterest;
   if (in_vision(p)) return SetKind::kVision;
@@ -20,30 +28,318 @@ SetKind PlayerSets::classify(PlayerId p) const {
 }
 
 bool PlayerSets::in_interest(PlayerId p) const {
+  if (interest_by_id.size() == interest.size()) {
+    return std::binary_search(interest_by_id.begin(), interest_by_id.end(), p);
+  }
+  // Hand-built sets without a rebuilt index: fall back to the linear scan.
   return std::find(interest.begin(), interest.end(), p) != interest.end();
 }
 
 bool PlayerSets::in_vision(PlayerId p) const {
-  return std::find(vision.begin(), vision.end(), p) != vision.end();
+  // `vision` is sorted ascending (compute_sets invariant).
+  return std::binary_search(vision.begin(), vision.end(), p);
+}
+
+namespace {
+
+struct Scored {
+  PlayerId id;
+  double attention;
+};
+
+/// Splits the scored candidates into top-K interest + sorted vision.
+/// Shared tail of both compute_sets implementations. `visible` must be in
+/// ascending-id order (both callers scan targets in id order); sorting an
+/// attention-ordered *copy* lets the vision tail be emitted already
+/// id-sorted, with no second sort.
+void finish_sets(PlayerSets& sets, std::vector<Scored>& visible,
+                 std::size_t is_size) {
+  // Top-K by attention form the IS; deterministic tie-break on id makes the
+  // comparator a total order, so every correct sort yields the same output
+  // (the insertion sort below is just cheaper than std::sort for the
+  // typical handful of candidates).
+  const auto att_less = [](const Scored& a, const Scored& b) {
+    return a.attention != b.attention ? a.attention > b.attention : a.id < b.id;
+  };
+  thread_local std::vector<Scored> by_att;
+  by_att.assign(visible.begin(), visible.end());
+  if (by_att.size() <= 32) {
+    for (std::size_t i = 1; i < by_att.size(); ++i) {
+      const Scored v = by_att[i];
+      std::size_t j = i;
+      for (; j > 0 && att_less(v, by_att[j - 1]); --j) by_att[j] = by_att[j - 1];
+      by_att[j] = v;
+    }
+  } else {
+    std::sort(by_att.begin(), by_att.end(), att_less);
+  }
+
+  const std::size_t k = std::min(is_size, by_att.size());
+  sets.interest.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) sets.interest.push_back(by_att[i].id);
+  sets.rebuild_index();
+  // `visible` is id-ascending and so is interest_by_id: a cursor walk emits
+  // the vision tail already sorted, no second sort and no per-element search.
+  const PlayerId* ids = sets.interest_by_id.data();
+  const std::size_t kn = sets.interest_by_id.size();
+  std::size_t ki = 0;
+  sets.vision.reserve(visible.size() - k);
+  for (const Scored& s : visible) {
+    while (ki < kn && ids[ki] < s.id) ++ki;
+    if (ki < kn && ids[ki] == s.id) continue;
+    sets.vision.push_back(s.id);
+  }
+}
+
+/// attention_score with the observer-side intermediates hoisted out.
+/// `to` = target.eye() - observer.eye(), `d` = |to|, and `cos_angle` =
+/// dot(aim, to) / (|aim| * d) must be bit-identical to what attention_score
+/// would compute (cos_angle is only read when d > 1e-9).
+double attention_from(double d, double cos_angle, Frame now,
+                      Frame last_interaction, const VisionConfig& vision,
+                      const AttentionWeights& w) {
+  const double prox = std::max(0.0, 1.0 - d / vision.radius);
+
+  double aim = 0.0;
+  if (d > 1e-9) {
+    const double ang = std::acos(std::fmax(-1.0, std::fmin(1.0, cos_angle)));
+    aim = std::max(0.0, 1.0 - ang / vision.half_angle);
+  } else {
+    aim = 1.0;
+  }
+
+  const double age = static_cast<double>(now - last_interaction);
+  double recency = 0.0;
+  if (age >= 0) {
+    // Ages are integral frame deltas and most pairs share the same one (the
+    // "never interacted" default), so a single-entry memo on the exp
+    // argument absorbs nearly every call. exp is pure: equal argument gives
+    // equal bits, so this cannot change any score.
+    const double arg = -age / w.recency_tau;
+    thread_local double memo_arg = 1.0;  // exp arg is never positive
+    thread_local double memo_val = 0.0;
+    if (arg != memo_arg) {
+      memo_arg = arg;
+      memo_val = std::exp(arg);
+    }
+    recency = memo_val;
+  }
+
+  return w.proximity * prox + w.aim * aim + w.recency * recency;
+}
+
+}  // namespace
+
+void EyeTable::build(std::span<const game::AvatarState> avatars) {
+  const std::size_t n = avatars.size();
+  eye.resize(n);
+  x.resize(n);
+  y.resize(n);
+  z.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    eye[i] = avatars[i].eye();
+    x[i] = eye[i].x;
+    y[i] = eye[i].y;
+    z[i] = eye[i].z;
+  }
 }
 
 PlayerSets compute_sets(PlayerId self, std::span<const game::AvatarState> avatars,
                         const game::GameMap& map, Frame now,
                         const InteractionFn& last_interaction,
-                        const InterestConfig& cfg, const PlayerSets* prev) {
+                        const InterestConfig& cfg, const PlayerSets* prev,
+                        VisibilityCache* vis) {
   PlayerSets sets;
-  const game::AvatarState& me = avatars[self];
-  if (!me.alive) return sets;
+  compute_sets_into(self, avatars, map, now, last_interaction, cfg, prev, vis,
+                    sets);
+  return sets;
+}
 
-  struct Scored {
-    PlayerId id;
-    double attention;
-  };
-  std::vector<Scored> visible;
+void compute_sets_into(PlayerId self, std::span<const game::AvatarState> avatars,
+                       const game::GameMap& map, Frame now,
+                       const InteractionFn& last_interaction,
+                       const InterestConfig& cfg, const PlayerSets* prev,
+                       VisibilityCache* vis, PlayerSets& sets,
+                       const EyeTable* eyes) {
+  sets.interest.clear();
+  sets.vision.clear();
+  sets.interest_by_id.clear();
+  const game::AvatarState& me = avatars[self];
+  if (!me.alive) return;
+
+  const Vec3* eye_tab = eyes ? eyes->eye.data() : nullptr;
+
+  // Per-observer invariants, hoisted out of the per-target loop (the naive
+  // path recomputes aim_dir's four trig calls for every target, twice).
+  const Vec3 my_eye = eye_tab ? eye_tab[self] : me.eye();
+  const Vec3 my_aim = me.aim_dir();
+  const double aim_norm = my_aim.norm();
 
   // Current IS members get boundary stickiness: a slightly relaxed cone
   // (and an attention boost below), so aim jitter at the cone edge does not
   // flap the membership every frame.
+  VisionConfig sticky = cfg.vision;
+  sticky.half_angle += 0.15;
+  sticky.radius *= 1.1;
+
+  // Squared-compare constants. The 1e-9 slack bands make the cheap compares
+  // strictly conservative: anything inside a band re-runs the reference
+  // trigonometric test, so decisions match compute_sets_reference exactly.
+  const double cos_base = std::cos(cfg.vision.half_angle);
+  const double cos_sticky = std::cos(sticky.half_angle);
+  const double r2_base = cfg.vision.radius * cfg.vision.radius * (1.0 + 1e-9);
+  const double r2_sticky = sticky.radius * sticky.radius * (1.0 + 1e-9);
+
+  // Squared-dot cone pre-reject: dot(aim, to) < (cos_ha - eps) * |aim| * |to|
+  // compared via squares, so the (dominant) reject path needs no sqrt, no
+  // division and no acos. The 4e-9 band is wider than the 1e-9 exact-logic
+  // band plus the few-ulp rounding of the extra squarings, so every fast
+  // reject is also a reject of the reference test. Only valid for acute
+  // cones (threshold > 0), which covers every configured half_angle < pi/2.
+  const double aim_norm2 = my_aim.norm2();
+  const double tcone_base = cos_base - 4e-9;
+  const double tcone_sticky = cos_sticky - 4e-9;
+  const double q_base = tcone_base * tcone_base * aim_norm2;
+  const double q_sticky = tcone_sticky * tcone_sticky * aim_norm2;
+
+  thread_local std::vector<Scored> visible;
+  visible.clear();
+
+  // `q` scans ascending and prev->interest_by_id is sorted ascending, so a
+  // cursor makes every was_interest lookup O(1) amortized. Falls back to
+  // in_interest() if the caller handed us sets without a rebuilt index.
+  const PlayerId* prev_ids = nullptr;
+  std::size_t prev_n = 0;
+  std::size_t prev_idx = 0;
+  if (prev && prev->interest_by_id.size() == prev->interest.size()) {
+    prev_ids = prev->interest_by_id.data();
+    prev_n = prev->interest_by_id.size();
+  }
+
+  const auto process = [&](PlayerId q) {
+    if (q == self) return;
+    const game::AvatarState& target = avatars[q];
+    if (!target.alive) return;
+
+    bool was_interest;
+    if (prev_ids) {
+      while (prev_idx < prev_n && prev_ids[prev_idx] < q) ++prev_idx;
+      was_interest = prev_idx < prev_n && prev_ids[prev_idx] == q;
+    } else {
+      was_interest = prev && prev->in_interest(q);
+    }
+    const VisionConfig& vc = was_interest ? sticky : cfg.vision;
+
+    const Vec3 t_eye = eye_tab ? eye_tab[q] : target.eye();
+    const Vec3 to = t_eye - my_eye;
+    const double d2 = to.norm2();
+    // Radius prefilter: certain rejects skip the sqrt and everything after.
+    if (d2 > (was_interest ? r2_sticky : r2_base)) return;
+
+    const double dot = my_aim.dot(to);
+    if (d2 >= 2e-18) {  // guarantees d >= 1e-9, so the cone test applies
+      const double tc = was_interest ? tcone_sticky : tcone_base;
+      if (tc > 0.0 &&
+          (dot < 0.0 || dot * dot < (was_interest ? q_sticky : q_base) * d2)) {
+        return;  // certainly outside the cone; skipped sqrt/div/acos
+      }
+    }
+
+    const double d = std::sqrt(d2);
+    if (d > vc.radius) return;
+
+    double cos_angle = 1.0;  // only read below when d > 1e-9
+    if (!(d < 1e-9)) {
+      // Same expression attention_score/angle_between evaluate, so the
+      // boundary fallback and the attention aim term reuse identical bits.
+      cos_angle = dot / (aim_norm * d);
+      const double cos_ha = was_interest ? cos_sticky : cos_base;
+      if (cos_angle < cos_ha - 1e-9) return;  // certainly outside the cone
+      if (cos_angle < cos_ha + 1e-9 &&
+          angle_between(my_aim, to) > vc.half_angle) {
+        return;  // boundary band: exact test decided "outside"
+      }
+    }
+
+    if (vc.use_occlusion) {
+      const bool los = vis ? vis->visible(map, self, my_eye, q, t_eye)
+                           : map.visible(my_eye, t_eye);
+      if (!los) return;
+    }
+
+    const Frame li = last_interaction ? last_interaction(self, q) : Frame{-10000};
+    double a = attention_from(d, cos_angle, now, li, cfg.vision, cfg.attention);
+    if (was_interest) a *= cfg.is_hysteresis;
+    visible.push_back({q, a});
+  };
+
+  const std::size_t n = avatars.size();
+  if (eyes != nullptr && n >= 16) {
+    // Branch-free prefilter over the SoA eye table: one arithmetic pass
+    // computes every target's squared distance and aim dot product and keeps
+    // only plausible candidates, using the loosest (sticky) thresholds
+    // widened by an extra rounding margin — so a dropped target is certainly
+    // rejected by the exact per-candidate logic too, for either config. The
+    // exact path then re-derives d2/dot through the same Vec3 expressions as
+    // always, keeping results bit-identical.
+    thread_local std::vector<double> keep;  // 0.0 = reject (double keeps the
+    keep.resize(n);                         // store loop a pure f64 stream)
+    const double* __restrict ex = eyes->x.data();
+    const double* __restrict ey = eyes->y.data();
+    const double* __restrict ez = eyes->z.data();
+    double* __restrict kp = keep.data();
+    const double mx = my_eye.x, my = my_eye.y, mz = my_eye.z;
+    const double ax = my_aim.x, ay = my_aim.y, az = my_aim.z;
+    const double tv = cos_sticky - 8e-9;
+    const double qv = tv > 0.0 ? tv * tv * aim_norm2 : -1.0;
+    if (qv < 0.0) {
+      // Obtuse cone: the cone half of the filter never rejects, so only the
+      // radius test matters (and the dot product need not be computed).
+      for (std::size_t q = 0; q < n; ++q) {
+        const double dx = ex[q] - mx;
+        const double dy = ey[q] - my;
+        const double dz = ez[q] - mz;
+        const double d2v = dx * dx + dy * dy + dz * dz;
+        kp[q] = d2v <= r2_sticky ? 1.0 : 0.0;
+      }
+    } else {
+      // Branchless store loop (vectorizer-friendly: restrict-qualified
+      // streams, bitwise condition combine, no control flow in the body).
+      for (std::size_t q = 0; q < n; ++q) {
+        const double dx = ex[q] - mx;
+        const double dy = ey[q] - my;
+        const double dz = ez[q] - mz;
+        const double d2v = dx * dx + dy * dy + dz * dz;
+        const double dotv = ax * dx + ay * dy + az * dz;
+        const unsigned in_r = d2v <= r2_sticky;
+        const unsigned in_cone = static_cast<unsigned>(d2v < 4e-18) |
+                                 (static_cast<unsigned>(dotv >= 0.0) &
+                                  static_cast<unsigned>(dotv * dotv >= qv * d2v));
+        kp[q] = (in_r & in_cone) != 0 ? 1.0 : 0.0;
+      }
+    }
+    for (std::size_t q = 0; q < n; ++q) {
+      if (kp[q] != 0.0) process(static_cast<PlayerId>(q));
+    }
+  } else {
+    for (PlayerId q = 0; q < n; ++q) process(q);
+  }
+
+  finish_sets(sets, visible, cfg.is_size);
+}
+
+PlayerSets compute_sets_reference(PlayerId self,
+                                  std::span<const game::AvatarState> avatars,
+                                  const game::GameMap& map, Frame now,
+                                  const InteractionFn& last_interaction,
+                                  const InterestConfig& cfg,
+                                  const PlayerSets* prev) {
+  PlayerSets sets;
+  const game::AvatarState& me = avatars[self];
+  if (!me.alive) return sets;
+
+  std::vector<Scored> visible;
+
   VisionConfig sticky = cfg.vision;
   sticky.half_angle += 0.15;
   sticky.radius *= 1.1;
@@ -60,17 +356,7 @@ PlayerSets compute_sets(PlayerId self, std::span<const game::AvatarState> avatar
     visible.push_back({q, a});
   }
 
-  // Top-K by attention form the IS; stable deterministic tie-break on id.
-  std::sort(visible.begin(), visible.end(), [](const Scored& a, const Scored& b) {
-    return a.attention != b.attention ? a.attention > b.attention : a.id < b.id;
-  });
-
-  const std::size_t k = std::min(cfg.is_size, visible.size());
-  sets.interest.reserve(k);
-  for (std::size_t i = 0; i < k; ++i) sets.interest.push_back(visible[i].id);
-  sets.vision.reserve(visible.size() - k);
-  for (std::size_t i = k; i < visible.size(); ++i) sets.vision.push_back(visible[i].id);
-  std::sort(sets.vision.begin(), sets.vision.end());
+  finish_sets(sets, visible, cfg.is_size);
   return sets;
 }
 

@@ -1,0 +1,74 @@
+#pragma once
+// Frame-scoped line-of-sight cache over symmetric player pairs.
+//
+// Within one frame, every observer's set computation raycasts against every
+// candidate target, so the (p, q) and (q, p) directions of each pair repeat
+// the identical occlusion query (Box::intersects_segment is symmetric; the
+// MapProperty.VisibilityIsSymmetric test pins that down). The cache keys on
+// the unordered pair and stores the raycast verdict for the current frame,
+// so each pair is raycast at most once per frame across all observers.
+//
+// Thread safety / determinism: entries are relaxed atomics stamped with the
+// frame epoch. Two workers racing on the same pair at worst both compute the
+// (identical, pure) raycast and store the same value — results are
+// bit-identical for any thread count. Epoch stamping makes begin_frame() an
+// O(1) invalidation instead of an O(n^2) clear.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "game/map.hpp"
+#include "util/ids.hpp"
+#include "util/vec.hpp"
+
+namespace watchmen::interest {
+
+class VisibilityCache {
+ public:
+  /// Starts a new frame for a session of `n_players`: bumps the epoch
+  /// (invalidating all entries) and resizes storage if the roster changed.
+  void begin_frame(std::size_t n_players) {
+    if (n_ != n_players) {
+      n_ = n_players;
+      const std::size_t pairs = n_players < 2 ? 0 : n_players * (n_players - 1) / 2;
+      slots_ = std::vector<std::atomic<std::uint64_t>>(pairs);
+      epoch_ = 1;
+    } else {
+      ++epoch_;
+    }
+  }
+
+  std::size_t num_players() const { return n_; }
+
+  /// Line-of-sight between the eyes of players a and b, raycast at most once
+  /// per pair per frame. `ea`/`eb` must be the players' eye positions for
+  /// the current frame (the cache never validates them).
+  bool visible(const game::GameMap& map, PlayerId a, const Vec3& ea,
+               PlayerId b, const Vec3& eb) {
+    if (a == b) return true;
+    // Canonicalize so both directions share a slot and raycast identically.
+    const Vec3* from = &ea;
+    const Vec3* to = &eb;
+    if (a > b) {
+      std::swap(a, b);
+      std::swap(from, to);
+    }
+    // Triangular index over pairs (a < b).
+    const std::size_t idx =
+        static_cast<std::size_t>(b) * (b - 1) / 2 + a;
+    std::atomic<std::uint64_t>& slot = slots_[idx];
+    const std::uint64_t seen = slot.load(std::memory_order_relaxed);
+    if ((seen >> 2) == epoch_) return (seen & 3u) == 1u;
+    const bool vis = map.visible(*from, *to);
+    slot.store((epoch_ << 2) | (vis ? 1u : 2u), std::memory_order_relaxed);
+    return vis;
+  }
+
+ private:
+  std::vector<std::atomic<std::uint64_t>> slots_;
+  std::uint64_t epoch_ = 0;
+  std::size_t n_ = 0;
+};
+
+}  // namespace watchmen::interest

@@ -1,0 +1,81 @@
+// The parallel interest-set computation must not perturb results: a session
+// replayed with any thread-pool size produces bit-identical metrics, because
+// each player's sets are a pure function of the frame snapshot and are
+// written to a private slot (see SessionOptions::compute_threads).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/session.hpp"
+#include "game/map.hpp"
+#include "game/trace.hpp"
+
+namespace watchmen {
+namespace {
+
+/// Everything observable a session run produces, flattened for comparison.
+struct SessionFingerprint {
+  std::vector<std::uint64_t> counters;
+  std::vector<double> ages;
+
+  bool operator==(const SessionFingerprint&) const = default;
+};
+
+SessionFingerprint run_session(const game::GameTrace& trace,
+                               const game::GameMap& map,
+                               std::size_t compute_threads) {
+  core::SessionOptions opts;
+  opts.seed = 42;
+  opts.compute_threads = compute_threads;
+  core::WatchmenSession session(trace, map, opts);
+  session.run();
+
+  SessionFingerprint fp;
+  for (PlayerId p = 0; p < trace.n_players; ++p) {
+    const auto& m = session.peer(p).metrics();
+    fp.counters.push_back(m.messages_sent);
+    fp.counters.push_back(m.updates_received);
+    fp.counters.push_back(m.forwarded);
+    fp.counters.push_back(m.sig_rejects);
+    fp.counters.push_back(m.dropped_replays);
+    for (const auto c : m.sent_by_type) fp.counters.push_back(c);
+  }
+  fp.counters.push_back(session.detector().total_reports());
+  fp.ages = session.merged_update_ages().values();
+  return fp;
+}
+
+TEST(Determinism, SessionIdenticalAcrossThreadPoolSizes) {
+  const auto map = game::make_longest_yard();
+  game::SessionConfig cfg;
+  cfg.n_players = 48;
+  cfg.n_frames = 120;
+  const auto trace = game::record_session(map, cfg);
+
+  const auto sequential = run_session(trace, map, 1);
+  ASSERT_FALSE(sequential.counters.empty());
+  ASSERT_GT(std::accumulate(sequential.counters.begin(),
+                            sequential.counters.end(), std::uint64_t{0}),
+            0u);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const auto parallel = run_session(trace, map, threads);
+    EXPECT_EQ(parallel.counters, sequential.counters)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.ages, sequential.ages) << "threads=" << threads;
+  }
+}
+
+TEST(Determinism, RepeatedRunsIdentical) {
+  const auto map = game::make_campgrounds();
+  game::SessionConfig cfg;
+  cfg.n_players = 16;
+  cfg.n_frames = 60;
+  const auto trace = game::record_session(map, cfg);
+  EXPECT_EQ(run_session(trace, map, 0), run_session(trace, map, 0));
+}
+
+}  // namespace
+}  // namespace watchmen
