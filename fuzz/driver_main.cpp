@@ -1,0 +1,173 @@
+// Standalone driver for the fuzz harnesses, used when the compiler does not
+// ship libFuzzer (gcc builds, CI smoke runs). It implements the subset of
+// the libFuzzer contract the harnesses rely on:
+//
+//   harness [-runs=N] [-seed=S] [-max_len=L] [corpus dir or files...]
+//
+// Every corpus input is executed once, exactly like `libfuzzer_binary dir`.
+// With -runs=N the driver additionally executes N deterministic mutations of
+// the corpus (SplitMix64-driven: bit flips, byte stores, truncations,
+// duplications, insertions). The same -seed always produces the same byte
+// sequences, so CI smoke runs are reproducible with no wall-clock
+// dependence. Clang builds link the real libFuzzer instead of this file.
+
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+// On abort/segfault, dump the input being executed to crash-<pid>.bin (like
+// libFuzzer's crash-* artifacts) so CI can upload it and the failure is
+// reproducible with `harness crash-<pid>.bin`.
+const std::uint8_t* g_cur_data = nullptr;
+std::size_t g_cur_size = 0;
+
+void crash_handler(int sig) {
+  char name[64];
+  std::snprintf(name, sizeof name, "crash-%d.bin", static_cast<int>(getpid()));
+  const int fd = ::open(name, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    // Best-effort, async-signal-safe write of the offending input.
+    [[maybe_unused]] const auto n = ::write(fd, g_cur_data, g_cur_size);
+    ::close(fd);
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+int run_one(const std::uint8_t* data, std::size_t size) {
+  g_cur_data = data;
+  g_cur_size = size;
+  return LLVMFuzzerTestOneInput(data, size);
+}
+
+// SplitMix64 (public-domain reference constants): deterministic mutation
+// stream, intentionally independent of the library's util/rng.hpp so the
+// driver builds stand-alone.
+struct Mix {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+};
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void mutate(std::vector<std::uint8_t>& data, Mix& rng, std::size_t max_len) {
+  const std::uint64_t n_ops = 1 + rng.below(8);
+  for (std::uint64_t op = 0; op < n_ops; ++op) {
+    switch (rng.below(5)) {
+      case 0:  // flip one bit
+        if (!data.empty()) {
+          data[rng.below(data.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.below(8));
+        }
+        break;
+      case 1:  // overwrite one byte
+        if (!data.empty()) {
+          data[rng.below(data.size())] = static_cast<std::uint8_t>(rng.next());
+        }
+        break;
+      case 2:  // truncate tail
+        if (!data.empty()) data.resize(rng.below(data.size() + 1));
+        break;
+      case 3: {  // insert a byte
+        if (data.size() < max_len) {
+          data.insert(data.begin() + static_cast<std::ptrdiff_t>(
+                                         rng.below(data.size() + 1)),
+                      static_cast<std::uint8_t>(rng.next()));
+        }
+        break;
+      }
+      case 4: {  // duplicate a chunk to the end
+        if (!data.empty() && data.size() < max_len) {
+          const std::size_t at = rng.below(data.size());
+          const std::size_t len =
+              std::min<std::size_t>(1 + rng.below(16), data.size() - at);
+          data.insert(data.end(), data.begin() + static_cast<std::ptrdiff_t>(at),
+                      data.begin() + static_cast<std::ptrdiff_t>(at + len));
+        }
+        break;
+      }
+      default: break;
+    }
+  }
+  if (data.size() > max_len) data.resize(max_len);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGABRT, crash_handler);
+  std::signal(SIGSEGV, crash_handler);
+  long long runs = 0;
+  std::uint64_t seed = 1;
+  std::size_t max_len = 4096;
+  std::vector<std::filesystem::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::atoll(arg.c_str() + 6);
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 6));
+    } else if (arg.rfind("-max_len=", 0) == 0) {
+      max_len = static_cast<std::size_t>(std::atoll(arg.c_str() + 9));
+    } else if (arg.rfind("-", 0) == 0) {
+      std::fprintf(stderr, "ignoring unknown flag %s\n", arg.c_str());
+    } else if (std::filesystem::is_directory(arg)) {
+      for (const auto& e : std::filesystem::directory_iterator(arg)) {
+        if (e.is_regular_file()) inputs.push_back(e.path());
+      }
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  // Deterministic corpus order regardless of directory enumeration order.
+  std::sort(inputs.begin(), inputs.end());
+
+  std::vector<std::vector<std::uint8_t>> corpus;
+  corpus.reserve(inputs.size());
+  for (const auto& p : inputs) corpus.push_back(read_file(p));
+  if (corpus.empty()) corpus.emplace_back();  // always have the empty input
+
+  std::size_t executed = 0;
+  for (const auto& c : corpus) {
+    run_one(c.data(), c.size());
+    ++executed;
+  }
+
+  Mix rng{seed};
+  for (long long i = 0; i < runs; ++i) {
+    std::vector<std::uint8_t> data = corpus[rng.below(corpus.size())];
+    mutate(data, rng, max_len);
+    run_one(data.data(), data.size());
+    ++executed;
+  }
+
+  std::printf("driver: executed %zu inputs (%zu corpus, %lld mutated), seed %llu\n",
+              executed, corpus.size(), runs,
+              static_cast<unsigned long long>(seed));
+  return 0;
+}

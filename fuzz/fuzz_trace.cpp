@@ -1,0 +1,52 @@
+// Fuzz target: game::GameTrace — the recorded-session file format that
+// replay sessions trust for player counts, event player ids, and frame
+// structure. Trace files come from disk, so they are adversarial input.
+//
+// Invariants checked:
+//  * deserialize() throws DecodeError or returns a structurally valid trace
+//    (bounded player count, every frame with exactly n_players avatars,
+//    every event id inside the roster);
+//  * a returned trace survives serialize → deserialize byte-exactly.
+
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+
+#include "game/trace.hpp"
+#include "util/bytes.hpp"
+
+using namespace watchmen;
+using namespace watchmen::game;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> in(data, size);
+  try {
+    const GameTrace t = GameTrace::deserialize(in);
+    for (const TraceFrame& f : t.frames) {
+      if (f.avatars.size() != t.n_players) std::abort();
+      for (const HitEvent& e : f.events.hits) {
+        if (e.shooter >= t.n_players || e.target >= t.n_players) std::abort();
+      }
+      for (const ShotEvent& e : f.events.shots) {
+        if (e.shooter >= t.n_players) std::abort();
+      }
+      for (const KillEvent& e : f.events.kills) {
+        if (e.killer >= t.n_players || e.victim >= t.n_players) std::abort();
+      }
+      for (const PickupEvent& e : f.events.pickups) {
+        if (e.player >= t.n_players) std::abort();
+      }
+    }
+    const auto bytes = t.serialize();
+    const GameTrace rt = GameTrace::deserialize(bytes);
+    if (rt.serialize() != bytes) std::abort();  // serialize is a fixed point
+    if (rt.n_players != t.n_players || rt.seed != t.seed ||
+        rt.map_name != t.map_name || rt.num_frames() != t.num_frames()) {
+      std::abort();
+    }
+  } catch (const DecodeError&) {
+    // Malformed input: the defined rejection path.
+  }
+  return 0;
+}

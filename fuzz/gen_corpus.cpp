@@ -1,0 +1,165 @@
+// Seed-corpus generator: writes one well-formed input per wire format into
+// fuzz/corpus/<harness>/, so the fuzzers start from valid encodings instead
+// of having to discover the framing by chance. Deterministic — re-running
+// reproduces the committed corpus bit-for-bit.
+//
+//   ./gen_corpus <corpus-root>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/handoff.hpp"
+#include "core/messages.hpp"
+#include "game/map.hpp"
+#include "game/trace.hpp"
+#include "interest/delta.hpp"
+#include "util/bytes.hpp"
+
+using namespace watchmen;
+
+namespace {
+
+void put(const std::filesystem::path& dir, const std::string& name,
+         const std::vector<std::uint8_t>& bytes) {
+  std::filesystem::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  std::printf("%s/%s: %zu bytes\n", dir.c_str(), name.c_str(), bytes.size());
+}
+
+game::AvatarState sample_state() {
+  game::AvatarState s;
+  s.pos = {123.5, -40.25, 8.0};
+  s.vel = {2.0, -1.5, 0.0};
+  s.yaw = 1.25;
+  s.pitch = -0.2;
+  s.health = 75;
+  s.armor = 30;
+  s.weapon = game::WeaponKind::kRailgun;
+  s.ammo = 12;
+  s.frags = 3;
+  return s;
+}
+
+interest::Guidance sample_guidance() {
+  interest::Guidance g;
+  g.frame = 900;
+  g.pos = {64.0, 32.0, 8.0};
+  g.vel = {1.0, 0.0, 0.0};
+  g.yaw = 0.5;
+  g.pitch = 0.0;
+  g.health = 100;
+  g.weapon = game::WeaponKind::kShotgun;
+  g.waypoints = {{70.0, 32.0, 8.0}, {80.0, 40.0, 8.0}};
+  return g;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path root = argc > 1 ? argv[1] : "fuzz/corpus";
+
+  // --- fuzz_bytes: varint streams and mixed primitive payloads.
+  {
+    ByteWriter w;
+    for (std::uint64_t v : {0ull, 1ull, 127ull, 128ull, 300ull, 1ull << 20,
+                            1ull << 40, ~0ull}) {
+      w.varint(v);
+    }
+    put(root / "fuzz_bytes", "varints", w.take());
+    ByteWriter w2;
+    w2.u8(7);
+    w2.u32(0xdeadbeef);
+    w2.f64(3.14159);
+    w2.str("watchmen");
+    put(root / "fuzz_bytes", "primitives", w2.take());
+  }
+
+  // --- fuzz_messages: one sealed envelope per message type.
+  {
+    const crypto::KeyPair key = crypto::KeyPair::generate(7);
+    const auto dir = root / "fuzz_messages";
+    const auto sealed = [&](core::MsgType t, std::vector<std::uint8_t> body) {
+      core::MsgHeader h;
+      h.type = t;
+      h.origin = 3;
+      h.subject = 5;
+      h.frame = 1200;
+      h.seq = 42;
+      return core::seal(h, body, key);
+    };
+    put(dir, "state_update",
+        sealed(core::MsgType::kStateUpdate, core::encode_state_body(sample_state())));
+    put(dir, "state_delta",
+        sealed(core::MsgType::kStateUpdate,
+               core::encode_state_body_delta(sample_state(), 4, sample_state())));
+    put(dir, "position",
+        sealed(core::MsgType::kPositionUpdate,
+               core::encode_position_body({10.0, 20.0, 30.0})));
+    put(dir, "guidance",
+        sealed(core::MsgType::kGuidance, core::encode_guidance_body(sample_guidance())));
+    put(dir, "subscribe",
+        sealed(core::MsgType::kSubscribe,
+               core::encode_subscribe_body(interest::SetKind::kInterest)));
+    core::KillClaim kc;
+    kc.victim = 9;
+    kc.weapon = game::WeaponKind::kRocketLauncher;
+    kc.distance = 320.0;
+    kc.victim_pos = {50.0, 60.0, 8.0};
+    put(dir, "kill_claim", sealed(core::MsgType::kKillClaim, core::encode_kill_body(kc)));
+    put(dir, "churn", sealed(core::MsgType::kChurnNotice, core::encode_churn_body(17)));
+    put(dir, "subscriber_list",
+        sealed(core::MsgType::kSubscriberList,
+               core::encode_subscriber_list_body({1, 2, 5, 8, 13})));
+  }
+
+  // --- fuzz_handoff: with and without predecessor summary.
+  {
+    core::PlayerSummary s;
+    s.player = 4;
+    s.round = 12;
+    s.has_state = true;
+    s.last_state = sample_state();
+    s.last_state_frame = 1190;
+    s.updates_received = 57;
+    s.suspicious_events = 1;
+    s.has_guidance = true;
+    s.guidance = sample_guidance();
+    s.subscriptions = {{1, {interest::SetKind::kInterest, 1300}},
+                       {6, {interest::SetKind::kVision, 1280}}};
+    core::HandoffPayload h;
+    h.summary = s;
+    put(root / "fuzz_handoff", "single", core::encode_handoff_body(h));
+    h.predecessor = s;
+    h.predecessor->round = 11;
+    put(root / "fuzz_handoff", "with_predecessor", core::encode_handoff_body(h));
+  }
+
+  // --- fuzz_delta: keyframe and a small delta.
+  {
+    put(root / "fuzz_delta", "full", interest::encode_full(sample_state()));
+    game::AvatarState next = sample_state();
+    next.pos.x += 1.5;
+    next.health -= 20;
+    put(root / "fuzz_delta", "delta",
+        interest::encode_delta(sample_state(), next));
+  }
+
+  // --- fuzz_trace: a tiny recorded session (3 players, 4 frames).
+  {
+    const game::GameMap map = game::make_test_arena();
+    game::SessionConfig cfg;
+    cfg.n_players = 3;
+    cfg.n_humans = 3;
+    cfg.n_frames = 4;
+    cfg.seed = 99;
+    put(root / "fuzz_trace", "tiny_session",
+        game::record_session(map, cfg).serialize());
+  }
+
+  return 0;
+}

@@ -63,7 +63,8 @@ PlayerSummary read_summary(ByteReader& r) {
     s.guidance.yaw = r.f64();
     s.guidance.pitch = r.f64();
     s.guidance.health = r.i32();
-    s.guidance.weapon = static_cast<game::WeaponKind>(r.u8());
+    s.guidance.weapon =
+        checked_enum<game::WeaponKind>(r.u8(), game::kNumWeapons, "weapon");
     const auto nw = r.varint();
     if (nw > 64) throw DecodeError("too many handoff waypoints");
     s.guidance.waypoints.reserve(nw);
@@ -77,7 +78,8 @@ PlayerSummary read_summary(ByteReader& r) {
   for (std::uint64_t i = 0; i < n; ++i) {
     const PlayerId who = r.u32();
     interest::Subscription sub;
-    sub.kind = static_cast<interest::SetKind>(r.u8());
+    sub.kind = checked_enum<interest::SetKind>(r.u8(), interest::kNumSetKinds,
+                                               "set kind");
     sub.expires = r.i64();
     s.subscriptions.emplace_back(who, sub);
   }

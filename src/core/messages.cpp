@@ -30,7 +30,7 @@ void write_header(ByteWriter& w, const MsgHeader& h) {
 
 MsgHeader read_header(ByteReader& r) {
   MsgHeader h;
-  h.type = static_cast<MsgType>(r.u8());
+  h.type = checked_enum<MsgType>(r.u8(), kNumMsgTypes, "message type");
   h.origin = r.u32();
   h.subject = r.u32();
   h.frame = r.i64();
@@ -183,7 +183,7 @@ interest::Guidance decode_guidance_body(std::span<const std::uint8_t> body) {
   g.yaw = r.f32();
   g.pitch = r.f32();
   g.health = r.i32();
-  g.weapon = static_cast<game::WeaponKind>(r.u8());
+  g.weapon = checked_enum<game::WeaponKind>(r.u8(), game::kNumWeapons, "weapon");
   const auto n = r.varint();
   // The count is attacker-controlled: cap the pre-allocation; an oversized
   // count simply runs the reader off the end and throws DecodeError.
@@ -203,7 +203,8 @@ std::vector<std::uint8_t> encode_subscribe_body(interest::SetKind kind) {
 
 interest::SetKind decode_subscribe_body(std::span<const std::uint8_t> body) {
   ByteReader r(body);
-  return static_cast<interest::SetKind>(r.u8());
+  return checked_enum<interest::SetKind>(r.u8(), interest::kNumSetKinds,
+                                         "set kind");
 }
 
 std::vector<std::uint8_t> encode_kill_body(const KillClaim& k) {
@@ -221,7 +222,7 @@ KillClaim decode_kill_body(std::span<const std::uint8_t> body) {
   ByteReader r(body);
   KillClaim k;
   k.victim = r.u32();
-  k.weapon = static_cast<game::WeaponKind>(r.u8());
+  k.weapon = checked_enum<game::WeaponKind>(r.u8(), game::kNumWeapons, "weapon");
   k.distance = r.f32();
   k.victim_pos = {r.f32(), r.f32(), r.f32()};
   return k;

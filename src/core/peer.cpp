@@ -97,10 +97,11 @@ void WatchmenPeer::begin_frame(Frame f) {
   // Direct-update mode: periodically tell each proxied player who its IS
   // subscribers are, so it can push 1-hop updates (staggered, 2 Hz).
   if (cfg_.direct_updates) {
-    for (auto& [q, ps] : proxied_) {
+    // Sorted id order: wire traffic must not depend on hash iteration order.
+    for (const PlayerId q : proxied_players()) {
       if ((f + q) % 10 != 0) continue;
       const auto body = encode_subscriber_list_body(
-          ps.subs.subscribers(interest::SetKind::kInterest, f));
+          proxied_.at(q).subs.subscribers(interest::SetKind::kInterest, f));
       send_wire(q, make_sealed(MsgType::kSubscriberList, q, f, body));
     }
   }

@@ -28,6 +28,7 @@ enum class ItemKind : std::uint8_t {
   kPlasmaGun,
   kLightningGun,
 };
+constexpr int kNumItemKinds = 10;
 
 const char* to_string(ItemKind kind);
 

@@ -37,7 +37,7 @@ AvatarState read_avatar(ByteReader& r) {
   a.pitch = r.f32();
   a.health = r.i32();
   a.armor = r.i32();
-  a.weapon = static_cast<WeaponKind>(r.u8());
+  a.weapon = checked_enum<WeaponKind>(r.u8(), kNumWeapons, "weapon");
   a.ammo = r.i32();
   const std::uint8_t flags = r.u8();
   a.alive = flags & 1;
@@ -55,6 +55,15 @@ void write_vec(ByteWriter& w, const Vec3& v) {
 }
 
 Vec3 read_vec(ByteReader& r) { return {r.f32(), r.f32(), r.f32()}; }
+
+// Event player ids index n×n matrices in TraceReplayer, so an id past the
+// roster in a hostile trace file would be an out-of-bounds write. Reject at
+// decode time like any other malformed field.
+PlayerId read_player(ByteReader& r, std::uint32_t n_players) {
+  const std::uint32_t p = r.u32();
+  if (p >= n_players) throw DecodeError("event references unknown player");
+  return p;
+}
 
 }  // namespace
 
@@ -122,33 +131,33 @@ GameTrace GameTrace::deserialize(std::span<const std::uint8_t> bytes) {
     for (std::uint32_t p = 0; p < t.n_players; ++p) f.avatars.push_back(read_avatar(r));
     for (std::uint64_t s = r.varint(); s > 0; --s) {
       ShotEvent e;
-      e.shooter = r.u32();
-      e.weapon = static_cast<WeaponKind>(r.u8());
+      e.shooter = read_player(r, t.n_players);
+      e.weapon = checked_enum<WeaponKind>(r.u8(), kNumWeapons, "weapon");
       e.origin = read_vec(r);
       e.dir = read_vec(r);
       f.events.shots.push_back(e);
     }
     for (std::uint64_t s = r.varint(); s > 0; --s) {
       HitEvent e;
-      e.shooter = r.u32();
-      e.target = r.u32();
-      e.weapon = static_cast<WeaponKind>(r.u8());
+      e.shooter = read_player(r, t.n_players);
+      e.target = read_player(r, t.n_players);
+      e.weapon = checked_enum<WeaponKind>(r.u8(), kNumWeapons, "weapon");
       e.damage = r.i32();
       e.distance = r.f32();
       f.events.hits.push_back(e);
     }
     for (std::uint64_t s = r.varint(); s > 0; --s) {
       KillEvent e;
-      e.killer = r.u32();
-      e.victim = r.u32();
-      e.weapon = static_cast<WeaponKind>(r.u8());
+      e.killer = read_player(r, t.n_players);
+      e.victim = read_player(r, t.n_players);
+      e.weapon = checked_enum<WeaponKind>(r.u8(), kNumWeapons, "weapon");
       e.distance = r.f32();
       f.events.kills.push_back(e);
     }
     for (std::uint64_t s = r.varint(); s > 0; --s) {
       PickupEvent e;
-      e.player = r.u32();
-      e.kind = static_cast<ItemKind>(r.u8());
+      e.player = read_player(r, t.n_players);
+      e.kind = checked_enum<ItemKind>(r.u8(), kNumItemKinds, "item kind");
       e.item_index = r.u32();
       f.events.pickups.push_back(e);
     }

@@ -38,22 +38,30 @@ bool same_vec_q(const Vec3& a, const Vec3& b) {
          quant_pos(a.z) == quant_pos(b.z);
 }
 
+// Differences are taken in 64-bit: baselines can come off the wire, so the
+// quantized operands span the whole int32 range and a 32-bit subtraction
+// (or the reader's addition below) would be signed overflow.
+std::uint64_t diff_q(std::int32_t cur, std::int32_t prev) {
+  return zigzag(static_cast<std::int64_t>(cur) - prev);
+}
+
+std::int32_t apply_diff_q(std::int32_t prev, std::uint64_t wire) {
+  return static_cast<std::int32_t>(prev + unzigzag(wire));
+}
+
 // Vectors are written as zigzag-varint differences of the quantized values
 // against the baseline — a few bytes for frame-to-frame motion instead of
 // 12 (paper §II-A: updates show high temporal similarity).
 void write_vec_q(ByteWriter& w, const Vec3& prev, const Vec3& v) {
-  w.varint(zigzag(quant_pos(v.x) - quant_pos(prev.x)));
-  w.varint(zigzag(quant_pos(v.y) - quant_pos(prev.y)));
-  w.varint(zigzag(quant_pos(v.z) - quant_pos(prev.z)));
+  w.varint(diff_q(quant_pos(v.x), quant_pos(prev.x)));
+  w.varint(diff_q(quant_pos(v.y), quant_pos(prev.y)));
+  w.varint(diff_q(quant_pos(v.z), quant_pos(prev.z)));
 }
 
 Vec3 read_vec_q(ByteReader& r, const Vec3& prev) {
-  const double x = dequant_pos(
-      quant_pos(prev.x) + static_cast<std::int32_t>(unzigzag(r.varint())));
-  const double y = dequant_pos(
-      quant_pos(prev.y) + static_cast<std::int32_t>(unzigzag(r.varint())));
-  const double z = dequant_pos(
-      quant_pos(prev.z) + static_cast<std::int32_t>(unzigzag(r.varint())));
+  const double x = dequant_pos(apply_diff_q(quant_pos(prev.x), r.varint()));
+  const double y = dequant_pos(apply_diff_q(quant_pos(prev.y), r.varint()));
+  const double z = dequant_pos(apply_diff_q(quant_pos(prev.z), r.varint()));
   return {x, y, z};
 }
 
@@ -81,16 +89,16 @@ std::vector<std::uint8_t> encode_delta(const game::AvatarState& prev,
   w.u16(mask);
   if (mask & kPos) write_vec_q(w, prev.pos, cur.pos);
   if (mask & kVel) write_vec_q(w, prev.vel, cur.vel);
-  if (mask & kYaw) w.varint(zigzag(quant_ang(cur.yaw) - quant_ang(prev.yaw)));
+  if (mask & kYaw) w.varint(diff_q(quant_ang(cur.yaw), quant_ang(prev.yaw)));
   if (mask & kPitch) {
-    w.varint(zigzag(quant_ang(cur.pitch) - quant_ang(prev.pitch)));
+    w.varint(diff_q(quant_ang(cur.pitch), quant_ang(prev.pitch)));
   }
-  if (mask & kHealth) w.varint(zigzag(cur.health - prev.health));
-  if (mask & kArmor) w.varint(zigzag(cur.armor - prev.armor));
+  if (mask & kHealth) w.varint(diff_q(cur.health, prev.health));
+  if (mask & kArmor) w.varint(diff_q(cur.armor, prev.armor));
   if (mask & kWeapon) w.u8(static_cast<std::uint8_t>(cur.weapon));
-  if (mask & kAmmo) w.varint(zigzag(cur.ammo - prev.ammo));
+  if (mask & kAmmo) w.varint(diff_q(cur.ammo, prev.ammo));
   if (mask & kFlags) w.u8(flags_of(cur));
-  if (mask & kFrags) w.varint(zigzag(cur.frags - prev.frags));
+  if (mask & kFrags) w.varint(diff_q(cur.frags, prev.frags));
   return w.take();
 }
 
@@ -102,22 +110,23 @@ game::AvatarState decode_delta(const game::AvatarState& prev,
   if (mask & kPos) cur.pos = read_vec_q(r, prev.pos);
   if (mask & kVel) cur.vel = read_vec_q(r, prev.vel);
   if (mask & kYaw) {
-    cur.yaw = dequant_ang(quant_ang(prev.yaw) +
-                          static_cast<std::int32_t>(unzigzag(r.varint())));
+    cur.yaw = dequant_ang(apply_diff_q(quant_ang(prev.yaw), r.varint()));
   }
   if (mask & kPitch) {
-    cur.pitch = dequant_ang(quant_ang(prev.pitch) +
-                            static_cast<std::int32_t>(unzigzag(r.varint())));
+    cur.pitch = dequant_ang(apply_diff_q(quant_ang(prev.pitch), r.varint()));
   }
   if (mask & kHealth) {
-    cur.health = prev.health + static_cast<std::int32_t>(unzigzag(r.varint()));
+    cur.health = apply_diff_q(prev.health, r.varint());
   }
   if (mask & kArmor) {
-    cur.armor = prev.armor + static_cast<std::int32_t>(unzigzag(r.varint()));
+    cur.armor = apply_diff_q(prev.armor, r.varint());
   }
-  if (mask & kWeapon) cur.weapon = static_cast<game::WeaponKind>(r.u8());
+  if (mask & kWeapon) {
+    cur.weapon =
+        checked_enum<game::WeaponKind>(r.u8(), game::kNumWeapons, "weapon");
+  }
   if (mask & kAmmo) {
-    cur.ammo = prev.ammo + static_cast<std::int32_t>(unzigzag(r.varint()));
+    cur.ammo = apply_diff_q(prev.ammo, r.varint());
   }
   if (mask & kFlags) {
     const std::uint8_t f = r.u8();
@@ -125,7 +134,7 @@ game::AvatarState decode_delta(const game::AvatarState& prev,
     cur.has_quad = f & 2;
   }
   if (mask & kFrags) {
-    cur.frags = prev.frags + static_cast<std::int32_t>(unzigzag(r.varint()));
+    cur.frags = apply_diff_q(prev.frags, r.varint());
   }
   return cur;
 }

@@ -32,6 +32,7 @@ enum class SetKind : std::uint8_t {
   kVision = 1,    ///< infrequent guidance / dead-reckoning messages (1/s)
   kOther = 2,     ///< infrequent position-only updates (1/s)
 };
+constexpr int kNumSetKinds = 3;
 
 const char* to_string(SetKind k);
 

@@ -1,5 +1,7 @@
 #include "interest/subscription.hpp"
 
+#include <algorithm>
+
 namespace watchmen::interest {
 
 void SubscriptionTable::subscribe(PlayerId subscriber, SetKind kind, Frame now) {
@@ -20,6 +22,9 @@ std::vector<PlayerId> SubscriptionTable::subscribers(SetKind kind,
   for (const auto& [who, sub] : subs_) {
     if (sub.kind == kind && sub.expires >= now) out.push_back(who);
   }
+  // Canonical order: the list feeds kSubscriberList wire bodies, which must
+  // not depend on hash-table iteration order.
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -36,6 +41,10 @@ std::vector<std::pair<PlayerId, Subscription>> SubscriptionTable::snapshot(
   for (const auto& [who, sub] : subs_) {
     if (sub.expires >= now) out.emplace_back(who, sub);
   }
+  // Canonical order: snapshots are serialized into handoff bodies, so the
+  // bytes must not depend on hash-table iteration order.
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 

@@ -19,6 +19,15 @@ struct DecodeError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Decodes a raw byte into a closed enum with enumerators 0..count-1.
+/// Out-of-range values throw DecodeError, so adversarial bytes can never
+/// materialize an enumerator the rest of the code does not expect.
+template <typename E>
+E checked_enum(std::uint8_t raw, unsigned count, const char* what) {
+  if (raw >= count) throw DecodeError(std::string("invalid ") + what);
+  return static_cast<E>(raw);
+}
+
 class ByteWriter {
  public:
   void u8(std::uint8_t v) { buf_.push_back(v); }
@@ -106,6 +115,12 @@ class ByteReader {
     std::uint64_t v = 0;
     for (int shift = 0; shift < 64; shift += 7) {
       const std::uint8_t b = u8();
+      // The 10th byte (shift 63) contributes a single bit; any higher payload
+      // bit would be silently shifted out, so a value above 1 means the
+      // encoding does not fit in 64 bits.
+      if (shift == 63 && (b & 0x7f) > 1) {
+        throw DecodeError("varint overflows 64 bits");
+      }
       v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
       if (!(b & 0x80)) return v;
     }

@@ -1,0 +1,274 @@
+// Fuzz-derived malformed-message regression tests: every core::messages
+// body type (plus the sealed envelope, handoff summaries, delta bodies and
+// trace files) is fed truncated and bit-flipped encodings. The decoders must
+// reject with DecodeError (or nullopt at the envelope layer) — never crash,
+// abort, or accept a tampered signature. This pins down in unit tests what
+// the fuzz/ harnesses check statistically.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/handoff.hpp"
+#include "core/messages.hpp"
+#include "game/trace.hpp"
+#include "interest/delta.hpp"
+#include "util/bytes.hpp"
+
+namespace watchmen {
+namespace {
+
+using core::KillClaim;
+using core::MsgHeader;
+using core::MsgType;
+
+game::AvatarState sample_state() {
+  game::AvatarState s;
+  s.pos = {123.5, -40.25, 8.0};
+  s.vel = {2.0, -1.5, 0.25};
+  s.yaw = 1.25;
+  s.pitch = -0.2;
+  s.health = 75;
+  s.armor = 30;
+  s.weapon = game::WeaponKind::kRailgun;
+  s.ammo = 12;
+  s.frags = 3;
+  return s;
+}
+
+interest::Guidance sample_guidance() {
+  interest::Guidance g;
+  g.frame = 900;
+  g.pos = {64.0, 32.0, 8.0};
+  g.vel = {1.0, 0.0, 0.0};
+  g.yaw = 0.5;
+  g.pitch = 0.0;
+  g.health = 100;
+  g.weapon = game::WeaponKind::kShotgun;
+  g.waypoints = {{70.0, 32.0, 8.0}, {80.0, 40.0, 8.0}};
+  return g;
+}
+
+/// Asserts that every strict prefix of `bytes` makes `decode` throw
+/// DecodeError — a truncated message must never decode to a value.
+template <typename Decode>
+void expect_all_prefixes_throw(const std::vector<std::uint8_t>& bytes,
+                               Decode decode) {
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), len);
+    EXPECT_THROW(decode(prefix), DecodeError) << "prefix length " << len;
+  }
+}
+
+/// Asserts that flipping any single bit never escapes as anything but
+/// DecodeError (decoding to some value is fine; crashing is not).
+template <typename Decode>
+void expect_bitflips_contained(const std::vector<std::uint8_t>& bytes,
+                               Decode decode) {
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> mutated = bytes;
+      mutated[i] ^= static_cast<std::uint8_t>(1u << bit);
+      try {
+        decode(mutated);
+      } catch (const DecodeError&) {
+        // The defined rejection path.
+      }
+    }
+  }
+}
+
+template <typename Decode>
+void expect_hardened(const std::vector<std::uint8_t>& bytes, Decode decode) {
+  decode(bytes);  // the untampered encoding must decode
+  expect_all_prefixes_throw(bytes, decode);
+  expect_bitflips_contained(bytes, decode);
+}
+
+TEST(DecodeHardening, StateBodyKeyframe) {
+  expect_hardened(core::encode_state_body(sample_state()), [](auto b) {
+    return core::decode_state_body(b, game::AvatarState{});
+  });
+}
+
+TEST(DecodeHardening, StateBodyDelta) {
+  game::AvatarState next = sample_state();
+  next.pos.x += 2.0;
+  next.health -= 25;
+  next.weapon = game::WeaponKind::kPlasmaGun;
+  expect_hardened(core::encode_state_body_delta(sample_state(), 3, next),
+                  [](auto b) {
+                    return core::decode_state_body(b, sample_state());
+                  });
+}
+
+TEST(DecodeHardening, PositionBody) {
+  expect_hardened(core::encode_position_body({10.0, 20.0, 30.0}),
+                  [](auto b) { return core::decode_position_body(b); });
+}
+
+TEST(DecodeHardening, GuidanceBody) {
+  expect_hardened(core::encode_guidance_body(sample_guidance()),
+                  [](auto b) { return core::decode_guidance_body(b); });
+}
+
+TEST(DecodeHardening, SubscribeBody) {
+  expect_hardened(core::encode_subscribe_body(interest::SetKind::kInterest),
+                  [](auto b) { return core::decode_subscribe_body(b); });
+}
+
+TEST(DecodeHardening, KillBody) {
+  KillClaim k;
+  k.victim = 9;
+  k.weapon = game::WeaponKind::kRocketLauncher;
+  k.distance = 320.0;
+  k.victim_pos = {50.0, 60.0, 8.0};
+  expect_hardened(core::encode_kill_body(k),
+                  [](auto b) { return core::decode_kill_body(b); });
+}
+
+TEST(DecodeHardening, ChurnBody) {
+  expect_hardened(core::encode_churn_body(17),
+                  [](auto b) { return core::decode_churn_body(b); });
+}
+
+TEST(DecodeHardening, SubscriberListBody) {
+  expect_hardened(core::encode_subscriber_list_body({1, 2, 5, 8, 13}),
+                  [](auto b) { return core::decode_subscriber_list_body(b); });
+}
+
+TEST(DecodeHardening, HandoffBody) {
+  core::PlayerSummary s;
+  s.player = 4;
+  s.round = 12;
+  s.has_state = true;
+  s.last_state = sample_state();
+  s.last_state_frame = 1190;
+  s.updates_received = 57;
+  s.has_guidance = true;
+  s.guidance = sample_guidance();
+  s.subscriptions = {{1, {interest::SetKind::kInterest, 1300}},
+                     {6, {interest::SetKind::kVision, 1280}}};
+  core::HandoffPayload h;
+  h.summary = s;
+  h.predecessor = s;
+  h.predecessor->round = 11;
+  expect_hardened(core::encode_handoff_body(h),
+                  [](auto b) { return core::decode_handoff_body(b); });
+}
+
+TEST(DecodeHardening, DeltaBody) {
+  game::AvatarState next = sample_state();
+  next.pos = {200.0, -10.0, 16.0};
+  next.armor += 5;
+  next.alive = false;
+  expect_hardened(interest::encode_delta(sample_state(), next), [](auto b) {
+    return interest::decode_delta(sample_state(), b);
+  });
+}
+
+TEST(DecodeHardening, TraceFile) {
+  const game::GameMap map = game::make_test_arena();
+  game::SessionConfig cfg;
+  cfg.n_players = 2;
+  cfg.n_humans = 2;
+  cfg.n_frames = 2;
+  cfg.seed = 5;
+  const auto bytes = game::record_session(map, cfg).serialize();
+  // Full prefix sweep over a trace is O(bytes^2) reads; keep the trace tiny.
+  expect_hardened(bytes,
+                  [](auto b) { return game::GameTrace::deserialize(b); });
+}
+
+// ------------------------------------------------------- envelope layer
+
+TEST(DecodeHardening, SealedEnvelopeTruncationYieldsNullopt) {
+  const crypto::KeyRegistry keys(42, 4);
+  MsgHeader h;
+  h.type = MsgType::kKillClaim;
+  h.origin = 1;
+  h.subject = 2;
+  h.frame = 77;
+  h.seq = 3;
+  const std::vector<std::uint8_t> body = {1, 2, 3, 4, 5};
+  const auto wire = core::seal(h, body, keys.key_pair(1));
+
+  ASSERT_TRUE(core::open(wire, keys).has_value());
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const std::span<const std::uint8_t> prefix(wire.data(), len);
+    EXPECT_FALSE(core::open(prefix, keys).has_value()) << "prefix " << len;
+    EXPECT_FALSE(core::open_unverified(prefix).has_value()) << "prefix " << len;
+  }
+}
+
+TEST(DecodeHardening, SealedEnvelopeAnyBitflipRejected) {
+  // The signature covers header and body, so EVERY single-bit flip anywhere
+  // in the wire image must be rejected by the verifying open().
+  const crypto::KeyRegistry keys(42, 4);
+  MsgHeader h;
+  h.type = MsgType::kStateUpdate;
+  h.origin = 0;
+  h.subject = 3;
+  h.frame = 1200;
+  h.seq = 9;
+  const auto body = core::encode_state_body(sample_state());
+  const auto wire = core::seal(h, body, keys.key_pair(0));
+
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> mutated = wire;
+      mutated[i] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_FALSE(core::open(mutated, keys).has_value())
+          << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(DecodeHardening, OutOfRangeEnumsRejected) {
+  // Decoders must refuse to materialize enumerators outside the closed sets.
+  {
+    ByteWriter w;
+    w.u8(200);  // not a SetKind
+    EXPECT_THROW(core::decode_subscribe_body(w.data()), DecodeError);
+  }
+  {
+    KillClaim k;
+    k.victim = 1;
+    auto bytes = core::encode_kill_body(k);
+    bytes[4] = 17;  // weapon byte past kNumWeapons
+    EXPECT_THROW(core::decode_kill_body(bytes), DecodeError);
+  }
+  {
+    MsgHeader h;
+    h.type = MsgType::kChurnNotice;
+    h.origin = 0;
+    const crypto::KeyRegistry keys(1, 1);
+    auto wire = core::seal(h, core::encode_churn_body(4), keys.key_pair(0));
+    wire[0] = 250;  // header type byte past kNumMsgTypes
+    EXPECT_FALSE(core::open_unverified(wire).has_value());
+  }
+}
+
+TEST(DecodeHardening, TraceEventPlayerIdsValidated) {
+  const game::GameMap map = game::make_test_arena();
+  game::SessionConfig cfg;
+  cfg.n_players = 2;
+  cfg.n_humans = 2;
+  cfg.n_frames = 3;
+  cfg.seed = 11;
+  game::GameTrace t = game::record_session(map, cfg);
+  // Splice a hit event with an out-of-roster shooter into the first frame:
+  // before validation this became an out-of-bounds write in TraceReplayer.
+  game::HitEvent evil;
+  evil.shooter = 7;  // roster only has players 0 and 1
+  evil.target = 0;
+  evil.weapon = game::WeaponKind::kMachineGun;
+  t.frames[0].events.hits.push_back(evil);
+  const auto bytes = t.serialize();
+  EXPECT_THROW(game::GameTrace::deserialize(bytes), DecodeError);
+}
+
+}  // namespace
+}  // namespace watchmen

@@ -281,5 +281,49 @@ TEST(Bytes, TruncatedVarintThrows) {
   EXPECT_THROW(r.varint(), DecodeError);
 }
 
+TEST(Bytes, VarintTenByteBoundary) {
+  // UINT64_MAX is the largest 10-byte encoding: nine 0xff continuation bytes
+  // and a final byte of exactly 0x01 (the 64th bit).
+  ByteWriter w;
+  w.varint(0xffffffffffffffffULL);
+  EXPECT_EQ(w.size(), 10u);
+  EXPECT_EQ(w.data().back(), 0x01);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.varint(), 0xffffffffffffffffULL);
+
+  // 2^63 also needs all ten bytes; its final byte is 0x01 too.
+  ByteWriter w2;
+  w2.varint(1ULL << 63);
+  EXPECT_EQ(w2.size(), 10u);
+  ByteReader r2(w2.data());
+  EXPECT_EQ(r2.varint(), 1ULL << 63);
+}
+
+TEST(Bytes, VarintOverflowingTenthByteThrows) {
+  // A 10th byte above 1 encodes bits beyond the 64th. The old decoder
+  // silently truncated them (0x02 at shift 63 shifted to zero), decoding
+  // this as if the high bits never existed; it must be rejected instead.
+  for (const std::uint8_t last : {0x02, 0x03, 0x7f, 0x42}) {
+    std::vector<std::uint8_t> bad(9, 0xff);
+    bad.push_back(last);
+    ByteReader r(bad);
+    EXPECT_THROW(r.varint(), DecodeError) << "10th byte " << int(last);
+  }
+  // And a 10th byte with its continuation bit set can never terminate a
+  // 64-bit value, even if its payload bits are in range.
+  std::vector<std::uint8_t> unterminated(9, 0xff);
+  unterminated.push_back(0x81);
+  ByteReader r(unterminated);
+  EXPECT_THROW(r.varint(), DecodeError);
+}
+
+TEST(Bytes, VarintNonCanonicalStillDecodes) {
+  // Trailing-zero (non-canonical) encodings of small values stay accepted:
+  // decoders are lenient about padding but strict about overflow.
+  const std::vector<std::uint8_t> padded = {0x85, 0x00};  // 5 with a pad byte
+  ByteReader r(padded);
+  EXPECT_EQ(r.varint(), 5u);
+}
+
 }  // namespace
 }  // namespace watchmen

@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Unit tests for wmlint.py (stdlib unittest — run directly or via ctest)."""
+
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import wmlint  # noqa: E402
+
+
+def lint_tree(files: dict) -> list:
+    """Writes {relpath: content} into a temp repo and lints every file."""
+    with tempfile.TemporaryDirectory() as td:
+        root = Path(td)
+        findings = []
+        for rel, content in files.items():
+            p = root / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(content)
+        for rel in files:
+            findings += wmlint.lint_file(root / rel, root)
+        return findings
+
+
+def checks(findings):
+    return sorted(f.check for f in findings)
+
+
+class RawRandomTest(unittest.TestCase):
+    def test_flags_rand_in_src(self):
+        fs = lint_tree({"src/game/x.cpp": "int f() { return rand(); }\n"})
+        self.assertIn("raw-random", checks(fs))
+
+    def test_flags_random_device_and_wall_clock(self):
+        fs = lint_tree({"src/game/x.cpp":
+                        "std::random_device rd;\n"
+                        "auto t = std::chrono::steady_clock::now();\n"})
+        self.assertEqual(checks(fs).count("raw-random"), 2)
+
+    def test_rng_hpp_is_exempt(self):
+        fs = lint_tree({"src/util/rng.hpp":
+                        "#pragma once\nint seed_from(std::random_device& r);\n"})
+        self.assertEqual(fs, [])
+
+    def test_member_clock_call_not_flagged(self):
+        fs = lint_tree({"src/net/x.cpp":
+                        "Frame f() { return net_->clock().frame(); }\n"})
+        self.assertEqual(fs, [])
+
+    def test_libc_clock_flagged(self):
+        fs = lint_tree({"src/net/x.cpp": "double t = clock();\n"})
+        self.assertIn("raw-random", checks(fs))
+
+    def test_allow_annotation(self):
+        fs = lint_tree({"src/game/x.cpp":
+                        "// wmlint: allow(raw-random)\n"
+                        "int f() { return rand(); }\n"})
+        self.assertEqual(fs, [])
+
+    def test_outside_src_not_flagged(self):
+        fs = lint_tree({"bench/x.cpp": "int f() { return rand(); }\n"})
+        self.assertEqual(fs, [])
+
+    def test_strand_not_flagged(self):
+        fs = lint_tree({"src/net/x.cpp": "io.strand(queue);\n"})
+        self.assertEqual(fs, [])
+
+
+class WireOrderTest(unittest.TestCase):
+    def test_flags_unsorted_iteration(self):
+        fs = lint_tree({"src/core/x.cpp":
+                        "std::unordered_map<int, int> subs_;\n"
+                        "void f() {\n"
+                        "  for (const auto& [k, v] : subs_) send(k);\n"
+                        "}\n"})
+        self.assertIn("wire-order", checks(fs))
+
+    def test_sort_after_loop_is_exempt(self):
+        fs = lint_tree({"src/core/x.cpp":
+                        "std::unordered_map<int, int> subs_;\n"
+                        "std::vector<int> f() {\n"
+                        "  std::vector<int> out;\n"
+                        "  for (const auto& [k, v] : subs_) out.push_back(k);\n"
+                        "  std::sort(out.begin(), out.end());\n"
+                        "  return out;\n"
+                        "}\n"})
+        self.assertEqual(fs, [])
+
+    def test_member_declared_in_companion_header(self):
+        fs = lint_tree({
+            "src/core/x.hpp": "#pragma once\n"
+                              "std::unordered_map<int, int> proxied_;\n",
+            "src/core/x.cpp": '#include "core/x.hpp"\n'
+                              "void f() {\n"
+                              "  for (auto& [q, ps] : proxied_) send(q);\n"
+                              "}\n"})
+        self.assertIn("wire-order", checks(fs))
+
+    def test_ordered_map_not_flagged(self):
+        fs = lint_tree({"src/core/x.cpp":
+                        "std::map<int, int> subs_;\n"
+                        "void f() { for (auto& [k, v] : subs_) send(k); }\n"})
+        self.assertEqual(fs, [])
+
+    def test_allow_annotation(self):
+        fs = lint_tree({"src/core/x.cpp":
+                        "std::unordered_map<int, int> subs_;\n"
+                        "void f() {\n"
+                        "  // per-element work is order independent\n"
+                        "  // wmlint: allow(wire-order)\n"
+                        "  for (auto& [k, v] : subs_) bump(v);\n"
+                        "}\n"})
+        self.assertEqual(fs, [])
+
+
+class DecoderAbortTest(unittest.TestCase):
+    def test_flags_assert_in_decoder(self):
+        fs = lint_tree({"src/core/x.cpp":
+                        "int decode_thing(Span b) {\n"
+                        "  assert(b.size() > 4);\n"
+                        "  return 0;\n"
+                        "}\n"})
+        self.assertIn("decoder-abort", checks(fs))
+
+    def test_flags_abort_and_logic_error(self):
+        fs = lint_tree({"src/core/x.cpp":
+                        "Msg read_header(Reader& r) {\n"
+                        "  if (r.done()) abort();\n"
+                        "  if (bad) throw std::logic_error(\"x\");\n"
+                        "  return m;\n"
+                        "}\n"})
+        self.assertEqual(checks(fs).count("decoder-abort"), 2)
+
+    def test_decode_error_is_fine(self):
+        fs = lint_tree({"src/core/x.cpp":
+                        "int decode_thing(Span b) {\n"
+                        "  if (b.empty()) throw DecodeError(\"empty\");\n"
+                        "  return b[0];\n"
+                        "}\n"})
+        self.assertEqual(fs, [])
+
+    def test_assert_outside_decoder_not_flagged(self):
+        fs = lint_tree({"src/core/x.cpp":
+                        "void step_world(World& w) {\n"
+                        "  assert(w.ok());\n"
+                        "}\n"})
+        self.assertEqual(fs, [])
+
+    def test_static_assert_not_flagged(self):
+        fs = lint_tree({"src/core/x.cpp":
+                        "int decode_thing(Span b) {\n"
+                        "  static_assert(sizeof(int) == 4);\n"
+                        "  return 0;\n"
+                        "}\n"})
+        self.assertEqual(fs, [])
+
+
+class IncludeHygieneTest(unittest.TestCase):
+    def test_missing_pragma_once(self):
+        fs = lint_tree({"src/util/x.hpp": "#include <vector>\n"})
+        self.assertIn("include-hygiene", checks(fs))
+
+    def test_pragma_once_after_comment_ok(self):
+        fs = lint_tree({"src/util/x.hpp":
+                        "// A header comment.\n#pragma once\n"})
+        self.assertEqual(fs, [])
+
+    def test_dotdot_include(self):
+        fs = lint_tree({"src/util/x.cpp": '#include "../game/map.hpp"\n'})
+        self.assertIn("include-hygiene", checks(fs))
+
+    def test_own_header_first(self):
+        fs = lint_tree({
+            "src/game/map.hpp": "#pragma once\n",
+            "src/game/map.cpp": '#include "util/vec.hpp"\n'
+                                '#include "game/map.hpp"\n'})
+        self.assertIn("include-hygiene", checks(fs))
+
+    def test_own_header_first_satisfied(self):
+        fs = lint_tree({
+            "src/game/map.hpp": "#pragma once\n",
+            "src/game/map.cpp": '#include "game/map.hpp"\n'
+                                '#include "util/vec.hpp"\n'})
+        self.assertEqual(fs, [])
+
+
+class WhitespaceTest(unittest.TestCase):
+    def test_tab_and_trailing(self):
+        fs = lint_tree({"src/util/x.cpp": "int a;\t\nint b; \nint c;\n"})
+        self.assertEqual(checks(fs),
+                         ["whitespace", "whitespace", "whitespace"])
+
+    def test_missing_final_newline(self):
+        fs = lint_tree({"src/util/x.cpp": "int a;"})
+        self.assertEqual(checks(fs), ["whitespace"])
+
+    def test_clean_file(self):
+        fs = lint_tree({"src/util/x.cpp": "int a;\n"})
+        self.assertEqual(fs, [])
+
+
+class CliTest(unittest.TestCase):
+    def test_exit_codes(self):
+        with tempfile.TemporaryDirectory() as td:
+            root = Path(td)
+            (root / "src").mkdir()
+            (root / "src" / "ok.cpp").write_text("int a;\n")
+            self.assertEqual(wmlint.main(["--root", td]), 0)
+            (root / "src" / "bad.cpp").write_text("int b = rand();\n")
+            self.assertEqual(wmlint.main(["--root", td]), 1)
+            self.assertEqual(wmlint.main(["--root", str(root / "nope")]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,344 @@
+#!/usr/bin/env python3
+"""wmlint — Watchmen-specific lint for invariants generic tools can't express.
+
+Checks
+------
+raw-random      No rand()/srand()/std::random_device/std::mt19937/time()/
+                gettimeofday()/clock() in src/: every source of randomness or
+                time must go through util/rng.hpp or net/clock.hpp, or whole
+                sessions stop being reproducible from a single seed (and the
+                verifiable proxy assignment of PAPER.md §III-B breaks).
+wire-order      No range-for over a std::unordered_{map,set} whose result can
+                feed protocol or wire-order decisions: hash iteration order is
+                not part of the protocol. A loop is exempt when a std::sort
+                follows within a few lines (canonicalizing the output) or when
+                annotated.
+decoder-abort   Functions on the decode path (decode_*/read_*/parse*/
+                deserialize/open*) in src/ must reject malformed input with
+                DecodeError — never assert(), abort(), exit(), or throw a
+                generic logic error a remote peer could turn into a crash.
+include-hygiene Headers start with #pragma once; no ".." in quoted includes;
+                a module .cpp includes its own header first.
+whitespace      No tabs or trailing whitespace in C++ sources; files end with
+                a newline.
+format          (--format only) clang-format --dry-run over src/; skipped
+                with a notice when clang-format is not installed.
+
+Suppressing: append `// wmlint: allow(<check>)` to the offending line or the
+line directly above it.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+CPP_EXTS = {".hpp", ".cpp", ".h", ".cc"}
+
+# Directories scanned for C++ sources, relative to the repo root.
+CPP_DIRS = ("src", "tests", "bench", "examples", "fuzz")
+
+ALLOW_RE = re.compile(r"wmlint:\s*allow\(([\w-]+)\)")
+
+RAW_RANDOM_PATTERNS = [
+    (re.compile(r"\brand\s*\("), "rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bmt19937(_64)?\b"), "std::mt19937"),
+    (re.compile(r"\btime\s*\(\s*(NULL|nullptr|0)?\s*\)"), "time()"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+    # libc clock() used as a value — not member calls (x.clock()), qualified
+    # names, or accessor declarations (`SimClock& clock() {`).
+    (re.compile(r"(?:^|[=(,?+\-*/%]|\breturn\b)\s*clock\s*\(\s*\)"), "clock()"),
+    (re.compile(r"steady_clock::now|system_clock::now|high_resolution_clock"),
+     "wall-clock time"),
+]
+# Files allowed to own randomness / time primitives.
+RAW_RANDOM_EXEMPT = ("util/rng.hpp", "net/clock.hpp")
+
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set)\s*<[^;{}]*>\s+(\w+)\s*(?:;|\{|=)")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*:\s*(?:this->)?(\w+)\s*\)")
+SORT_NEARBY_RE = re.compile(r"(?:std::)?(?:stable_)?sort\s*\(")
+
+DECODE_FN_RE = re.compile(
+    r"^[\w:&<>,\*\s]*\b(decode_\w*|read_\w*|parse\w*|deserialize|open\w*)\s*\([^;]*$")
+DECODER_BANNED = [
+    (re.compile(r"(?<!static_)\bassert\s*\("), "assert()"),
+    (re.compile(r"\babort\s*\("), "abort()"),
+    (re.compile(r"\bexit\s*\("), "exit()"),
+    (re.compile(r"throw\s+std::(logic_error|out_of_range|invalid_argument)\b"),
+     "generic logic exception"),
+]
+
+QUOTED_INCLUDE_RE = re.compile(r'#\s*include\s+"([^"]+)"')
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, check: str, msg: str):
+        self.path = path
+        self.line = line
+        self.check = check
+        self.msg = msg
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.check}] {self.msg}"
+
+
+def allowed(lines: list[str], idx: int, check: str) -> bool:
+    """True if line idx (0-based) or the line above carries an allow."""
+    for probe in (idx, idx - 1):
+        if 0 <= probe < len(lines):
+            m = ALLOW_RE.search(lines[probe])
+            if m and m.group(1) == check:
+                return True
+    return False
+
+
+def check_raw_random(path: Path, rel: str, lines: list[str]) -> list[Finding]:
+    if not rel.startswith("src/"):
+        return []
+    if any(rel.endswith(e) for e in RAW_RANDOM_EXEMPT):
+        return []
+    out = []
+    for i, line in enumerate(lines):
+        for pat, what in RAW_RANDOM_PATTERNS:
+            if pat.search(line) and not allowed(lines, i, "raw-random"):
+                out.append(Finding(path, i + 1, "raw-random",
+                                   f"{what} outside util/rng.hpp — derive a "
+                                   "seeded stream via watchmen::Rng instead"))
+    return out
+
+
+def check_wire_order(path: Path, rel: str, lines: list[str]) -> list[Finding]:
+    if not rel.startswith("src/"):
+        return []
+    # Members are usually declared in the companion header, so scan it too.
+    decl_sources = [lines]
+    own_header = path.with_suffix(".hpp")
+    if path.suffix == ".cpp" and own_header.exists():
+        decl_sources.append(own_header.read_text(encoding="utf-8").split("\n"))
+    unordered_names = set()
+    for src in decl_sources:
+        for line in src:
+            m = UNORDERED_DECL_RE.search(line)
+            if m:
+                unordered_names.add(m.group(1))
+    if not unordered_names:
+        return []
+    out = []
+    for i, line in enumerate(lines):
+        m = RANGE_FOR_RE.search(line)
+        if not m or m.group(1) not in unordered_names:
+            continue
+        if allowed(lines, i, "wire-order"):
+            continue
+        # Exempt when the iteration output is canonicalized right after.
+        window = lines[i + 1:i + 9]
+        if any(SORT_NEARBY_RE.search(w) for w in window):
+            continue
+        out.append(Finding(
+            path, i + 1, "wire-order",
+            f"iteration over unordered container '{m.group(1)}' — hash order "
+            "must not feed protocol/wire decisions; sort the output or "
+            "annotate `// wmlint: allow(wire-order)` with a rationale"))
+    return out
+
+
+def decode_fn_spans(lines: list[str]) -> list[tuple[int, int, str]]:
+    """(start, end, name) line spans (0-based, end exclusive) of decode fns."""
+    spans = []
+    i = 0
+    while i < len(lines):
+        m = DECODE_FN_RE.match(lines[i].rstrip())
+        if not m or lines[i].lstrip().startswith("//"):
+            i += 1
+            continue
+        name = m.group(1)
+        # Find the opening brace, then brace-match to the function end.
+        depth = 0
+        opened = False
+        j = i
+        while j < len(lines):
+            code = re.sub(r"//.*$", "", lines[j])
+            for ch in code:
+                if ch == "{":
+                    depth += 1
+                    opened = True
+                elif ch == "}":
+                    depth -= 1
+            if lines[j].rstrip().endswith(";") and not opened:
+                break  # declaration only
+            if opened and depth <= 0:
+                spans.append((i, j + 1, name))
+                break
+            j += 1
+        i = j + 1 if j > i else i + 1
+    return spans
+
+
+def check_decoder_abort(path: Path, rel: str, lines: list[str]) -> list[Finding]:
+    if not rel.startswith("src/"):
+        return []
+    out = []
+    for start, end, name in decode_fn_spans(lines):
+        for i in range(start, end):
+            for pat, what in DECODER_BANNED:
+                if pat.search(lines[i]) and not allowed(lines, i, "decoder-abort"):
+                    out.append(Finding(
+                        path, i + 1, "decoder-abort",
+                        f"{what} in decode-path function '{name}' — malformed "
+                        "input must throw watchmen::DecodeError"))
+    return out
+
+
+def check_include_hygiene(path: Path, rel: str, lines: list[str]) -> list[Finding]:
+    out = []
+    if path.suffix in (".hpp", ".h"):
+        for i, line in enumerate(lines):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("//"):
+                continue
+            if stripped != "#pragma once" and not allowed(lines, i, "include-hygiene"):
+                out.append(Finding(path, i + 1, "include-hygiene",
+                                   "header must start with #pragma once"))
+            break
+    first_include = None
+    for i, line in enumerate(lines):
+        m = QUOTED_INCLUDE_RE.search(line)
+        if not m:
+            continue
+        if first_include is None:
+            first_include = (i, m.group(1))
+        if ".." in m.group(1) and not allowed(lines, i, "include-hygiene"):
+            out.append(Finding(path, i + 1, "include-hygiene",
+                               "relative '..' include — use a src/-rooted path"))
+    # A module .cpp should include its own header first.
+    if rel.startswith("src/") and path.suffix == ".cpp" and first_include:
+        own = path.with_suffix(".hpp")
+        if own.exists():
+            expected = str(Path(rel).relative_to("src").with_suffix(".hpp"))
+            i, got = first_include
+            if got != expected and not allowed(lines, i, "include-hygiene"):
+                out.append(Finding(path, i + 1, "include-hygiene",
+                                   f"first include should be own header "
+                                   f'"{expected}", found "{got}"'))
+    return out
+
+
+def check_whitespace(path: Path, rel: str, lines: list[str],
+                     raw: str) -> list[Finding]:
+    out = []
+    for i, line in enumerate(lines):
+        if "\t" in line and not allowed(lines, i, "whitespace"):
+            out.append(Finding(path, i + 1, "whitespace", "tab character"))
+        if line != line.rstrip() and not allowed(lines, i, "whitespace"):
+            out.append(Finding(path, i + 1, "whitespace", "trailing whitespace"))
+    if raw and not raw.endswith("\n"):
+        out.append(Finding(path, len(lines), "whitespace",
+                           "missing newline at end of file"))
+    return out
+
+
+def run_clang_format(root: Path) -> tuple[list[Finding], bool]:
+    """Returns (findings, ran). Skips when clang-format is unavailable."""
+    binary = shutil.which("clang-format")
+    if binary is None:
+        return [], False
+    targets = sorted(p for p in (root / "src").rglob("*")
+                     if p.suffix in CPP_EXTS)
+    findings = []
+    for chunk_start in range(0, len(targets), 50):
+        chunk = targets[chunk_start:chunk_start + 50]
+        proc = subprocess.run(
+            [binary, "--dry-run", "-Werror", "--style=file"] +
+            [str(p) for p in chunk],
+            capture_output=True, text=True, cwd=root)
+        if proc.returncode != 0:
+            for line in proc.stderr.splitlines():
+                m = re.match(r"(.+?):(\d+):\d+: (?:error|warning): (.*)", line)
+                if m:
+                    findings.append(Finding(Path(m.group(1)), int(m.group(2)),
+                                            "format", m.group(3)))
+    return findings, True
+
+
+def lint_file(path: Path, root: Path) -> list[Finding]:
+    rel = path.relative_to(root).as_posix()
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except (UnicodeDecodeError, OSError) as e:
+        return [Finding(path, 0, "io", f"unreadable: {e}")]
+    lines = raw.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    findings = []
+    findings += check_raw_random(path, rel, lines)
+    findings += check_wire_order(path, rel, lines)
+    findings += check_decoder_abort(path, rel, lines)
+    findings += check_include_hygiene(path, rel, lines)
+    findings += check_whitespace(path, rel, lines, raw)
+    return findings
+
+
+def collect_files(root: Path, explicit: list[str]) -> list[Path]:
+    if explicit:
+        files = []
+        for arg in explicit:
+            p = Path(arg)
+            if not p.is_absolute():
+                p = root / p
+            if p.is_dir():
+                files += [f for f in sorted(p.rglob("*")) if f.suffix in CPP_EXTS]
+            else:
+                files.append(p)
+        return files
+    files = []
+    for d in CPP_DIRS:
+        base = root / d
+        if base.is_dir():
+            files += [f for f in sorted(base.rglob("*")) if f.suffix in CPP_EXTS]
+    return files
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--format", action="store_true",
+                    help="also run clang-format --dry-run over src/")
+    ap.add_argument("paths", nargs="*", help="files or directories (default: repo)")
+    args = ap.parse_args(argv)
+
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"wmlint: no such root: {root}", file=sys.stderr)
+        return 2
+
+    findings = []
+    for f in collect_files(root, args.paths):
+        findings += lint_file(f, root)
+
+    if args.format:
+        fmt_findings, ran = run_clang_format(root)
+        findings += fmt_findings
+        if not ran:
+            print("wmlint: clang-format not found — format check skipped",
+                  file=sys.stderr)
+
+    for f in findings:
+        print(f)
+    n = len(findings)
+    print(f"wmlint: {n} finding{'s' if n != 1 else ''}"
+          f" in {root}" if n else f"wmlint: clean ({root})")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
