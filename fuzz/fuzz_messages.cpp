@@ -89,6 +89,20 @@ void check_bodies(std::span<const std::uint8_t> in) {
     }
   } catch (const DecodeError&) {
   }
+  try {
+    const AckBody a = decode_ack_body(in);
+    const AckBody rt = decode_ack_body(encode_ack_body(a));
+    if (rt.acked_origin != a.acked_origin || rt.acked_seq != a.acked_seq ||
+        rt.acked_type != a.acked_type) {
+      std::abort();
+    }
+  } catch (const DecodeError&) {
+  }
+  try {
+    const std::int64_t round = decode_rejoin_body(in);
+    if (decode_rejoin_body(encode_rejoin_body(round)) != round) std::abort();
+  } catch (const DecodeError&) {
+  }
 }
 
 }  // namespace

@@ -112,6 +112,13 @@ int main(int argc, char** argv) {
     kc.victim_pos = {50.0, 60.0, 8.0};
     put(dir, "kill_claim", sealed(core::MsgType::kKillClaim, core::encode_kill_body(kc)));
     put(dir, "churn", sealed(core::MsgType::kChurnNotice, core::encode_churn_body(17)));
+    core::AckBody ack;
+    ack.acked_origin = 3;
+    ack.acked_seq = 41;
+    ack.acked_type = core::MsgType::kHandoff;
+    put(dir, "ack", sealed(core::MsgType::kAck, core::encode_ack_body(ack)));
+    put(dir, "rejoin",
+        sealed(core::MsgType::kRejoinNotice, core::encode_rejoin_body(18)));
     put(dir, "subscriber_list",
         sealed(core::MsgType::kSubscriberList,
                core::encode_subscriber_list_body({1, 2, 5, 8, 13})));

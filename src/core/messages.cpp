@@ -14,6 +14,8 @@ const char* to_string(MsgType t) {
     case MsgType::kKillClaim: return "kill-claim";
     case MsgType::kChurnNotice: return "churn-notice";
     case MsgType::kSubscriberList: return "subscriber-list";
+    case MsgType::kAck: return "ack";
+    case MsgType::kRejoinNotice: return "rejoin-notice";
   }
   return "?";
 }
@@ -235,6 +237,34 @@ std::vector<std::uint8_t> encode_churn_body(std::int64_t removal_round) {
 }
 
 std::int64_t decode_churn_body(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  return r.i64();
+}
+
+std::vector<std::uint8_t> encode_ack_body(const AckBody& a) {
+  ByteWriter w;
+  w.varint(a.acked_origin);
+  w.u32(a.acked_seq);
+  w.u8(static_cast<std::uint8_t>(a.acked_type));
+  return w.take();
+}
+
+AckBody decode_ack_body(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  AckBody a;
+  a.acked_origin = static_cast<PlayerId>(r.varint());
+  a.acked_seq = r.u32();
+  a.acked_type = checked_enum<MsgType>(r.u8(), kNumMsgTypes, "acked type");
+  return a;
+}
+
+std::vector<std::uint8_t> encode_rejoin_body(std::int64_t restore_round) {
+  ByteWriter w;
+  w.i64(restore_round);
+  return w.take();
+}
+
+std::int64_t decode_rejoin_body(std::span<const std::uint8_t> body) {
   ByteReader r(body);
   return r.i64();
 }

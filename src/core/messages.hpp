@@ -33,8 +33,13 @@ enum class MsgType : std::uint8_t {
                         ///< an agreed round (§VI "Churn")
   kSubscriberList = 7,  ///< proxy -> its player: current IS subscribers, for
                         ///< the relaxed 1-hop direct-update mode (§VI opt. 3)
+  kAck = 8,             ///< reliable-control ack: receiver echoes the
+                        ///< (origin, seq, type) of a control message it got
+  kRejoinNotice = 9,    ///< a returning player (or its current proxy, after
+                        ///< a heal) announces pool re-entry at an agreed
+                        ///< round — the inverse of kChurnNotice
 };
-constexpr int kNumMsgTypes = 8;
+constexpr int kNumMsgTypes = 10;
 
 const char* to_string(MsgType t);
 
@@ -125,5 +130,22 @@ std::vector<std::uint8_t> encode_subscriber_list_body(
     const std::vector<PlayerId>& subscribers);
 std::vector<PlayerId> decode_subscriber_list_body(
     std::span<const std::uint8_t> body);
+
+/// Ack body: identifies the control message being acknowledged. Acks are
+/// hop-by-hop (each relay acks its immediate sender), unsigned-content
+/// trivial, and never themselves acked.
+struct AckBody {
+  PlayerId acked_origin = kInvalidPlayer;
+  std::uint32_t acked_seq = 0;
+  MsgType acked_type = MsgType::kStateUpdate;
+};
+
+std::vector<std::uint8_t> encode_ack_body(const AckBody& a);
+AckBody decode_ack_body(std::span<const std::uint8_t> body);
+
+/// Rejoin-notice body: the proxy round from which everyone restores the
+/// subject to the proxy pool (agreed-upon, mirroring the churn removal).
+std::vector<std::uint8_t> encode_rejoin_body(std::int64_t restore_round);
+std::int64_t decode_rejoin_body(std::span<const std::uint8_t> body);
 
 }  // namespace watchmen::core

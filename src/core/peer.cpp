@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "interest/delta.hpp"
+#include "interest/vision.hpp"
 
 namespace watchmen::core {
 
@@ -30,7 +31,8 @@ WatchmenPeer::WatchmenPeer(PlayerId id, WatchmenConfig cfg, net::SimNetwork& net
       recv_state_in_round_(schedule.num_players(), 0),
       is_held_frames_in_round_(schedule.num_players(), 0),
       pending_starve_(schedule.num_players()),
-      churn_removal_round_(schedule.num_players(), -1) {}
+      churn_removal_round_(schedule.num_players(), -1),
+      churn_restore_round_(schedule.num_players(), -1) {}
 
 // --------------------------------------------------------------- sending
 
@@ -49,6 +51,7 @@ std::vector<std::uint8_t> WatchmenPeer::make_sealed(
   h.subject = subject;
   h.frame = frame;
   h.seq = seq_++;
+  last_sealed_seq_ = h.seq;
   return seal(h, body, keys_->key_pair(id_));
 }
 
@@ -62,7 +65,105 @@ void WatchmenPeer::send_to_proxy(MsgType type, PlayerId subject, Frame frame,
     outbox_.push_back({frame_ + delay, kInvalidPlayer, std::move(wire)});
     return;
   }
-  send_wire(schedule_.proxy_at(id_, frame_), std::move(wire));
+  const PlayerId px = schedule_.proxy_at(id_, frame_);
+  const bool reliable = cfg_.reliable_control && type == MsgType::kSubscribe;
+  if (!reliable && !proxy_silent(px)) {
+    send_wire(px, std::move(wire));
+    return;
+  }
+  auto shared = std::make_shared<const std::vector<std::uint8_t>>(std::move(wire));
+  ++metrics_.messages_sent;
+  net_->send(id_, px, shared);
+  if (reliable) track_reliable(px, id_, last_sealed_seq_, type, shared);
+  if (proxy_silent(px)) {
+    // Emergency failover: our proxy has gone fully silent past the
+    // configured window. Duplicate proxy-bound traffic to the
+    // successor-of-round, which adopts us early; if the proxy was merely
+    // quiet the duplicate is redundant, never harmful.
+    const PlayerId succ = schedule_.proxy_of(id_, schedule_.round_of(frame_) + 1);
+    if (succ != px && succ != id_) {
+      ++metrics_.messages_sent;
+      net_->send(id_, succ, shared);
+    }
+  }
+}
+
+bool WatchmenPeer::proxy_silent(PlayerId px) const {
+  if (cfg_.proxy_failover_silence <= 0 || px == id_ ||
+      px >= schedule_.num_players()) {
+    return false;
+  }
+  const Frame heard = know_[px].last_heard;
+  return frame_ - std::max<Frame>(heard, 0) > cfg_.proxy_failover_silence;
+}
+
+// ----------------------------------------------------- reliable control
+
+void WatchmenPeer::track_reliable(
+    PlayerId to, PlayerId origin, std::uint32_t seq, MsgType type,
+    std::shared_ptr<const std::vector<std::uint8_t>> wire) {
+  PendingReliable p;
+  p.to = to;
+  p.origin = origin;
+  p.seq = seq;
+  p.type = type;
+  p.wire = std::move(wire);
+  p.backoff = std::max<Frame>(1, cfg_.retransmit_backoff);
+  p.next_retry = frame_ + p.backoff;
+  p.retries_left = cfg_.retransmit_budget;
+  reliable_.push_back(std::move(p));
+}
+
+void WatchmenPeer::flush_retransmits(Frame f) {
+  for (auto it = reliable_.begin(); it != reliable_.end();) {
+    if (it->next_retry > f) {
+      ++it;
+      continue;
+    }
+    if (it->retries_left <= 0) {
+      ++metrics_.reliable_expired;
+      it = reliable_.erase(it);
+      continue;
+    }
+    --it->retries_left;
+    ++metrics_.retransmits_by_type[static_cast<std::size_t>(it->type)];
+    ++metrics_.messages_sent;
+    net_->send(id_, it->to, it->wire);
+    it->backoff *= 2;
+    it->next_retry = f + it->backoff;
+    ++it;
+  }
+}
+
+void WatchmenPeer::maybe_ack(const net::Envelope& env, const MsgHeader& h) {
+  if (!cfg_.reliable_control || !is_control_type(h.type) || env.from == id_) {
+    return;
+  }
+  AckBody a;
+  a.acked_origin = h.origin;
+  a.acked_seq = h.seq;
+  a.acked_type = h.type;
+  const auto body = encode_ack_body(a);
+  ++metrics_.acks_sent;
+  send_wire(env.from,
+            make_sealed(MsgType::kAck, h.origin, net_->clock().frame(), body));
+}
+
+void WatchmenPeer::handle_ack(const net::Envelope& env,
+                              const ParsedMessage& msg) {
+  if (!cfg_.reliable_control) return;
+  if (env.from != msg.header.origin) return;  // acks travel one hop, unsigned relays don't
+  AckBody a;
+  try {
+    a = decode_ack_body(msg.body);
+  } catch (const DecodeError&) {
+    return;
+  }
+  ++metrics_.acks_received;
+  std::erase_if(reliable_, [&](const PendingReliable& p) {
+    return p.to == env.from && p.origin == a.acked_origin &&
+           p.seq == a.acked_seq && p.type == a.acked_type;
+  });
 }
 
 // --------------------------------------------------------------- frames
@@ -81,6 +182,46 @@ void WatchmenPeer::begin_frame(Frame f) {
         last_pool_change_round_ = r;
       }
     }
+    // Apply agreed pool restores (the churn agreement run in reverse): a
+    // rejoined or heal-recovered player re-enters every pool at the round
+    // its kRejoinNotice announced.
+    for (PlayerId q = 0; q < schedule_.num_players(); ++q) {
+      if (churn_restore_round_[q] < 0 || r < churn_restore_round_[q]) continue;
+      // Restores only undo *churn* removals; a node configured out of the
+      // pool (weight 0) stays out no matter what notices claim.
+      if (!schedule_.in_pool(q) && churn_removal_round_[q] >= 0) {
+        schedule_.restore_to_pool(q);
+        last_pool_change_round_ = r;
+      }
+      churn_restore_round_[q] = -1;
+      churn_removal_round_[q] = -1;
+      pending_starve_[q].active = false;
+    }
+    // Pool reconciliation, run by whoever serves a churn-removed player
+    // this round (its proxy in *our* view):
+    //  * player demonstrably back (heard within the last renewal period):
+    //    re-announce its restore — heals divergence after partitions and
+    //    covers rejoin notices that were themselves lost;
+    //  * player still dead: re-broadcast the removal notice so peers that
+    //    missed the original converge (they corroborate the silence
+    //    locally, so the notice is accepted from us even where pools
+    //    disagree about who the proxy is).
+    for (PlayerId q = 0; q < schedule_.num_players(); ++q) {
+      if (q == id_ || schedule_.in_pool(q) || churn_removal_round_[q] < 0) {
+        continue;
+      }
+      if (schedule_.proxy_of(q, r) != id_) continue;
+      const Frame heard = know_[q].last_heard;
+      if (heard >= 0 && f - heard <= cfg_.renewal_frames) {
+        if (churn_restore_round_[q] >= 0) continue;  // already scheduled
+        const std::int64_t restore = r + 2;
+        churn_restore_round_[q] = restore;
+        broadcast_control(MsgType::kRejoinNotice, q,
+                          encode_rejoin_body(restore));
+      } else {
+        broadcast_control(MsgType::kChurnNotice, q, encode_churn_body(r + 1));
+      }
+    }
     // Adopt players newly assigned to this peer. Their handoff (state +
     // subscription table) arrives from the old proxy within a few frames.
     for (PlayerId p = 0; p < schedule_.num_players(); ++p) {
@@ -93,6 +234,9 @@ void WatchmenPeer::begin_frame(Frame f) {
     }
   }
   std::erase_if(grace_, [f](const auto& kv) { return kv.second.expires < f; });
+
+  if (cfg_.reliable_control) flush_retransmits(f);
+  flush_pending_subs(f);
 
   // Direct-update mode: periodically tell each proxied player who its IS
   // subscribers are, so it can push 1-hop updates (staggered, 2 Hz).
@@ -234,6 +378,15 @@ void WatchmenPeer::produce(std::span<const game::AvatarState> truth,
         f - sent_level_frame_[t] <= cfg_.renewal_frames) {
       ++is_held_frames_in_round_[t];
     }
+    // Per-frame staleness of what we actually hold about each IS target —
+    // unlike update_age_frames (which only sees updates that *arrived*),
+    // this grows when loss or a dead proxy starves the stream, making it
+    // the freshness signal the chaos suite compares against its baseline.
+    // Players agreed departed (their trace avatar lingers as a ghost no
+    // node animates) would grow without bound and are excluded.
+    if (know_[t].state_frame >= 0 && churn_removal_round_[t] < 0) {
+      metrics_.staleness_frames.add(static_cast<double>(f - know_[t].state_frame));
+    }
   }
 
   for (const auto& [target, kind] : misbehavior_->bogus_subscriptions(f)) {
@@ -280,9 +433,10 @@ void WatchmenPeer::end_frame(Frame f) {
     bool starving = false;
     if (watched) {
       starve_res = verify::check_rate(recv_state_in_round_[q], expected,
-                                      /*loss_allowance=*/0.5, /*slop=*/8);
-      starving =
-          starve_res.suspicious() && recv_state_in_round_[q] < expected / 3;
+                                      cfg_.starve_loss_allowance, /*slop=*/8);
+      starving = starve_res.suspicious() &&
+                 static_cast<double>(recv_state_in_round_[q]) <
+                     static_cast<double>(expected) * cfg_.starve_floor;
     }
 
     PendingStarve& pending = pending_starve_[q];
@@ -330,23 +484,43 @@ void WatchmenPeer::end_frame(Frame f) {
 
     if (rate.suspicious()) {
       const bool silent = ps.updates_in_round == 0;
+      const Frame heard = know_[q].last_heard;
+      const bool silent_everywhere =
+          heard < 0 || f - heard > cfg_.renewal_frames;
+      verify::CheckResult rate_res = rate;
+      // A silent proxy stream from a player whose broadcast traffic still
+      // reaches us is normally the escape cheat. But while pool views
+      // re-converge after churn (ours changed within the last couple of
+      // rounds), the player may simply be reporting to whom *it* computes
+      // as this round's proxy — keep the evidence below high confidence.
+      if (silent && !silent_everywhere && rate_res.rating > 5.0 &&
+          last_pool_change_round_ >= r - 2) {
+        rate_res.rating = 5.0;
+      }
       emit(q, silent ? verify::CheckType::kEscape : verify::CheckType::kRate,
-           verify::Vantage::kProxy, f, rate);
+           verify::Vantage::kProxy, f, rate_res);
       ++ps.suspicious_in_round;
 
       // Churn (§VI): a player totally silent for a full round has left (or
       // escaped). As its proxy, announce the departure; everyone removes it
       // from the proxy pool at an agreed future round. Repeated silence
       // makes later proxies re-announce, covering lost notices.
-      if (silent && expected >= static_cast<std::size_t>(cfg_.renewal_frames) &&
+      //
+      // "Silent" must mean silent in *every* role, not just the proxy
+      // stream: when pools transiently diverge (a lost churn notice), a
+      // peer can wrongly believe it serves q while q's updates flow to a
+      // different proxy — but q's broadcast traffic still reaches us, and
+      // that liveness vetoes the announce. Without this gate one lost
+      // notice cascades into false removals of live players. (The escape
+      // *report* above is capped, not skipped, in that situation: a player
+      // hiding from its proxy while visibly playing is the escape cheat,
+      // but a freshly-changed pool makes the routing ambiguous.)
+      if (silent && silent_everywhere &&
+          expected >= static_cast<std::size_t>(cfg_.renewal_frames) &&
           schedule_.in_pool(q) && churn_removal_round_[q] < 0) {
         const std::int64_t removal = r + 2;
         churn_removal_round_[q] = removal;
-        const auto body = encode_churn_body(removal);
-        const auto wire = make_sealed(MsgType::kChurnNotice, q, f, body);
-        for (PlayerId w = 0; w < schedule_.num_players(); ++w) {
-          if (w != id_ && w != q) send_wire(w, wire);
-        }
+        broadcast_control(MsgType::kChurnNotice, q, encode_churn_body(removal));
       }
     }
 
@@ -377,12 +551,23 @@ void WatchmenPeer::end_frame(Frame f) {
       if (ps.predecessor_summary) payload.predecessor = ps.predecessor_summary;
 
       // The handoff is a single point of failure for every subscription of
-      // q: send it twice so one lost datagram cannot starve a whole round
-      // (receiver-side install is idempotent).
+      // q. With reliable control on it is ack-tracked and retransmitted
+      // with backoff (survives correlated bursts); otherwise fall back to
+      // the blind send-twice (receiver-side install is idempotent either
+      // way).
       const auto body = encode_handoff_body(payload);
-      const auto wire = make_sealed(MsgType::kHandoff, q, f, body);
-      send_wire(schedule_.proxy_of(q, next), wire);
-      send_wire(schedule_.proxy_of(q, next), wire);
+      const PlayerId successor = schedule_.proxy_of(q, next);
+      auto shared = std::make_shared<const std::vector<std::uint8_t>>(
+          make_sealed(MsgType::kHandoff, q, f, body));
+      ++metrics_.messages_sent;
+      net_->send(id_, successor, shared);
+      if (cfg_.reliable_control) {
+        track_reliable(successor, id_, last_sealed_seq_, MsgType::kHandoff,
+                       shared);
+      } else {
+        ++metrics_.messages_sent;
+        net_->send(id_, successor, shared);
+      }
       my_last_summaries_[q] = std::move(s);
 
       GraceEntry grace;
@@ -422,6 +607,20 @@ void WatchmenPeer::on_message(const net::Envelope& env) {
   const MsgHeader& h = parsed->header;
   if (h.subject >= schedule_.num_players() ||
       h.origin >= schedule_.num_players()) {
+    return;
+  }
+
+  if (h.type == MsgType::kAck) {
+    handle_ack(env, *parsed);
+    return;
+  }
+
+  // Reliable control: ack control-class messages back to the immediate
+  // sender as soon as the signature clears (hop-by-hop; never ack an ack).
+  maybe_ack(env, h);
+
+  if (h.type == MsgType::kRejoinNotice) {
+    handle_rejoin_notice(*parsed);
     return;
   }
 
@@ -522,7 +721,34 @@ bool WatchmenPeer::replay_guard(RemoteKnowledge& k, const MsgHeader& h,
 void WatchmenPeer::handle_as_proxy(const net::Envelope& env,
                                    const ParsedMessage& msg) {
   const MsgHeader& h = msg.header;
-  const auto it = proxied_.find(h.origin);
+  auto it = proxied_.find(h.origin);
+  if (it == proxied_.end() && cfg_.proxy_failover_silence > 0 &&
+      schedule_.proxy_of(h.origin, round_) != id_ &&
+      schedule_.proxy_of(h.origin, round_ + 1) == id_ &&
+      !grace_.contains(h.origin)) {
+    // Emergency proxy failover: the origin routed to us — its
+    // successor-of-round — because its proxy went silent from its vantage.
+    // If the proxy looks dead from here too, adopt early, seeded with the
+    // summary we already hold from a previous tenure so the two-round
+    // follow-up chain survives. If the proxy looks alive from here, drop
+    // silently: over-eager routing is a loss symptom, not a cheat.
+    const PlayerId cur = schedule_.proxy_of(h.origin, round_);
+    if (!proxy_silent(cur)) return;
+    ProxiedState ps(cfg_.renewal_frames);
+    ps.adopted_at = frame_;
+    if (const auto s = my_last_summaries_.find(h.origin);
+        s != my_last_summaries_.end()) {
+      ps.subs.install(s->second.subscriptions);
+      if (s->second.has_state) {
+        ps.last_state = s->second.last_state;
+        ps.last_state_frame = s->second.last_state_frame;
+        ps.has_state = true;
+      }
+      ps.predecessor_summary = s->second;
+    }
+    ++metrics_.failover_adoptions;
+    it = proxied_.emplace(h.origin, std::move(ps)).first;
+  }
   if (it == proxied_.end()) {
     // Grace window: keep serving players just handed off, don't verify.
     const auto git = grace_.find(h.origin);
@@ -703,6 +929,7 @@ void WatchmenPeer::proxy_handle_update(const net::Envelope& env,
 
       // The proxy holds complete information about its player.
       RemoteKnowledge& k = know_[h.origin];
+      checkpoint_pos(k, s.pos, h.frame);
       k.state = s;
       k.state_frame = h.frame;
       k.has_state = true;
@@ -800,15 +1027,31 @@ void WatchmenPeer::proxy_handle_subscribe_first_hop(const net::Envelope& env,
       vision.radius *= 1.12;
       if (kind == interest::SetKind::kVision ||
           kind == interest::SetKind::kInterest) {
+        // A high-rated verdict reached from a stale target sample is
+        // parked, not emitted: the target may have died and respawned
+        // inside the staleness gap (obituary lost to the network), making
+        // an honest subscription to its *actual* position look like a
+        // maphack. flush_pending_subs re-judges the cone once a sample
+        // covering the subscription frame arrives; a fresh-sample verdict
+        // emits immediately — no unseen teleport can explain it away.
+        const auto emit_sub = [&](verify::CheckType type,
+                                  verify::CheckResult res) {
+          ++ps.suspicious_in_round;
+          if (res.rating > 5.0 && tk.pos_frame < h.frame) {
+            pending_subs_.push_back({h.origin, target, type, h.frame,
+                                     h.frame + 2 * kDeathWindowFrames, res,
+                                     ps.last_state, vision, slack});
+            return;
+          }
+          emit(h.origin, type, verify::Vantage::kProxy, h.frame, res);
+        };
         const verify::CheckResult vs = verify::check_vs_subscription(
             ps.last_state, target_pos, vision, slack);
         if (vs.suspicious()) {
-          emit(h.origin,
-               kind == interest::SetKind::kInterest
-                   ? verify::CheckType::kSubscriptionIS
-                   : verify::CheckType::kSubscriptionVS,
-               verify::Vantage::kProxy, h.frame, vs);
-          ++ps.suspicious_in_round;
+          emit_sub(kind == interest::SetKind::kInterest
+                       ? verify::CheckType::kSubscriptionIS
+                       : verify::CheckType::kSubscriptionVS,
+                   vs);
         } else if (kind == interest::SetKind::kInterest) {
           // Inside the cone: check the attention rank as well.
           auto snapshot = knowledge_snapshot();
@@ -818,9 +1061,7 @@ void WatchmenPeer::proxy_handle_subscribe_first_hop(const net::Envelope& env,
           const verify::CheckResult isr = verify::check_is_subscription(
               h.origin, target, snapshot, *map_, frame_, nullptr, icfg, slack);
           if (isr.suspicious()) {
-            emit(h.origin, verify::CheckType::kSubscriptionIS,
-                 verify::Vantage::kProxy, h.frame, isr);
-            ++ps.suspicious_in_round;
+            emit_sub(verify::CheckType::kSubscriptionIS, isr);
           }
         }
       }
@@ -831,9 +1072,17 @@ void WatchmenPeer::proxy_handle_subscribe_first_hop(const net::Envelope& env,
   // prevention) to the target's proxy; the target never learns who
   // subscribed (§IV "Secured Subscriptions").
   ++metrics_.forwarded;
-  net_->send(id_, schedule_.proxy_at(target, frame_),
-             std::make_shared<const std::vector<std::uint8_t>>(
-                 env.bytes().begin(), env.bytes().end()));
+  const PlayerId target_proxy = schedule_.proxy_at(target, frame_);
+  auto shared = std::make_shared<const std::vector<std::uint8_t>>(
+      env.bytes().begin(), env.bytes().end());
+  net_->send(id_, target_proxy, shared);
+  if (cfg_.reliable_control && target_proxy != id_) {
+    // Second hop of the subscribe chain: track under the *origin's*
+    // header, which is what the target proxy will ack. Serving both ends
+    // ourselves is a loopback delivery — guaranteed, and never acked
+    // (receivers don't ack their own messages), so don't track it.
+    track_reliable(target_proxy, h.origin, h.seq, MsgType::kSubscribe, shared);
+  }
 }
 
 void WatchmenPeer::proxy_handle_subscribe_second_hop(const ParsedMessage& msg,
@@ -911,14 +1160,26 @@ void WatchmenPeer::handle_churn_notice(const ParsedMessage& msg) {
   if (h.subject >= schedule_.num_players() || h.subject == id_) return;
   if (!schedule_.in_pool(h.subject)) return;  // already removed
 
-  // Only the silent player's proxy for the notice round may announce.
+  // Only the silent player's proxy for the notice round may announce —
+  // unless we can corroborate the claim ourselves. Silence is locally
+  // verifiable: if we have heard nothing from the subject for a full
+  // renewal period either, any announcer is acceptable. This is what lets
+  // re-announced notices heal pool divergence (after a lost notice the
+  // laggard's idea of "the proxy" differs from everyone else's, so the
+  // strict origin check would reject exactly the notices it needs).
   const std::int64_t notice_round = schedule_.round_of(h.frame);
-  if (schedule_.proxy_of(h.subject, notice_round) != h.origin) {
-    verify::CheckResult res;
-    res.deviation = 1.0;
-    res.rating = 8.0;
-    emit(h.origin, verify::CheckType::kConsistency, verify::Vantage::kProxy,
-         h.frame, res);
+  const Frame heard = know_[h.subject].last_heard;
+  const bool silent_here = heard < 0 || frame_ - heard > cfg_.renewal_frames;
+  if (!silent_here && schedule_.proxy_of(h.subject, notice_round) != h.origin) {
+    // Around pool transitions (and partition heals) peers' pools — and so
+    // their idea of "the proxy" — may legitimately diverge; don't blame.
+    if (!pool_transition_grace()) {
+      verify::CheckResult res;
+      res.deviation = 1.0;
+      res.rating = 8.0;
+      emit(h.origin, verify::CheckType::kConsistency, verify::Vantage::kProxy,
+           h.frame, res);
+    }
     return;
   }
 
@@ -935,6 +1196,90 @@ void WatchmenPeer::handle_churn_notice(const ParsedMessage& msg) {
   }
 }
 
+void WatchmenPeer::handle_rejoin_notice(const ParsedMessage& msg) {
+  const MsgHeader& h = msg.header;
+  if (h.subject >= schedule_.num_players()) return;
+
+  // Accept from the subject itself (crash rejoin), from the subject's
+  // current proxy (post-heal pool reconciliation), or from anyone when we
+  // can corroborate the claim — we have heard the subject ourselves within
+  // the last renewal period, so it is demonstrably alive from our vantage.
+  // Anything else is ignored *without* blame: a restore only ever adds a
+  // serving node, and pools are exactly what diverges during the faults
+  // this message heals.
+  const std::int64_t notice_round = schedule_.round_of(h.frame);
+  const bool from_subject = h.origin == h.subject;
+  const bool from_proxy =
+      schedule_.proxy_of(h.subject, notice_round) == h.origin;
+  const Frame heard = know_[h.subject].last_heard;
+  const bool alive_here = heard >= 0 && frame_ - heard <= cfg_.renewal_frames;
+  if (!from_subject && !from_proxy && !alive_here) return;
+
+  std::int64_t restore = 0;
+  try {
+    restore = decode_rejoin_body(msg.body);
+  } catch (const DecodeError&) {
+    return;
+  }
+  if (restore < notice_round + 1) return;  // cannot rewrite the past
+  if (churn_restore_round_[h.subject] < 0 ||
+      restore < churn_restore_round_[h.subject]) {
+    churn_restore_round_[h.subject] = restore;
+  }
+}
+
+void WatchmenPeer::broadcast_control(MsgType type, PlayerId subject,
+                                     std::span<const std::uint8_t> body) {
+  auto wire = make_sealed(type, subject, frame_, body);
+  auto shared =
+      std::make_shared<const std::vector<std::uint8_t>>(std::move(wire));
+  for (PlayerId w = 0; w < schedule_.num_players(); ++w) {
+    if (w == id_ || w == subject) continue;
+    ++metrics_.messages_sent;
+    net_->send(id_, w, shared);
+    if (cfg_.reliable_control) {
+      track_reliable(w, id_, last_sealed_seq_, type, shared);
+    }
+  }
+}
+
+void WatchmenPeer::rejoin(Frame f) {
+  const Frame last_alive = frame_;
+  frame_ = f;
+  round_ = schedule_.round_of(f);
+
+  // Proxy duties lapsed silently while we were down; shed them all.
+  proxied_.clear();
+  grace_.clear();
+  outbox_.clear();
+  reliable_.clear();
+  direct_targets_.clear();
+
+  // A crash spanning a full round means the churn agreement has removed us
+  // from everyone else's pool; mirror that locally so our assignment math
+  // matches theirs until the agreed restore round, and announce re-entry.
+  // (A node that was configured out of the pool — weight 0 — was never
+  // removed by churn and announces nothing.)
+  if (f - last_alive > cfg_.renewal_frames && schedule_.in_pool(id_)) {
+    schedule_.remove_from_pool(id_);
+    churn_removal_round_[id_] = round_;
+    last_pool_change_round_ = round_;
+    const std::int64_t restore = round_ + 2;
+    churn_restore_round_[id_] = restore;
+    broadcast_control(MsgType::kRejoinNotice, id_, encode_rejoin_body(restore));
+  }
+
+  // Stale stream beliefs from before the crash would read as starvation or
+  // proxy drops; reset the per-round accounting and force re-subscribes.
+  for (PlayerId q = 0; q < schedule_.num_players(); ++q) {
+    recv_state_in_round_[q] = 0;
+    is_held_frames_in_round_[q] = 0;
+    pending_starve_[q].active = false;
+  }
+  sent_level_.clear();
+  sent_level_frame_.clear();
+}
+
 bool WatchmenPeer::pool_transition_grace() const {
   // While peers apply churn removals, their schedules may briefly diverge;
   // protocol-violation reports are suppressed for two rounds around any
@@ -944,20 +1289,38 @@ bool WatchmenPeer::pool_transition_grace() const {
 
 void WatchmenPeer::handle_handoff(const ParsedMessage& msg) {
   const MsgHeader& h = msg.header;
-  const auto it = proxied_.find(h.subject);
-  if (it == proxied_.end()) return;
-  ProxiedState& ps = it->second;
 
-  // Only the previous round's proxy may hand off.
-  const std::int64_t prev_round = schedule_.round_of(frame_) - 1;
-  if (prev_round >= 0 && schedule_.proxy_of(h.subject, prev_round) != h.origin) {
-    verify::CheckResult res;
-    res.deviation = 1.0;
-    res.rating = 8.0;
-    emit(h.origin, verify::CheckType::kConsistency, verify::Vantage::kProxy,
-         h.frame, res);
+  // Only the proxy of the round the handoff was *stamped* in may hand off.
+  // h.frame sits under the origin's signature, so validating against the
+  // stamped round (instead of "our previous round") stays correct for
+  // retransmits and delayed copies that arrive rounds later.
+  const std::int64_t stamp_round = schedule_.round_of(h.frame);
+  if (schedule_.proxy_of(h.subject, stamp_round) != h.origin) {
+    if (!pool_transition_grace()) {
+      verify::CheckResult res;
+      res.deviation = 1.0;
+      res.rating = 8.0;
+      emit(h.origin, verify::CheckType::kConsistency, verify::Vantage::kProxy,
+           h.frame, res);
+    }
     return;
   }
+
+  auto it = proxied_.find(h.subject);
+  if (it == proxied_.end()) {
+    // Round-boundary race: the handoff outran our begin_frame adoption (it
+    // is sent in the last instants of the old round, so on a fast link it
+    // lands before the new round's first begin_frame). If we are the
+    // incoming proxy, adopt now; anyone else — including us when a stale
+    // retransmit outlives our tenure — ignores it.
+    const std::int64_t now_round = schedule_.round_of(net_->clock().frame());
+    if (stamp_round + 1 < now_round) return;
+    if (schedule_.proxy_of(h.subject, stamp_round + 1) != id_) return;
+    ProxiedState ps(cfg_.renewal_frames);
+    ps.adopted_at = net_->clock().frame();
+    it = proxied_.emplace(h.subject, std::move(ps)).first;
+  }
+  ProxiedState& ps = it->second;
 
   HandoffPayload payload;
   try {
@@ -1065,6 +1428,7 @@ void WatchmenPeer::handle_as_player(const net::Envelope& env,
       maybe_close_guidance(h.origin, vantage, h.frame, k.has_guidance,
                            k.guidance, k.path_samples);
       if (k.has_guidance) k.path_samples.emplace_back(h.frame, s.pos);
+      checkpoint_pos(k, s.pos, h.frame);
       k.state = s;
       k.state_frame = h.frame;
       k.has_state = true;
@@ -1085,6 +1449,7 @@ void WatchmenPeer::handle_as_player(const net::Envelope& env,
       k.has_guidance = true;
       k.path_samples.clear();
       k.path_samples.emplace_back(g.frame, g.pos);
+      checkpoint_pos(k, g.pos, h.frame);
       k.pos = g.pos;
       k.pos_frame = h.frame;
       k.last_heard = now;
@@ -1106,6 +1471,7 @@ void WatchmenPeer::handle_as_player(const net::Envelope& env,
       maybe_close_guidance(h.origin, vantage, h.frame, k.has_guidance,
                            k.guidance, k.path_samples);
       if (k.has_guidance) k.path_samples.emplace_back(h.frame, pos);
+      checkpoint_pos(k, pos, h.frame);
       k.pos = pos;
       k.pos_frame = h.frame;
       k.last_heard = now;
@@ -1201,6 +1567,64 @@ bool WatchmenPeer::los_with_slack(const Vec3& from_eye, const Vec3& to_eye) cons
     if (map_->visible(from_eye + off, to_eye)) return true;
   }
   return false;
+}
+
+void WatchmenPeer::checkpoint_pos(RemoteKnowledge& k, const Vec3& next_pos,
+                                  Frame next_frame) {
+  if (k.pos_frame < 0 || next_frame <= k.pos_frame) return;
+  // Pin the pre-jump sample when the position teleports: death + respawn
+  // move an avatar across the map in one step, and peers that missed the
+  // obituary legitimately keep aiming near the old spot for a while. A
+  // physically reachable move is not worth remembering — the regular
+  // drift slack already covers it.
+  const Frame gap = next_frame - k.pos_frame;
+  const double moved = std::hypot(next_pos.x - k.pos.x, next_pos.y - k.pos.y);
+  if (moved > 64.0 + game::max_legal_horizontal(static_cast<int>(gap))) {
+    k.old_pos = k.pos;
+    k.old_pos_frame = k.pos_frame;
+  }
+}
+
+void WatchmenPeer::flush_pending_subs(Frame f) {
+  auto it = pending_subs_.begin();
+  while (it != pending_subs_.end()) {
+    const RemoteKnowledge& tk = know_[it->target];
+    bool resolve = false;
+    verify::CheckResult res = it->result;
+    if (tk.pos_frame >= it->frame) {
+      // A sample at-or-after the subscription frame arrived: re-judge the
+      // cone against where the target actually was, budgeting its legal
+      // movement across the small timestamp gap. An honest subscriber
+      // whose verdict only looked bad because the verifier's view
+      // straddled an unseen respawn passes now; a harvested position
+      // stays outside the cone and the original rating stands.
+      const auto gap =
+          static_cast<int>(std::max<Frame>(1, tk.pos_frame - it->frame));
+      double dev = interest::cone_deviation(it->sub_state, tk.pos, it->vision) -
+                   game::max_legal_horizontal(gap);
+      // Symmetric benefit of the doubt: the subscriber may instead have
+      // been the stale party, aiming where the target stood *before* a
+      // respawn whose obituary it missed.
+      if (tk.old_pos_frame >= 0 && tk.old_pos_frame >= it->frame - kDeathWindowFrames &&
+          tk.old_pos_frame <= it->frame + kDeathWindowFrames) {
+        dev = std::min(
+            dev, interest::cone_deviation(it->sub_state, tk.old_pos,
+                                          it->vision) -
+                     game::max_legal_horizontal(static_cast<int>(
+                         std::max<Frame>(1, it->frame - tk.old_pos_frame))));
+      }
+      if (dev <= it->slack) res.rating = 5.0;
+      resolve = true;
+    } else if (f >= it->deadline) {
+      resolve = true;  // target went silent: the original evidence stands
+    }
+    if (resolve) {
+      emit(it->origin, it->type, verify::Vantage::kProxy, it->frame, res);
+      it = pending_subs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 verify::Vantage WatchmenPeer::vantage_towards(PlayerId suspect) const {

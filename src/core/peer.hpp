@@ -71,10 +71,36 @@ struct WatchmenConfig {
   /// the best-aligned nearby enemy. Generous by default; calibrate for
   /// tighter detection.
   verify::Tolerance aim_tolerance{0.30, 0.25};
+
+  // --- chaos-resilience knobs (all off / paper-default unless a scenario
+  // opts in; the baseline protocol stays exactly the paper's) -------------
+  /// Reliable delivery for control traffic (handoff, subscribe, churn and
+  /// rejoin notices): receivers ack, senders retransmit with exponential
+  /// backoff and a bounded budget. State updates stay fire-and-forget —
+  /// freshness beats completeness for them (§II-A).
+  bool reliable_control = false;
+  Frame retransmit_backoff = 3;  ///< initial retransmit delay (frames; doubles)
+  int retransmit_budget = 4;     ///< max retransmits per tracked message
+  /// Emergency proxy failover: when this peer's current proxy has been
+  /// fully silent for more than this many frames, proxy-bound traffic is
+  /// duplicated to the successor-of-round, which adopts the player early
+  /// (seeded with the predecessor summary it already holds, preserving the
+  /// two-round follow-up invariant). 0 disables.
+  Frame proxy_failover_silence = 0;
+  /// Witness-side starvation tolerances, loss-aware: the fraction of the
+  /// expected forwarded stream a witness forgives before suspicion, and
+  /// the hard floor (fraction of expected) under which the stream counts
+  /// as starved. Defaults reproduce the pre-chaos behaviour.
+  double starve_loss_allowance = 0.5;
+  double starve_floor = 1.0 / 3.0;
 };
 
 struct PeerMetrics {
   Samples update_age_frames;  ///< delivery age of received updates (Fig. 7)
+  /// Per-frame age of the state held about each IS target. Grows under
+  /// loss / dead proxies (update_age_frames only sees arrivals), so the
+  /// chaos suite uses it as its freshness-recovery signal.
+  Samples staleness_frames;
   std::uint64_t updates_received = 0;
   std::uint64_t messages_sent = 0;
   std::uint64_t forwarded = 0;
@@ -82,6 +108,12 @@ struct PeerMetrics {
   std::uint64_t dropped_replays = 0;
   /// Messages this peer originated, by MsgType (indexed by the enum value).
   std::array<std::uint64_t, kNumMsgTypes> sent_by_type{};
+  /// Reliable-control retransmissions, by MsgType.
+  std::array<std::uint64_t, kNumMsgTypes> retransmits_by_type{};
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t reliable_expired = 0;    ///< retry budget exhausted
+  std::uint64_t failover_adoptions = 0;  ///< emergency proxy takeovers
 };
 
 /// What a peer currently knows about another player.
@@ -96,6 +128,14 @@ struct RemoteKnowledge {
   /// Delta-coding baseline: the sender's last keyframe we decoded.
   game::AvatarState keyframe_state;
   Frame keyframe_frame = -1;
+  /// Pre-teleport position sample, pinned whenever an incoming update
+  /// jumps farther than physics allows (death + respawn). Used by the
+  /// subscription checks to tell "aimed at where the target recently was"
+  /// (a stale-but-honest view, e.g. a respawn whose obituary we missed)
+  /// from "aimed at a position no legitimate knowledge ever covered"
+  /// (the maphack harvest).
+  Vec3 old_pos;
+  Frame old_pos_frame = -1;
   /// (frame, position) samples observed since the current guidance message;
   /// consumed by the guidance check when the next guidance arrives.
   std::vector<std::pair<Frame, Vec3>> path_samples;
@@ -148,6 +188,12 @@ class WatchmenPeer {
   /// checks at round ends.
   void end_frame(Frame f);
 
+  /// Crash recovery: called by the session when this peer reconnects at
+  /// frame f after a silent crash. Sheds lapsed proxy duties, mirrors the
+  /// churn removal the others applied while we were down, and broadcasts a
+  /// kRejoinNotice scheduling pool re-entry at an agreed round.
+  void rejoin(Frame f);
+
   const RemoteKnowledge& knowledge_of(PlayerId p) const { return know_.at(p); }
 
   /// Players this peer is currently proxying.
@@ -186,6 +232,25 @@ class WatchmenPeer {
   void send_to_proxy(MsgType type, PlayerId subject, Frame frame,
                      std::span<const std::uint8_t> body, Frame delay);
 
+  // --- reliable control delivery ------------------------------------------
+  /// Registers an already-sent control wire for ack-tracking; retransmitted
+  /// with exponential backoff from begin_frame until acked or expired.
+  void track_reliable(PlayerId to, PlayerId origin, std::uint32_t seq,
+                      MsgType type,
+                      std::shared_ptr<const std::vector<std::uint8_t>> wire);
+  void flush_retransmits(Frame f);
+  /// Acks control-class messages back to the immediate sender (hop-by-hop).
+  void maybe_ack(const net::Envelope& env, const MsgHeader& h);
+  void handle_ack(const net::Envelope& env, const ParsedMessage& msg);
+  static bool is_control_type(MsgType t) {
+    return t == MsgType::kHandoff || t == MsgType::kSubscribe ||
+           t == MsgType::kChurnNotice || t == MsgType::kRejoinNotice;
+  }
+
+  // --- proxy failover ------------------------------------------------------
+  /// True when `px`'s total silence exceeds the configured failover window.
+  bool proxy_silent(PlayerId px) const;
+
   // --- receive paths ------------------------------------------------------
   void handle_as_proxy(const net::Envelope& env, const ParsedMessage& msg);
   /// `direct_path` marks a 1-hop update received straight from its origin
@@ -203,6 +268,29 @@ class WatchmenPeer {
   /// True if a known death of q makes physics discontinuities legal around
   /// updates following `baseline_frame`.
   bool in_death_window(PlayerId q, Frame baseline_frame) const;
+  /// Pins `k.old_pos` to the pre-jump sample when an incoming position
+  /// update teleports (death + respawn). Call before `k.pos` is
+  /// overwritten with `next_pos` stamped `next_frame`.
+  static void checkpoint_pos(RemoteKnowledge& k, const Vec3& next_pos,
+                             Frame next_frame);
+  /// A high-rated subscription verdict reached from a *stale* sample of the
+  /// target. The target may have died and respawned inside the staleness
+  /// gap (its obituary lost to the network), which would make the honest
+  /// subscriber's cone look wildly wrong. The verdict is parked until a
+  /// sample covering the subscription frame arrives, then re-judged against
+  /// where the target actually was.
+  struct PendingSubCheck {
+    PlayerId origin = 0;  ///< the subscriber under suspicion
+    PlayerId target = 0;  ///< whom it subscribed to
+    verify::CheckType type = verify::CheckType::kSubscriptionIS;
+    Frame frame = 0;     ///< subscription frame; reports stay stamped here
+    Frame deadline = 0;  ///< emit unconditionally once this frame passes
+    verify::CheckResult result;
+    game::AvatarState sub_state;    ///< subscriber state the check used
+    interest::VisionConfig vision;  ///< widened cone the check used
+    double slack = 0.0;             ///< drift slack the check used
+  };
+  void flush_pending_subs(Frame f);
   /// Line-of-sight with geometric slack: the verifier's position knowledge
   /// is a few units stale, and rays grazing occluder edges flip easily, so
   /// "no line of sight" is only asserted when jittered probes all fail.
@@ -270,6 +358,7 @@ class WatchmenPeer {
     verify::CheckResult res;
   };
   std::vector<PendingStarve> pending_starve_;
+  std::vector<PendingSubCheck> pending_subs_;
   game::AvatarState own_state_;
   bool has_own_state_ = false;
 
@@ -294,9 +383,31 @@ class WatchmenPeer {
   // (protocol-violation reports are suppressed around pool transitions,
   // when peers' schedules may briefly diverge).
   std::vector<std::int64_t> churn_removal_round_;
+  /// Agreed round at which each player re-enters the pool (-1 = none);
+  /// the inverse of churn_removal_round_, fed by kRejoinNotice.
+  std::vector<std::int64_t> churn_restore_round_;
   std::int64_t last_pool_change_round_ = -100;
   void handle_churn_notice(const ParsedMessage& msg);
+  void handle_rejoin_notice(const ParsedMessage& msg);
+  /// Broadcasts a control message to every other player (reliably when
+  /// reliable_control is on).
+  void broadcast_control(MsgType type, PlayerId subject,
+                         std::span<const std::uint8_t> body);
   bool pool_transition_grace() const;
+
+  /// In-flight reliable control messages awaiting acks.
+  struct PendingReliable {
+    PlayerId to = kInvalidPlayer;
+    PlayerId origin = kInvalidPlayer;  ///< origin in the tracked wire
+    std::uint32_t seq = 0;
+    MsgType type = MsgType::kStateUpdate;
+    std::shared_ptr<const std::vector<std::uint8_t>> wire;
+    Frame next_retry = 0;
+    Frame backoff = 0;
+    int retries_left = 0;
+  };
+  std::vector<PendingReliable> reliable_;
+  std::uint32_t last_sealed_seq_ = 0;  ///< seq of the latest make_sealed()
 
   // Delayed outbox for the look-ahead cheat: (release_frame, to, wire).
   struct Delayed {

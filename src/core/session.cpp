@@ -41,6 +41,17 @@ WatchmenSession::WatchmenSession(
   for (const auto& [p, w] : opts.pool_weights) schedule_.set_weight(p, w);
   for (const auto& [p, bps] : opts.upload_bps) net_->set_upload_bps(p, bps);
 
+  if (!opts.faults.empty()) {
+    net_->set_fault_plan(opts.faults);
+    // Discount detector reports stamped inside any fault window, plus a
+    // few rounds of settling: pools re-converge through the churn/rejoin
+    // agreement, and honest traffic looks suspicious until they do.
+    const Frame settle = 3 * opts.watchmen.renewal_frames;
+    for (const auto& [begin, end] : opts.faults.fault_frame_windows(settle)) {
+      detector_.add_fault_window(begin, end);
+    }
+  }
+
   peers_.reserve(trace.n_players);
   for (PlayerId p = 0; p < trace.n_players; ++p) {
     Misbehavior* mb = nullptr;
@@ -62,8 +73,17 @@ void WatchmenSession::run_frames(std::size_t n) {
                             static_cast<std::size_t>(next_frame_) + n);
   for (auto fi = static_cast<std::size_t>(next_frame_); fi < limit; ++fi) {
     const Frame f = static_cast<Frame>(fi);
+    next_frame_ = f;
     replayer_.seek(fi);
     const game::TraceFrame& tf = replayer_.current();
+
+    // Scripted crash / rejoin events take effect before anything else in
+    // the frame (the node misses even this frame's deliveries).
+    for (const auto& c : opts_.faults.crashes) {
+      if (c.player >= trace_->n_players) continue;
+      if (c.at == f && connected_[c.player]) disconnect(c.player);
+      if (c.rejoin == f && !connected_[c.player]) reconnect(c.player);
+    }
 
     // Frame start: deliver messages due before this frame's sends.
     net_->run_until(time_of(f));
@@ -121,6 +141,20 @@ void WatchmenSession::run() {
 void WatchmenSession::disconnect(PlayerId p) {
   connected_.at(p) = false;
   net_->set_handler(p, nullptr);  // the node is gone; traffic to it vanishes
+}
+
+void WatchmenSession::reconnect(PlayerId p) {
+  if (connected_.at(p)) return;
+  connected_.at(p) = true;
+  net_->set_handler(p, [this, p](const net::Envelope& env) {
+    peers_[p]->on_message(env);
+  });
+  peers_[p]->rejoin(next_frame_);
+  // The crash-long silence read as an escape to its proxies; a completed
+  // rejoin proves it was churn. Refund that evidence (targeted cheats
+  // report under other check types and survive the absolution).
+  detector_.absolve(p, {verify::CheckType::kEscape, verify::CheckType::kRate},
+                    next_frame_);
 }
 
 Samples WatchmenSession::merged_update_ages() const {

@@ -48,6 +48,12 @@ struct SessionOptions {
   /// function of the frame inputs and each player writes only its own slot;
   /// tests/determinism_test.cpp compares pool sizes 1, 2 and 8).
   std::size_t compute_threads = 0;
+  /// Scripted network faults (chaos harness; see net/fault.hpp). Loss /
+  /// partition / spike windows are applied to the network; crash events
+  /// are applied by the session (disconnect at `at`, reconnect + pool
+  /// re-entry at `rejoin`); every fault window is registered with the
+  /// detector so reports from degraded periods are discounted.
+  net::FaultPlan faults;
 };
 
 class WatchmenSession {
@@ -68,6 +74,13 @@ class WatchmenSession {
   /// from the next frame on. Peers detect the silence, its proxy announces
   /// the departure, and everyone removes it from the proxy pool.
   void disconnect(PlayerId p);
+
+  /// Reconnects a crashed player at the current frame: its handler is
+  /// reattached, the peer runs crash recovery (WatchmenPeer::rejoin — pool
+  /// re-entry through the churn-agreement round), and the silence-driven
+  /// escape/rate evidence the crash accumulated is absolved (churn, not
+  /// cheating).
+  void reconnect(PlayerId p);
 
   bool connected(PlayerId p) const { return connected_.at(p); }
 

@@ -1,0 +1,79 @@
+#include "net/fault.hpp"
+
+#include <algorithm>
+
+namespace watchmen::net {
+
+namespace {
+
+bool in_window(TimeMs begin, TimeMs end, TimeMs t) {
+  return t >= begin && t < end;
+}
+
+bool contains(const std::vector<PlayerId>& group, PlayerId p) {
+  return std::find(group.begin(), group.end(), p) != group.end();
+}
+
+}  // namespace
+
+bool FaultPlan::empty() const {
+  return bursts.empty() && partitions.empty() && link_downs.empty() &&
+         latency_spikes.empty() && class_drops.empty() && crashes.empty();
+}
+
+bool FaultPlan::blocks(PlayerId from, PlayerId to, TimeMs t) const {
+  for (const auto& p : partitions) {
+    if (!in_window(p.begin, p.end, t)) continue;
+    if (contains(p.group, from) != contains(p.group, to)) return true;
+  }
+  for (const auto& l : link_downs) {
+    if (!in_window(l.begin, l.end, t)) continue;
+    if ((from == l.a && to == l.b) || (from == l.b && to == l.a)) return true;
+  }
+  return false;
+}
+
+const GilbertElliott* FaultPlan::burst_at(TimeMs t) const {
+  for (const auto& b : bursts) {
+    if (in_window(b.begin, b.end, t)) return &b.model;
+  }
+  return nullptr;
+}
+
+double FaultPlan::extra_latency_ms(TimeMs t) const {
+  double extra = 0.0;
+  for (const auto& s : latency_spikes) {
+    if (in_window(s.begin, s.end, t)) extra += s.extra_ms;
+  }
+  return extra;
+}
+
+const ClassDropWindow* FaultPlan::class_drop_at(std::uint8_t msg_class,
+                                               TimeMs t) const {
+  for (const auto& c : class_drops) {
+    if (c.msg_class == msg_class && in_window(c.begin, c.end, t)) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<std::pair<Frame, Frame>> FaultPlan::fault_frame_windows(
+    Frame settle) const {
+  std::vector<std::pair<Frame, Frame>> out;
+  const auto add = [&](TimeMs begin, TimeMs end) {
+    out.emplace_back(frame_of(begin), frame_of(end) + settle);
+  };
+  for (const auto& b : bursts) add(b.begin, b.end);
+  for (const auto& p : partitions) add(p.begin, p.end);
+  for (const auto& l : link_downs) add(l.begin, l.end);
+  for (const auto& s : latency_spikes) add(s.begin, s.end);
+  for (const auto& c : class_drops) add(c.begin, c.end);
+  for (const auto& c : crashes) {
+    // A crash without rejoin degrades its neighborhood until churn removes
+    // the node (about two rounds); give reports the same settling slack.
+    const Frame end = c.rejoin >= 0 ? c.rejoin : c.at;
+    out.emplace_back(c.at, end + settle);
+  }
+  return out;
+}
+
+}  // namespace watchmen::net

@@ -1,0 +1,131 @@
+#pragma once
+// Scripted network faults for the chaos harness.
+//
+// A FaultPlan is a declarative, seed-deterministic schedule of network
+// pathologies layered on top of SimNetwork's baseline i.i.d. loss:
+//
+//  * Gilbert–Elliott bursty loss windows (correlated loss, the case the
+//    paper's 1 % i.i.d. assumption does not cover),
+//  * group partitions with a scheduled heal (messages crossing the cut
+//    vanish in both directions until the window closes),
+//  * single-link blackouts,
+//  * latency-spike windows (every in-flight path slows down),
+//  * targeted per-message-class drop windows (e.g. "kill every handoff
+//    for two rounds" — the single-point-of-failure probe),
+//  * scripted node crashes with optional rejoin (applied by
+//    WatchmenSession, which detaches/reattaches the node's handler and
+//    drives the churn-agreement re-entry; the network itself keeps
+//    routing).
+//
+// All randomness drawn while evaluating a plan comes from a dedicated Rng
+// substream inside SimNetwork, so the same FaultPlan + session seed yields
+// bit-identical NetStats regardless of how the plan is composed.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace watchmen::net {
+
+/// Two-state Gilbert–Elliott loss channel. Each directed link keeps its
+/// own chain state, advanced once per datagram while a burst window is
+/// active; bursts are therefore correlated per link, not globally.
+struct GilbertElliott {
+  double p_enter_bad = 0.05;  ///< good -> bad transition probability
+  double p_exit_bad = 0.25;   ///< bad -> good transition probability
+  double loss_good = 0.0;     ///< drop probability in the good state
+  double loss_bad = 0.6;      ///< drop probability in the bad state
+
+  /// Long-run mean loss rate (stationary distribution of the chain).
+  double mean_loss() const {
+    const double denom = p_enter_bad + p_exit_bad;
+    if (denom <= 0.0) return loss_good;
+    const double p_bad = p_enter_bad / denom;
+    return (1.0 - p_bad) * loss_good + p_bad * loss_bad;
+  }
+};
+
+/// Applies `model` to every directed link while t in [begin, end).
+struct BurstWindow {
+  TimeMs begin = 0;
+  TimeMs end = 0;
+  GilbertElliott model;
+};
+
+/// Splits the session: messages between `group` members and everyone else
+/// are dropped in both directions until the window ends (scheduled heal).
+struct PartitionWindow {
+  TimeMs begin = 0;
+  TimeMs end = 0;
+  std::vector<PlayerId> group;
+};
+
+/// Blacks out the a<->b link (both directions).
+struct LinkDownWindow {
+  TimeMs begin = 0;
+  TimeMs end = 0;
+  PlayerId a = kInvalidPlayer;
+  PlayerId b = kInvalidPlayer;
+};
+
+/// Adds `extra_ms` one-way delay to every message sent in the window.
+struct LatencySpikeWindow {
+  TimeMs begin = 0;
+  TimeMs end = 0;
+  double extra_ms = 0.0;
+};
+
+/// Drops a fraction of one message class. The network classifies datagrams
+/// by their first payload byte — for sealed Watchmen traffic that is the
+/// MsgType — so chaos scripts can target e.g. handoffs specifically.
+struct ClassDropWindow {
+  TimeMs begin = 0;
+  TimeMs end = 0;
+  std::uint8_t msg_class = 0;
+  double probability = 1.0;
+};
+
+/// Scripted node failure. SimNetwork ignores these; WatchmenSession
+/// detaches the node's handler at frame `at` and, if `rejoin` >= 0,
+/// reattaches it there and drives pool re-entry through the
+/// churn-agreement round.
+struct CrashEvent {
+  Frame at = 0;
+  PlayerId player = kInvalidPlayer;
+  Frame rejoin = -1;  ///< -1: stays down for the rest of the session
+};
+
+struct FaultPlan {
+  std::vector<BurstWindow> bursts;
+  std::vector<PartitionWindow> partitions;
+  std::vector<LinkDownWindow> link_downs;
+  std::vector<LatencySpikeWindow> latency_spikes;
+  std::vector<ClassDropWindow> class_drops;
+  std::vector<CrashEvent> crashes;
+
+  bool empty() const;
+
+  /// True if a partition or link-down window severs from->to at time t.
+  bool blocks(PlayerId from, PlayerId to, TimeMs t) const;
+
+  /// The burst model active at time t (nullptr outside every window).
+  /// Overlapping windows resolve to the first in declaration order.
+  const GilbertElliott* burst_at(TimeMs t) const;
+
+  /// Sum of active latency spikes at time t.
+  double extra_latency_ms(TimeMs t) const;
+
+  /// The class-drop window covering (msg_class, t), or nullptr.
+  const ClassDropWindow* class_drop_at(std::uint8_t msg_class, TimeMs t) const;
+
+  /// Frame intervals [begin, end] during which the detector should
+  /// discount reports: every fault window widened by `settle` frames of
+  /// post-heal slack (pools re-converge over a couple of proxy rounds, so
+  /// honest-looking-suspicious traffic outlives the fault itself).
+  std::vector<std::pair<Frame, Frame>> fault_frame_windows(Frame settle) const;
+};
+
+}  // namespace watchmen::net

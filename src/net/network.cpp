@@ -11,6 +11,7 @@ SimNetwork::SimNetwork(std::size_t n_nodes,
     : latency_(std::move(latency)),
       loss_rate_(loss_rate),
       rng_(substream_seed(seed, 0x6e657477ULL)),
+      fault_rng_(substream_seed(seed, 0x6661756cULL)),
       handlers_(n_nodes),
       upload_bps_(n_nodes, 0.0),
       upload_free_at_(n_nodes, 0.0),
@@ -26,7 +27,35 @@ void SimNetwork::set_upload_bps(PlayerId node, double bps) {
   upload_bps_.at(node) = bps;
 }
 
-bool SimNetwork::send(PlayerId from, PlayerId to,
+void SimNetwork::set_fault_plan(FaultPlan plan) {
+  plan_ = std::move(plan);
+  has_faults_ = !plan_.empty();
+  ge_bad_.assign(handlers_.size() * handlers_.size(), 0);
+}
+
+bool SimNetwork::fault_drop(PlayerId from, PlayerId to, std::uint8_t msg_class,
+                            TimeMs now) {
+  if (plan_.blocks(from, to, now)) return true;
+  bool drop = false;
+  if (const GilbertElliott* ge = plan_.burst_at(now)) {
+    // Advance this directed link's chain by one step, then sample loss in
+    // the resulting state. Links are independent; bursts correlate drops
+    // in time on a link, which is exactly what defeats blind send-twice.
+    std::uint8_t& bad = ge_bad_[from * handlers_.size() + to];
+    if (bad != 0) {
+      if (fault_rng_.chance(ge->p_exit_bad)) bad = 0;
+    } else if (fault_rng_.chance(ge->p_enter_bad)) {
+      bad = 1;
+    }
+    if (fault_rng_.chance(bad != 0 ? ge->loss_bad : ge->loss_good)) drop = true;
+  }
+  if (const ClassDropWindow* c = plan_.class_drop_at(msg_class, now)) {
+    if (fault_rng_.chance(c->probability)) drop = true;
+  }
+  return drop;
+}
+
+void SimNetwork::send(PlayerId from, PlayerId to,
                       std::shared_ptr<const std::vector<std::uint8_t>> payload,
                       std::size_t payload_bits) {
   if (from >= handlers_.size() || to >= handlers_.size()) {
@@ -49,12 +78,21 @@ bool SimNetwork::send(PlayerId from, PlayerId to,
     upload_free_at_[from] = departure;
   }
 
-  if (rng_.chance(loss_rate_)) {
-    ++stats_.dropped;
-    return false;
+  // The fate of the datagram is decided now (keeps the Rng stream — and
+  // thus determinism — independent of delivery order), but a lost message
+  // still occupies queue space until its due time and is only counted as
+  // dropped then: the sender cannot observe the loss.
+  const std::uint8_t msg_class =
+      payload && !payload->empty() ? (*payload)[0] : 0;
+  bool drop = rng_.chance(loss_rate_);
+  double extra_ms = 0.0;
+  if (has_faults_ && from != to) {
+    if (fault_drop(from, to, msg_class, clock_.now())) drop = true;
+    extra_ms = plan_.extra_latency_ms(clock_.now());
   }
 
-  const double delay = from == to ? 0.0 : latency_->sample(from, to, rng_);
+  const double delay =
+      from == to ? 0.0 : latency_->sample(from, to, rng_) + extra_ms;
   const auto due = static_cast<TimeMs>(std::ceil(departure + delay));
 
   Envelope env;
@@ -64,8 +102,7 @@ bool SimNetwork::send(PlayerId from, PlayerId to,
   env.delivered_at = due;
   env.wire_bits = wire_bits;
   env.payload = std::move(payload);
-  queue_.push(Pending{due, seq_++, std::move(env)});
-  return true;
+  queue_.push(Pending{due, seq_++, drop, std::move(env)});
 }
 
 void SimNetwork::run_until(TimeMs t) {
@@ -73,6 +110,14 @@ void SimNetwork::run_until(TimeMs t) {
     Pending p = queue_.top();
     queue_.pop();
     clock_.advance_to(p.due);
+    if (p.dropped) {
+      ++stats_.dropped;
+      const std::uint8_t cls =
+          p.env.payload && !p.env.payload->empty() ? (*p.env.payload)[0] : 0;
+      ++stats_.dropped_by_class[std::min<std::size_t>(
+          cls, NetStats::kClassBuckets - 1)];
+      continue;
+    }
     ++stats_.delivered;
     auto& handler = handlers_[p.env.to];
     if (handler) handler(p.env);

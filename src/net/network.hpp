@@ -3,7 +3,10 @@
 //
 // Models what the experiments need from UDP over the Internet:
 //  * pairwise one-way latency from a LatencyModel,
-//  * i.i.d. message loss (paper simulates 1 %),
+//  * baseline i.i.d. message loss (paper simulates 1 %),
+//  * optional scripted faults from a net::FaultPlan — bursty
+//    (Gilbert–Elliott) loss windows, partitions, link blackouts, latency
+//    spikes and targeted per-class drops — for the chaos harness,
 //  * per-node upload serialization: each node drains an upload queue at its
 //    configured upload rate, so over-budget senders see queueing delay —
 //    this is what makes bandwidth a real constraint in the scaling bench.
@@ -12,6 +15,7 @@
 // modelled on-the-wire size (payload + UDP/IP overhead), used both for the
 // bandwidth meter and the serialization delay.
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -20,6 +24,7 @@
 #include <vector>
 
 #include "net/clock.hpp"
+#include "net/fault.hpp"
 #include "net/latency.hpp"
 #include "util/ids.hpp"
 #include "util/rng.hpp"
@@ -41,10 +46,17 @@ struct Envelope {
 };
 
 struct NetStats {
+  /// Message-class buckets for drop attribution. The network classifies a
+  /// datagram by its first payload byte — for sealed Watchmen traffic that
+  /// is the MsgType — clamped into the last bucket when out of range, so
+  /// net/ stays ignorant of core/'s enum.
+  static constexpr std::size_t kClassBuckets = 16;
+
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
   std::uint64_t dropped = 0;
   std::uint64_t bits_sent = 0;
+  std::array<std::uint64_t, kClassBuckets> dropped_by_class{};
 };
 
 /// Per-UDP-datagram overhead we model: 28 bytes of IP+UDP headers.
@@ -54,7 +66,7 @@ class SimNetwork {
  public:
   using Handler = std::function<void(const Envelope&)>;
 
-  /// @param loss_rate   i.i.d. drop probability per message
+  /// @param loss_rate   baseline i.i.d. drop probability per message
   SimNetwork(std::size_t n_nodes, std::unique_ptr<LatencyModel> latency,
              double loss_rate, std::uint64_t seed);
 
@@ -67,15 +79,23 @@ class SimNetwork {
   /// Per-node upload rate in bits/s; 0 means unconstrained (default).
   void set_upload_bps(PlayerId node, double bps);
 
+  /// Installs a scripted fault schedule (see net/fault.hpp). Fault
+  /// randomness comes from its own Rng substream, so the same plan + seed
+  /// reproduces identical NetStats.
+  void set_fault_plan(FaultPlan plan);
+  const FaultPlan& fault_plan() const { return plan_; }
+
   /// Queues a message. `payload_bits` defaults to 8*payload.size(); UDP/IP
-  /// overhead is added on top. Returns false if dropped at send time.
-  bool send(PlayerId from, PlayerId to,
+  /// overhead is added on top. Loss is decided here (deterministically)
+  /// but only takes effect at delivery time — senders cannot observe a
+  /// drop, just as over real UDP.
+  void send(PlayerId from, PlayerId to,
             std::shared_ptr<const std::vector<std::uint8_t>> payload,
             std::size_t payload_bits = 0);
 
-  bool send(PlayerId from, PlayerId to, std::vector<std::uint8_t> payload) {
-    return send(from, to,
-                std::make_shared<const std::vector<std::uint8_t>>(std::move(payload)));
+  void send(PlayerId from, PlayerId to, std::vector<std::uint8_t> payload) {
+    send(from, to,
+         std::make_shared<const std::vector<std::uint8_t>>(std::move(payload)));
   }
 
   /// Delivers all messages due up to and including time t, advancing the clock.
@@ -90,16 +110,24 @@ class SimNetwork {
   struct Pending {
     TimeMs due;
     std::uint64_t seq;  // FIFO tie-break
+    bool dropped;       // vanishes at `due` instead of being delivered
     Envelope env;
     bool operator>(const Pending& o) const {
       return due != o.due ? due > o.due : seq > o.seq;
     }
   };
 
+  bool fault_drop(PlayerId from, PlayerId to, std::uint8_t msg_class,
+                  TimeMs now);
+
   SimClock clock_;
   std::unique_ptr<LatencyModel> latency_;
   double loss_rate_;
   Rng rng_;
+  FaultPlan plan_;
+  bool has_faults_ = false;
+  Rng fault_rng_;
+  std::vector<std::uint8_t> ge_bad_;  // per directed link: chain in bad state
   std::vector<Handler> handlers_;
   std::vector<double> upload_bps_;
   std::vector<double> upload_free_at_;  // per-node queue drain time (ms)

@@ -3,9 +3,17 @@
 // reports; a detector aggregates them into per-suspect evidence. A single
 // report never bans anyone (false positives exist, e.g. from message loss);
 // the aggregate feeds the reputation system.
+//
+// The aggregation is loss-aware: during declared fault windows (network
+// chaos the operator knows about — bursts, partitions, crash recovery) a
+// report's weight is discounted, so degraded-but-honest traffic does not
+// accumulate into a ban. Completed crash-rejoin cycles can be absolved:
+// the silence-driven evidence (escape/rate) is churn, not cheating.
 
 #include <cstdint>
+#include <initializer_list>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "verify/report.hpp"
@@ -18,6 +26,11 @@ struct DetectorConfig {
   /// rating >= 6; a distant "other" witness (c=0.2) can never trigger one
   /// alone.
   double high_confidence_threshold = 6.0;
+
+  /// Multiplier applied to a report's weight when its frame falls inside a
+  /// declared fault window. 0.4 keeps a max-rating proxy report (10.0)
+  /// under the default high-confidence threshold while still logging it.
+  double fault_window_discount = 0.4;
 };
 
 struct SuspectSummary {
@@ -36,6 +49,18 @@ class Detector {
 
   void report(const CheatReport& r);
 
+  /// Declares [begin, end] (frames, inclusive) as a known network-fault
+  /// window; reports stamped inside it are discounted. Register windows
+  /// before the reports flow — discounting happens at report() time.
+  void add_fault_window(Frame begin, Frame end);
+  bool in_fault_window(Frame f) const;
+
+  /// Drops accumulated reports of the given types against `suspect`
+  /// stamped before `before`, rebuilding its summary — the churn refund: a
+  /// player that completed a crash-rejoin cycle was absent, not cheating.
+  void absolve(PlayerId suspect, std::initializer_list<CheckType> types,
+               Frame before);
+
   const SuspectSummary& summary(PlayerId suspect) const;
 
   /// True once at least one high-confidence report exists for the suspect.
@@ -47,7 +72,11 @@ class Detector {
   std::size_t total_reports() const { return log_.size(); }
 
  private:
+  double effective_weight(const CheatReport& r) const;
+  void accumulate(SuspectSummary& s, const CheatReport& r) const;
+
   DetectorConfig cfg_;
+  std::vector<std::pair<Frame, Frame>> fault_windows_;
   std::unordered_map<PlayerId, SuspectSummary> by_suspect_;
   std::vector<CheatReport> log_;
 };

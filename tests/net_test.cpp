@@ -148,6 +148,167 @@ TEST(SimNetwork, BadNodeIdThrows) {
   EXPECT_THROW(net.send(0, 7, payload(1)), std::out_of_range);
 }
 
+TEST(SimNetwork, DropsHappenAtDeliveryTimeNotSendTime) {
+  // Over real UDP a sender cannot observe loss; a dropped datagram should
+  // only hit the counters once its would-be delivery time passes.
+  auto net = SimNetwork(2, std::make_unique<FixedLatency>(30.0), 1.0, 3);
+  int received = 0;
+  net.set_handler(1, [&](const Envelope&) { ++received; });
+  net.send(0, 1, payload(8));
+  EXPECT_EQ(net.stats().dropped, 0u);  // still "in flight"
+  net.run_until(29);
+  EXPECT_EQ(net.stats().dropped, 0u);
+  net.run_until(30);
+  EXPECT_EQ(net.stats().dropped, 1u);
+  EXPECT_EQ(net.stats().delivered, 0u);
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.stats().sent, 1u);
+}
+
+TEST(SimNetwork, DropAttributionByFirstPayloadByte) {
+  auto net = SimNetwork(2, std::make_unique<FixedLatency>(1.0), 1.0, 3);
+  net.set_handler(1, [](const Envelope&) {});
+  net.send(0, 1, std::vector<std::uint8_t>{4, 0, 0});    // class 4
+  net.send(0, 1, std::vector<std::uint8_t>{4, 9});       // class 4
+  net.send(0, 1, std::vector<std::uint8_t>{0xff, 1});    // clamps to last bucket
+  net.run_until(10);
+  EXPECT_EQ(net.stats().dropped, 3u);
+  EXPECT_EQ(net.stats().dropped_by_class[4], 2u);
+  EXPECT_EQ(net.stats().dropped_by_class[NetStats::kClassBuckets - 1], 1u);
+}
+
+TEST(SimNetwork, GilbertElliottBurstWindowDropsInsideOnly) {
+  auto net = SimNetwork(2, std::make_unique<FixedLatency>(1.0), 0.0, 3);
+  FaultPlan plan;
+  // Degenerate chain: always bad, always lossy -> every message in the
+  // window dies; outside the window the link is clean.
+  plan.bursts.push_back({100, 200, GilbertElliott{1.0, 0.0, 0.0, 1.0}});
+  net.set_fault_plan(plan);
+  int received = 0;
+  net.set_handler(1, [&](const Envelope&) { ++received; });
+  net.send(0, 1, payload(1));  // t=0: clean
+  net.run_until(150);
+  net.send(0, 1, payload(1));  // t=150: in window
+  net.run_until(250);
+  net.send(0, 1, payload(1));  // t=250: healed
+  net.run_until(400);
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(net.stats().dropped, 1u);
+}
+
+TEST(SimNetwork, GilbertElliottMeanLossMatchesStationary) {
+  const GilbertElliott ge{0.1, 0.4, 0.02, 0.9};
+  EXPECT_NEAR(ge.mean_loss(), 0.196, 1e-9);
+  auto net = SimNetwork(2, std::make_unique<FixedLatency>(1.0), 0.0, 11);
+  FaultPlan plan;
+  plan.bursts.push_back({0, 1 << 30, ge});
+  net.set_fault_plan(plan);
+  int received = 0;
+  net.set_handler(1, [&](const Envelope&) { ++received; });
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) net.send(0, 1, payload(1));
+  net.run_until(1000);
+  EXPECT_NEAR(1.0 - static_cast<double>(received) / n, ge.mean_loss(), 0.02);
+}
+
+TEST(SimNetwork, PartitionBlocksAcrossGroupsThenHeals) {
+  auto net = SimNetwork(4, std::make_unique<FixedLatency>(1.0), 0.0, 3);
+  FaultPlan plan;
+  plan.partitions.push_back({100, 200, {0, 1}});
+  net.set_fault_plan(plan);
+  int at2 = 0, at1 = 0;
+  net.set_handler(2, [&](const Envelope&) { ++at2; });
+  net.set_handler(1, [&](const Envelope&) { ++at1; });
+  net.run_until(150);
+  net.send(0, 2, payload(1));  // crosses the cut: dropped
+  net.send(2, 0, payload(1));  // other direction too
+  net.send(0, 1, payload(1));  // same side: fine
+  net.run_until(250);
+  net.send(0, 2, payload(1));  // healed
+  net.run_until(300);
+  EXPECT_EQ(at2, 1);
+  EXPECT_EQ(at1, 1);
+  EXPECT_EQ(net.stats().dropped, 2u);
+}
+
+TEST(SimNetwork, LinkDownIsBidirectionalAndScoped) {
+  auto net = SimNetwork(3, std::make_unique<FixedLatency>(1.0), 0.0, 3);
+  FaultPlan plan;
+  plan.link_downs.push_back({0, 100, 0, 1});
+  net.set_fault_plan(plan);
+  int count = 0;
+  for (PlayerId p = 0; p < 3; ++p) {
+    net.set_handler(p, [&](const Envelope&) { ++count; });
+  }
+  net.send(0, 1, payload(1));  // down
+  net.send(1, 0, payload(1));  // down (both directions)
+  net.send(0, 2, payload(1));  // unaffected link
+  net.run_until(50);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SimNetwork, LatencySpikeWindowDelaysDelivery) {
+  auto net = SimNetwork(2, std::make_unique<FixedLatency>(10.0), 0.0, 3);
+  FaultPlan plan;
+  plan.latency_spikes.push_back({100, 200, 75.0});
+  net.set_fault_plan(plan);
+  std::vector<TimeMs> at;
+  net.set_handler(1, [&](const Envelope& e) { at.push_back(e.delivered_at); });
+  net.send(0, 1, payload(1));  // t=0: normal, arrives at 10
+  net.run_until(120);
+  net.send(0, 1, payload(1));  // t=120: spiked, arrives at 120+85
+  net.run_until(500);
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_EQ(at[0], 10);
+  EXPECT_EQ(at[1], 205);
+}
+
+TEST(SimNetwork, ClassDropWindowTargetsOneClassOnly) {
+  auto net = SimNetwork(2, std::make_unique<FixedLatency>(1.0), 0.0, 3);
+  FaultPlan plan;
+  plan.class_drops.push_back({0, 1000, 4, 1.0});
+  net.set_fault_plan(plan);
+  int received = 0;
+  net.set_handler(1, [&](const Envelope&) { ++received; });
+  net.send(0, 1, std::vector<std::uint8_t>{4, 1, 2});  // targeted class
+  net.send(0, 1, std::vector<std::uint8_t>{0, 1, 2});  // different class
+  net.run_until(100);
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(net.stats().dropped_by_class[4], 1u);
+}
+
+TEST(SimNetwork, FaultPlanDeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    auto net = SimNetwork(3, std::make_unique<LanLatency>(), 0.02, seed);
+    FaultPlan plan;
+    plan.bursts.push_back({50, 400, GilbertElliott{0.2, 0.3, 0.01, 0.8}});
+    plan.partitions.push_back({500, 600, {0}});
+    net.set_fault_plan(plan);
+    std::vector<TimeMs> at;
+    net.set_handler(1, [&](const Envelope& e) { at.push_back(e.delivered_at); });
+    for (int i = 0; i < 200; ++i) {
+      net.send(0, 1, payload(8));
+      net.send(2, 1, payload(8));
+      net.run_until(5 * (i + 1));
+    }
+    return std::make_pair(at, net.stats().dropped);
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5).first, run(6).first);
+}
+
+TEST(FaultPlan, FrameWindowsCoverEveryFaultWithSettleSlack) {
+  FaultPlan plan;
+  plan.bursts.push_back({1000, 2000, {}});
+  plan.crashes.push_back({30, 2, 90});
+  plan.crashes.push_back({40, 3, -1});  // never rejoins
+  const auto windows = plan.fault_frame_windows(10);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0], std::make_pair(Frame{20}, Frame{50}));   // burst
+  EXPECT_EQ(windows[1], std::make_pair(Frame{30}, Frame{100}));  // rejoin+10
+  EXPECT_EQ(windows[2], std::make_pair(Frame{40}, Frame{50}));   // crash+10
+}
+
 TEST(SimNetwork, DeterministicGivenSeed) {
   auto run = [](std::uint64_t seed) {
     auto net = SimNetwork(3, std::make_unique<LanLatency>(), 0.05, seed);

@@ -201,6 +201,50 @@ class WhitespaceTest(unittest.TestCase):
         self.assertEqual(fs, [])
 
 
+class MsgTypeCorpusTest(unittest.TestCase):
+    ENUM = ("#pragma once\n"
+            "enum class MsgType : std::uint8_t {\n"
+            "  kStateUpdate = 0,\n"
+            "  kAck = 1,\n"
+            "  kNumMsgTypes,\n"
+            "};\n")
+
+    @staticmethod
+    def corpus_tree(enum: str, gen: str) -> list:
+        with tempfile.TemporaryDirectory() as td:
+            root = Path(td)
+            (root / "src" / "core").mkdir(parents=True)
+            (root / "fuzz").mkdir()
+            (root / "src" / "core" / "messages.hpp").write_text(enum)
+            (root / "fuzz" / "gen_corpus.cpp").write_text(gen)
+            return wmlint.check_msgtype_corpus(root)
+
+    def test_all_seeded_is_clean(self):
+        fs = self.corpus_tree(
+            self.ENUM,
+            "put(sealed(MsgType::kStateUpdate, ...));\n"
+            "put(sealed(MsgType::kAck, ...));\n")
+        self.assertEqual(fs, [])
+
+    def test_missing_seed_flagged(self):
+        fs = self.corpus_tree(
+            self.ENUM, "put(sealed(MsgType::kStateUpdate, ...));\n")
+        self.assertEqual([f.check for f in fs], ["msgtype-corpus"])
+        self.assertIn("kAck", fs[0].msg)
+
+    def test_allow_annotation(self):
+        enum = self.ENUM.replace(
+            "  kAck = 1,\n",
+            "  kAck = 1,  // wmlint: allow(msgtype-corpus)\n")
+        fs = self.corpus_tree(
+            enum, "put(sealed(MsgType::kStateUpdate, ...));\n")
+        self.assertEqual(fs, [])
+
+    def test_missing_files_skip_silently(self):
+        with tempfile.TemporaryDirectory() as td:
+            self.assertEqual(wmlint.check_msgtype_corpus(Path(td)), [])
+
+
 class CliTest(unittest.TestCase):
     def test_exit_codes(self):
         with tempfile.TemporaryDirectory() as td:

@@ -21,6 +21,10 @@ include-hygiene Headers start with #pragma once; no ".." in quoted includes;
                 a module .cpp includes its own header first.
 whitespace      No tabs or trailing whitespace in C++ sources; files end with
                 a newline.
+msgtype-corpus  Every member of the MsgType wire enum must have a seed in the
+                fuzz corpus generator (fuzz/gen_corpus.cpp): a wire type the
+                fuzzers never start from is a decode surface the smoke run
+                exercises only by accident.
 format          (--format only) clang-format --dry-run over src/; skipped
                 with a notice when clang-format is not installed.
 
@@ -246,6 +250,45 @@ def check_whitespace(path: Path, rel: str, lines: list[str],
     return out
 
 
+MSGTYPE_ENUM_RE = re.compile(r"enum\s+class\s+MsgType\b")
+MSGTYPE_MEMBER_RE = re.compile(r"^\s*(k[A-Z]\w*)\s*(?:=\s*[^,]+)?,?\s*(?://.*)?$")
+
+
+def check_msgtype_corpus(root: Path) -> list[Finding]:
+    """Every MsgType member must appear as MsgType::kX in the corpus
+    generator, so each wire type has at least one well-formed fuzz seed."""
+    messages = root / "src" / "core" / "messages.hpp"
+    gen = root / "fuzz" / "gen_corpus.cpp"
+    if not messages.exists() or not gen.exists():
+        return []  # layout not present (e.g. partial checkout): nothing to do
+    lines = messages.read_text(encoding="utf-8").split("\n")
+    members: list[tuple[int, str]] = []  # (line idx, member name)
+    in_enum = False
+    for i, line in enumerate(lines):
+        if not in_enum:
+            if MSGTYPE_ENUM_RE.search(line):
+                in_enum = True
+            continue
+        if "}" in line:
+            break
+        m = MSGTYPE_MEMBER_RE.match(line)
+        if m and m.group(1) != "kNumMsgTypes":
+            members.append((i, m.group(1)))
+    gen_text = gen.read_text(encoding="utf-8")
+    out = []
+    for i, name in members:
+        if f"MsgType::{name}" in gen_text:
+            continue
+        if allowed(lines, i, "msgtype-corpus"):
+            continue
+        out.append(Finding(
+            messages, i + 1, "msgtype-corpus",
+            f"MsgType::{name} has no seed in fuzz/gen_corpus.cpp — add a "
+            "well-formed sealed envelope for it (and regenerate the corpus) "
+            "or annotate `// wmlint: allow(msgtype-corpus)`"))
+    return out
+
+
 def run_clang_format(root: Path) -> tuple[list[Finding], bool]:
     """Returns (findings, ran). Skips when clang-format is unavailable."""
     binary = shutil.which("clang-format")
@@ -324,6 +367,7 @@ def main(argv: list[str]) -> int:
     findings = []
     for f in collect_files(root, args.paths):
         findings += lint_file(f, root)
+    findings += check_msgtype_corpus(root)
 
     if args.format:
         fmt_findings, ran = run_clang_format(root)
