@@ -3,12 +3,41 @@
 // table/figure; see DESIGN.md §4).
 
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <string>
 
 #include "game/map.hpp"
 #include "game/trace.hpp"
+#include "obs/json.hpp"
 
 namespace watchmen::bench {
+
+/// Common header fields every BENCH_*.json report opens with. The caller
+/// owns begin_object()/end_object(); all reports flow through the one
+/// obs::JsonWriter (same escaping and number formatting as the registry
+/// snapshots), instead of each bench hand-rolling `out <<` JSON.
+inline void report_header(obs::JsonWriter& j, const char* benchmark,
+                          const std::string& map_name, std::size_t players,
+                          std::size_t frames) {
+  j.kv("benchmark", benchmark);
+  j.kv("map", map_name);
+  j.kv("players", players);
+  j.kv("frames", frames);
+}
+
+/// Writes a finished report to `path`; prints a diagnostic and returns
+/// false on failure (benches exit 2 on that).
+inline bool write_report(const std::string& path, const std::string& doc,
+                         const char* tool) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << tool << ": cannot write " << path << "\n";
+    return false;
+  }
+  out << doc;
+  return static_cast<bool>(out);
+}
 
 /// The paper's standard workload: a 48-player deathmatch on the
 /// q3dm17-style map. `frames` defaults to 2 simulated minutes.

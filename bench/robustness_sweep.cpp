@@ -14,10 +14,9 @@
 // Usage: robustness_sweep [output.json]   (default ./BENCH_robustness.json)
 
 #include <cstdio>
-#include <fstream>
-#include <iostream>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/session.hpp"
 #include "game/map.hpp"
 #include "game/trace.hpp"
@@ -167,47 +166,44 @@ int main(int argc, char** argv) {
   const bool ratio_ok = accept.post_heal_age_ratio <= 2.0;
   const bool bans_ok = accept.honest_flagged == 0;
 
-  std::ofstream out(out_path);
-  if (!out) {
-    std::cerr << "robustness_sweep: cannot write " << out_path << "\n";
-    return 2;
+  obs::JsonWriter j;
+  j.begin_object();
+  bench::report_header(j, "BM_RobustnessSweep_16players", map.name(),
+                       kPlayers, kFrames);
+  j.key("burst_window_frames");
+  j.begin_array();
+  j.value(static_cast<std::uint64_t>(kBurstBegin));
+  j.value(static_cast<std::uint64_t>(kBurstEnd));
+  j.end_array();
+  j.kv("proxy_crash_frame", static_cast<std::uint64_t>(kCrashAt));
+  j.key("points");
+  j.begin_array();
+  for (const SweepPoint& pt : points) {
+    j.begin_object();
+    j.kv("burst_loss", pt.intensity);
+    j.kv("mean_age_frames", pt.mean_age);
+    j.kv("p95_age_frames", pt.p95_age);
+    j.kv("post_heal_tail_age_frames", pt.tail_mean_age);
+    j.kv("post_heal_age_ratio", pt.post_heal_age_ratio);
+    j.kv("honest_flagged", pt.honest_flagged);
+    j.kv("total_reports", pt.total_reports);
+    j.kv("retransmits", pt.retransmits);
+    j.kv("acks", pt.acks);
+    j.kv("net_sent", pt.net_sent);
+    j.kv("net_dropped", pt.net_dropped);
+    j.end_object();
   }
-  out << "{\n"
-      << "  \"benchmark\": \"BM_RobustnessSweep_16players\",\n"
-      << "  \"map\": \"" << map.name() << "\",\n"
-      << "  \"players\": " << kPlayers << ",\n"
-      << "  \"frames\": " << kFrames << ",\n"
-      << "  \"burst_window_frames\": [" << kBurstBegin << ", " << kBurstEnd
-      << "],\n"
-      << "  \"proxy_crash_frame\": " << kCrashAt << ",\n"
-      << "  \"points\": [\n";
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const SweepPoint& pt = points[i];
-    out << "    {\n"
-        << "      \"burst_loss\": " << pt.intensity << ",\n"
-        << "      \"mean_age_frames\": " << pt.mean_age << ",\n"
-        << "      \"p95_age_frames\": " << pt.p95_age << ",\n"
-        << "      \"post_heal_tail_age_frames\": " << pt.tail_mean_age << ",\n"
-        << "      \"post_heal_age_ratio\": " << pt.post_heal_age_ratio << ",\n"
-        << "      \"honest_flagged\": " << pt.honest_flagged << ",\n"
-        << "      \"total_reports\": " << pt.total_reports << ",\n"
-        << "      \"retransmits\": " << pt.retransmits << ",\n"
-        << "      \"acks\": " << pt.acks << ",\n"
-        << "      \"net_sent\": " << pt.net_sent << ",\n"
-        << "      \"net_dropped\": " << pt.net_dropped << "\n"
-        << "    }" << (i + 1 < points.size() ? "," : "") << "\n";
-  }
-  out << "  ],\n"
-      << "  \"acceptance\": {\n"
-      << "    \"at_burst_loss\": " << accept.intensity << ",\n"
-      << "    \"post_heal_age_ratio\": " << accept.post_heal_age_ratio
-      << ",\n"
-      << "    \"ratio_within_2x\": " << (ratio_ok ? "true" : "false") << ",\n"
-      << "    \"honest_banned\": " << accept.honest_flagged << ",\n"
-      << "    \"zero_honest_bans\": " << (bans_ok ? "true" : "false") << "\n"
-      << "  }\n"
-      << "}\n";
-  out.close();
+  j.end_array();
+  j.key("acceptance");
+  j.begin_object();
+  j.kv("at_burst_loss", accept.intensity);
+  j.kv("post_heal_age_ratio", accept.post_heal_age_ratio);
+  j.kv("ratio_within_2x", ratio_ok);
+  j.kv("honest_banned", accept.honest_flagged);
+  j.kv("zero_honest_bans", bans_ok);
+  j.end_object();
+  j.end_object();
+  if (!bench::write_report(out_path, j.take(), "robustness_sweep")) return 2;
 
   std::printf("acceptance at 20%%: ratio %.2fx (<= 2x: %s), honest banned "
               "%zu (== 0: %s) -> %s\n",

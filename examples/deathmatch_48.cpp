@@ -2,39 +2,116 @@
 // end-to-end: gameplay -> protocol replay -> verification -> reputation ->
 // bans. This is the scenario the paper's title promises: a large fast-paced
 // game that stays playable while cheaters are caught during game play.
+//
+// The scenario doubles as the flight-recorder acceptance gate (ISSUE 5):
+//   deathmatch_48 --record match.wmrec   captures the run (inputs + periodic
+//                                        state digests) into a .wmrec file
+//   deathmatch_48 --replay match.wmrec   re-runs it and exits nonzero unless
+//                                        every checkpoint digest matches
+// CI chains the two to prove the protocol stack is bit-deterministic.
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <vector>
 
-#include "cheat/cheats.hpp"
 #include "core/session.hpp"
 #include "game/map.hpp"
 #include "game/trace.hpp"
+#include "obs/recorder.hpp"
 #include "reputation/reputation.hpp"
 
 using namespace watchmen;
 
-int main() {
-  const game::GameMap map = game::make_longest_yard();
+namespace {
+
+game::GameTrace make_trace(const game::GameMap& map) {
   game::SessionConfig game_cfg;
   game_cfg.n_players = 48;
   game_cfg.n_frames = 1200;  // one minute
   game_cfg.n_humans = 40;    // plus 8 patrol bots
   game_cfg.seed = 2013;
-  const game::GameTrace trace = game::record_session(map, game_cfg);
+  return game::record_session(map, game_cfg);
+}
 
-  // Cheater roster: four different cheats on four different players.
-  cheat::SpeedHackCheat speed(1, 0.08, 6.0);
-  cheat::FakeKillCheat kills(2, 0.05, 1, 48);
-  cheat::GuidanceLieCheat guidance(3, 0.5, 4.0);
-  cheat::SuppressCorrectCheat suppress(40, 15);
-  std::unordered_map<PlayerId, core::Misbehavior*> cheaters{
-      {0, &speed}, {1, &kills}, {2, &guidance}, {3, &suppress}};
+/// Cheater roster: four different cheats on four different players,
+/// expressed as recordable CheatSpecs so the live run and the flight
+/// recorder instantiate the exact same misbehaviors.
+std::vector<obs::CheatSpec> make_roster() {
+  return {
+      {obs::RosterCheat::kSpeedHack, 0, {1, 0.08, 6.0}},
+      {obs::RosterCheat::kFakeKill, 1, {2, 0.05}},
+      {obs::RosterCheat::kGuidanceLie, 2, {3, 0.5, 4.0}},
+      {obs::RosterCheat::kSuppressCorrect, 3, {40, 15}},
+  };
+}
 
+core::SessionOptions make_options() {
   core::SessionOptions opts;
   opts.net = core::NetProfile::kKing;
   opts.loss_rate = 0.01;
+  return opts;
+}
+
+int record_mode(const char* path) {
+  const game::GameMap map = game::make_longest_yard();
+  obs::Recording rec;
+  rec.options = make_options();
+  rec.cheats = make_roster();
+  rec.trace = make_trace(map);
+  obs::record_run(rec);
+  rec.save(path);
+  std::size_t checkpoints = 0;
+  for (const auto& e : rec.events) {
+    if (e.kind == obs::RecEventKind::kCheckpoint ||
+        e.kind == obs::RecEventKind::kEnd) {
+      ++checkpoints;
+    }
+  }
+  std::printf("recorded %zu frames, %zu checkpoint digests -> %s\n",
+              rec.trace.num_frames(), checkpoints, path);
+  return 0;
+}
+
+int replay_mode(const char* path) {
+  const obs::Recording rec = obs::Recording::load(path);
+  const obs::ReplayReport report = obs::replay_run(rec);
+  if (report.ok) {
+    std::printf("replay of %s: %zu/%zu checkpoints bit-identical\n", path,
+                report.checkpoints_checked, report.checkpoints_checked);
+    return 0;
+  }
+  std::printf("replay of %s DIVERGED at frame %lld (%zu checkpoints "
+              "checked)\n",
+              path, static_cast<long long>(report.first_divergence),
+              report.checkpoints_checked);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--record") == 0) {
+    return record_mode(argv[2]);
+  }
+  if (argc == 3 && std::strcmp(argv[1], "--replay") == 0) {
+    return replay_mode(argv[2]);
+  }
+  if (argc != 1) {
+    std::fprintf(stderr,
+                 "usage: deathmatch_48 [--record file.wmrec | --replay "
+                 "file.wmrec]\n");
+    return 2;
+  }
+
+  const game::GameMap map = game::make_longest_yard();
+  const game::GameTrace trace = make_trace(map);
+
+  const std::vector<obs::CheatSpec> roster = make_roster();
+  std::vector<std::unique_ptr<core::Misbehavior>> owned;
+  const auto cheaters = obs::make_misbehaviors(roster, 48, owned);
+
+  core::SessionOptions opts = make_options();
   core::WatchmenSession session(trace, map, opts, cheaters);
   session.run();
 

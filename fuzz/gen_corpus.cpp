@@ -16,6 +16,7 @@
 #include "game/map.hpp"
 #include "game/trace.hpp"
 #include "interest/delta.hpp"
+#include "obs/recorder.hpp"
 #include "util/bytes.hpp"
 
 using namespace watchmen;
@@ -166,6 +167,43 @@ int main(int argc, char** argv) {
     cfg.seed = 99;
     put(root / "fuzz_trace", "tiny_session",
         game::record_session(map, cfg).serialize());
+  }
+
+  // --- fuzz_record: a tiny flight recording exercising every RosterCheat
+  // (RosterCheat::kSpeedHack .. RosterCheat::kTimeCheat) and every
+  // RecEventKind — scripted churn (RecEventKind::kDisconnect,
+  // RecEventKind::kReconnect) plus recorded RecEventKind::kCheckpoint /
+  // RecEventKind::kEnd digests from a real record_run.
+  {
+    const game::GameMap map = game::make_test_arena();
+    game::SessionConfig cfg;
+    cfg.n_players = 3;
+    cfg.n_humans = 3;
+    cfg.n_frames = 6;
+    cfg.seed = 99;
+
+    obs::Recording rec;
+    rec.options.net = core::NetProfile::kFixed;
+    rec.options.fixed_latency_ms = 10.0;
+    rec.options.faults.latency_spikes.push_back({time_of(Frame{2}),
+                                                 time_of(Frame{4}), 5.0});
+    rec.trace = game::record_session(map, cfg);
+    rec.checkpoint_period = 2;
+    rec.cheats = {
+        {obs::RosterCheat::kSpeedHack, 0, {1, 0.5, 4.0}},
+        {obs::RosterCheat::kGuidanceLie, 1, {2, 0.5, 2.0}},
+        {obs::RosterCheat::kFakeKill, 2, {3, 0.5}},
+        {obs::RosterCheat::kSuppressCorrect, 0, {2, 1}},
+        {obs::RosterCheat::kFastRate, 1, {1, 0, 6}},
+        {obs::RosterCheat::kEscape, 2, {5}},
+        {obs::RosterCheat::kTimeCheat, 0, {1, 0, 6}},
+    };
+    rec.events.push_back(
+        {obs::RecEventKind::kDisconnect, Frame{2}, PlayerId{2}, {}});
+    rec.events.push_back(
+        {obs::RecEventKind::kReconnect, Frame{4}, PlayerId{2}, {}});
+    obs::record_run(rec);
+    put(root / "fuzz_record", "tiny_recording", rec.serialize());
   }
 
   return 0;

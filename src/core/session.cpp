@@ -60,10 +60,26 @@ WatchmenSession::WatchmenSession(
     }
     peers_.push_back(std::make_unique<WatchmenPeer>(
         p, opts.watchmen, *net_, keys_, schedule_, map,
-        [this](const verify::CheatReport& r) { detector_.report(r); }, mb));
+        [this](const verify::CheatReport& r) {
+          if (opts_.tracer) opts_.tracer->instant("cheat_report", r.frame, r.suspect);
+          detector_.report(r);
+        },
+        mb));
     net_->set_handler(p, [this, p](const net::Envelope& env) {
       peers_[p]->on_message(env);
     });
+  }
+
+  if (opts_.registry) {
+    collector_id_ = static_cast<std::int64_t>(opts_.registry->add_collector(
+        [this](obs::Registry& reg) { collect_metrics(reg); }));
+  }
+}
+
+WatchmenSession::~WatchmenSession() {
+  if (opts_.registry && collector_id_ >= 0) {
+    opts_.registry->remove_collector(
+        static_cast<obs::Registry::CollectorId>(collector_id_));
   }
 }
 
@@ -71,9 +87,11 @@ void WatchmenSession::run_frames(std::size_t n) {
   const auto limit =
       std::min<std::size_t>(trace_->num_frames(),
                             static_cast<std::size_t>(next_frame_) + n);
+  obs::Tracer* const tr = opts_.tracer;
   for (auto fi = static_cast<std::size_t>(next_frame_); fi < limit; ++fi) {
     const Frame f = static_cast<Frame>(fi);
     next_frame_ = f;
+    const obs::Span frame_span(tr, "frame", f);
     replayer_.seek(fi);
     const game::TraceFrame& tf = replayer_.current();
 
@@ -85,10 +103,17 @@ void WatchmenSession::run_frames(std::size_t n) {
       if (c.rejoin == f && !connected_[c.player]) reconnect(c.player);
     }
 
-    // Frame start: deliver messages due before this frame's sends.
-    net_->run_until(time_of(f));
-    for (PlayerId p = 0; p < trace_->n_players; ++p) {
-      if (connected_[p]) peers_[p]->begin_frame(f);
+    {
+      // Frame start: deliver messages due before this frame's sends, then
+      // run round bookkeeping (proxy handoffs on round boundaries).
+      const obs::Span span(tr, "deliver", f);
+      net_->run_until(time_of(f));
+    }
+    {
+      const obs::Span span(tr, "handoff", f);
+      for (PlayerId p = 0; p < trace_->n_players; ++p) {
+        if (connected_[p]) peers_[p]->begin_frame(f);
+      }
     }
 
     // Every player publishes; subscriptions derive from the in-game sets
@@ -105,28 +130,37 @@ void WatchmenSession::run_frames(std::size_t n) {
     const std::size_t n = trace_->n_players;
     if (prev_sets_.size() != n) prev_sets_.resize(n);
     if (frame_sets_.size() != n) frame_sets_.resize(n);
-    eye_table_.build(tf.avatars);
-    vis_cache_.begin_frame(n);
-    const interest::InteractionFn last_hit = [this](PlayerId a, PlayerId b) {
-      return replayer_.last_interaction(a, b);
-    };
-    pool_.parallel_for(n, [&](std::size_t p) {
-      if (!connected_[p]) return;
-      interest::compute_sets_into(static_cast<PlayerId>(p), tf.avatars, *map_,
-                                  f, last_hit, opts_.watchmen.interest,
-                                  &prev_sets_[p], &vis_cache_, frame_sets_[p],
-                                  &eye_table_);
-    });
-    for (PlayerId p = 0; p < n; ++p) {
-      if (!connected_[p]) continue;
-      peers_[p]->produce(tf.avatars, frame_sets_[p], tf.events.kills);
-      // The just-computed sets become the hysteresis input; the old buffer
-      // is recycled as next frame's output (steady state allocates nothing).
-      std::swap(prev_sets_[p], frame_sets_[p]);
+    {
+      const obs::Span span(tr, "interest_compute", f);
+      eye_table_.build(tf.avatars);
+      vis_cache_.begin_frame(n);
+      const interest::InteractionFn last_hit = [this](PlayerId a, PlayerId b) {
+        return replayer_.last_interaction(a, b);
+      };
+      pool_.parallel_for(n, [&](std::size_t p) {
+        if (!connected_[p]) return;
+        interest::compute_sets_into(static_cast<PlayerId>(p), tf.avatars, *map_,
+                                    f, last_hit, opts_.watchmen.interest,
+                                    &prev_sets_[p], &vis_cache_, frame_sets_[p],
+                                    &eye_table_);
+      });
+    }
+    {
+      const obs::Span span(tr, "dissemination", f);
+      for (PlayerId p = 0; p < n; ++p) {
+        if (!connected_[p]) continue;
+        peers_[p]->produce(tf.avatars, frame_sets_[p], tf.events.kills);
+        // The just-computed sets become the hysteresis input; the old buffer
+        // is recycled as next frame's output (steady state allocates nothing).
+        std::swap(prev_sets_[p], frame_sets_[p]);
+      }
     }
 
-    // Deliver what arrives within this frame, then close the frame.
-    net_->run_until(time_of(f + 1) - 1);
+    {
+      // Deliver what arrives within this frame, then close the frame.
+      const obs::Span span(tr, "deliver", f);
+      net_->run_until(time_of(f + 1) - 1);
+    }
     for (PlayerId p = 0; p < trace_->n_players; ++p) {
       if (connected_[p]) peers_[p]->end_frame(f);
     }
@@ -141,11 +175,13 @@ void WatchmenSession::run() {
 void WatchmenSession::disconnect(PlayerId p) {
   connected_.at(p) = false;
   net_->set_handler(p, nullptr);  // the node is gone; traffic to it vanishes
+  if (opts_.tracer) opts_.tracer->instant("disconnect", next_frame_, p);
 }
 
 void WatchmenSession::reconnect(PlayerId p) {
   if (connected_.at(p)) return;
   connected_.at(p) = true;
+  if (opts_.tracer) opts_.tracer->instant("reconnect", next_frame_, p);
   net_->set_handler(p, [this, p](const net::Envelope& env) {
     peers_[p]->on_message(env);
   });
@@ -155,6 +191,84 @@ void WatchmenSession::reconnect(PlayerId p) {
   // report under other check types and survive the absolution).
   detector_.absolve(p, {verify::CheckType::kEscape, verify::CheckType::kRate},
                     next_frame_);
+}
+
+void WatchmenSession::collect_metrics(obs::Registry& reg) const {
+  reg.counter("session.frames").set(static_cast<std::uint64_t>(next_frame_));
+  std::uint64_t connected = 0;
+  for (bool c : connected_) connected += c ? 1 : 0;
+  reg.gauge("session.connected_players").set(static_cast<double>(connected));
+
+  // Network, with the per-class breakdown keyed by MsgType name (classes
+  // the wire never carried are skipped to keep snapshots compact).
+  const net::NetStats& ns = net_->stats();
+  reg.counter("net.sent").set(ns.sent);
+  reg.counter("net.delivered").set(ns.delivered);
+  reg.counter("net.dropped").set(ns.dropped);
+  reg.counter("net.bits_sent").set(ns.bits_sent);
+  for (std::size_t c = 0; c < net::NetStats::kClassBuckets; ++c) {
+    if (ns.bits_sent_by_class[c] == 0 && ns.dropped_by_class[c] == 0) continue;
+    const char* type =
+        c < kNumMsgTypes ? to_string(static_cast<MsgType>(c)) : "other";
+    reg.counter(std::string("net.bits_sent{type=") + type + "}")
+        .set(ns.bits_sent_by_class[c]);
+    reg.counter(std::string("net.dropped{type=") + type + "}")
+        .set(ns.dropped_by_class[c]);
+  }
+
+  // Peers: fleet-wide aggregates plus a per-player staleness gauge.
+  std::uint64_t updates_received = 0, messages_sent = 0, forwarded = 0;
+  std::uint64_t sig_rejects = 0, dropped_replays = 0, retransmits = 0;
+  std::uint64_t acks_sent = 0, acks_received = 0, reliable_expired = 0;
+  std::uint64_t failover_adoptions = 0;
+  Samples staleness, update_ages;
+  for (PlayerId p = 0; p < trace_->n_players; ++p) {
+    const PeerMetrics& m = peers_[p]->metrics();
+    updates_received += m.updates_received;
+    messages_sent += m.messages_sent;
+    forwarded += m.forwarded;
+    sig_rejects += m.sig_rejects;
+    dropped_replays += m.dropped_replays;
+    for (std::uint64_t v : m.retransmits_by_type) retransmits += v;
+    acks_sent += m.acks_sent;
+    acks_received += m.acks_received;
+    reliable_expired += m.reliable_expired;
+    failover_adoptions += m.failover_adoptions;
+    for (double v : m.staleness_frames.values()) staleness.add(v);
+    for (double v : m.update_age_frames.values()) update_ages.add(v);
+    reg.gauge("peer.staleness_p99", p)
+        .set(m.staleness_frames.count() ? m.staleness_frames.quantile(0.99)
+                                        : 0.0);
+  }
+  reg.counter("peer.updates_received").set(updates_received);
+  reg.counter("peer.messages_sent").set(messages_sent);
+  reg.counter("peer.forwarded").set(forwarded);
+  reg.counter("peer.sig_rejects").set(sig_rejects);
+  reg.counter("peer.dropped_replays").set(dropped_replays);
+  reg.counter("peer.retransmits").set(retransmits);
+  reg.counter("peer.acks_sent").set(acks_sent);
+  reg.counter("peer.acks_received").set(acks_received);
+  reg.counter("peer.reliable_expired").set(reliable_expired);
+  reg.counter("peer.failover_adoptions").set(failover_adoptions);
+  reg.gauge("session.staleness_p99")
+      .set(staleness.count() ? staleness.quantile(0.99) : 0.0);
+  reg.gauge("session.update_age_p99")
+      .set(update_ages.count() ? update_ages.quantile(0.99) : 0.0);
+
+  // Detector verdicts, by check type plus the flagged-player roll-up.
+  reg.counter("detector.reports").set(detector_.total_reports());
+  const auto& by_type = detector_.reports_by_type();
+  for (std::size_t t = 0; t < by_type.size(); ++t) {
+    if (by_type[t] == 0) continue;
+    reg.counter(std::string("detector.reports{type=") +
+                verify::to_string(static_cast<verify::CheckType>(t)) + "}")
+        .set(by_type[t]);
+  }
+  std::uint64_t flagged = 0;
+  for (PlayerId p = 0; p < trace_->n_players; ++p) {
+    if (detector_.flagged(p)) ++flagged;
+  }
+  reg.counter("detector.flagged_players").set(flagged);
 }
 
 Samples WatchmenSession::merged_update_ages() const {

@@ -15,6 +15,8 @@
 #include "game/trace.hpp"
 #include "interest/visibility_cache.hpp"
 #include "net/network.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 #include "verify/detector.hpp"
 
@@ -54,6 +56,13 @@ struct SessionOptions {
   /// re-entry at `rejoin`); every fault window is registered with the
   /// detector so reports from degraded periods are discounted.
   net::FaultPlan faults;
+  /// Optional observability sinks (borrowed; must outlive the session).
+  /// The registry gets a pull-model collector mirroring net / peer /
+  /// detector counters at snapshot time (deregistered in the session
+  /// destructor); the tracer receives frame-phase spans and verification
+  /// instants. Null pointers compile the hooks down to cheap branches.
+  obs::Registry* registry = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 class WatchmenSession {
@@ -63,6 +72,7 @@ class WatchmenSession {
   WatchmenSession(const game::GameTrace& trace, const game::GameMap& map,
                   SessionOptions opts,
                   std::unordered_map<PlayerId, Misbehavior*> misbehaviors = {});
+  ~WatchmenSession();
 
   /// Runs frames [next, next+n) of the trace; call repeatedly or use run().
   void run_frames(std::size_t n);
@@ -100,6 +110,10 @@ class WatchmenSession {
   Samples merged_update_ages() const;
 
  private:
+  /// Mirrors subsystem counters (net, peers, detector) into the registry;
+  /// runs at snapshot time as a pull-model collector.
+  void collect_metrics(obs::Registry& reg) const;
+
   const game::GameTrace* trace_;
   const game::GameMap* map_;
   SessionOptions opts_;
@@ -116,6 +130,9 @@ class WatchmenSession {
   util::ThreadPool pool_;
   std::vector<bool> connected_;
   Frame next_frame_ = 0;
+  /// Collector registered with opts_.registry (deregistered on destruction
+  /// — the registry may outlive this session). -1 when no registry is set.
+  std::int64_t collector_id_ = -1;
 };
 
 }  // namespace watchmen::core

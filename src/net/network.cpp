@@ -66,6 +66,9 @@ void SimNetwork::send(PlayerId from, PlayerId to,
 
   ++stats_.sent;
   stats_.bits_sent += wire_bits;
+  stats_.bits_sent_by_class[std::min<std::size_t>(
+      payload && !payload->empty() ? (*payload)[0] : 0,
+      NetStats::kClassBuckets - 1)] += wire_bits;
   node_bits_[from] += wire_bits;
 
   // Upload serialization delay: the datagram leaves once the sender's link

@@ -57,6 +57,9 @@ struct NetStats {
   std::uint64_t dropped = 0;
   std::uint64_t bits_sent = 0;
   std::array<std::uint64_t, kClassBuckets> dropped_by_class{};
+  /// On-the-wire bits by message class (same bucketing as dropped_by_class);
+  /// feeds the per-class bandwidth breakdown in the obs registry and wmtop.
+  std::array<std::uint64_t, kClassBuckets> bits_sent_by_class{};
 };
 
 /// Per-UDP-datagram overhead we model: 28 bytes of IP+UDP headers.

@@ -1,0 +1,151 @@
+#pragma once
+// Minimal streaming JSON writer shared by the observability snapshots and
+// the bench reports (one schema, one escaping/number-formatting policy —
+// see ISSUE 5 / DESIGN.md §5e). Output is deterministic: keys are emitted
+// in the order the caller writes them, numbers through one formatter.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace watchmen::obs {
+
+/// Streaming writer producing pretty-printed JSON. Usage:
+///
+///   JsonWriter j;
+///   j.begin_object();
+///   j.key("players"); j.value(48);
+///   j.key("points");  j.begin_array(); j.value(1.5); j.end_array();
+///   j.end_object();
+///   std::string out = j.take();
+///
+/// Nesting, commas and indentation are handled by the writer; values written
+/// without a pending key inside an object are a programming error and are
+/// emitted as-is (kept cheap — this is an internal tool, not a validator).
+class JsonWriter {
+ public:
+  explicit JsonWriter(int indent_width = 2) : indent_width_(indent_width) {}
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(std::string_view k) {
+    comma_if_needed();
+    newline_indent();
+    append_escaped(k);
+    out_ += ": ";
+    pending_key_ = true;
+  }
+
+  void value(std::string_view v) {
+    pre_value();
+    append_escaped(v);
+  }
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v) {
+    pre_value();
+    out_ += v ? "true" : "false";
+  }
+  void value(double v) {
+    pre_value();
+    if (!std::isfinite(v)) {  // JSON has no inf/nan; emit null
+      out_ += "null";
+      return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out_ += buf;
+  }
+  void value(std::uint64_t v) {
+    pre_value();
+    out_ += std::to_string(v);
+  }
+  void value(std::int64_t v) {
+    pre_value();
+    out_ += std::to_string(v);
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+
+  template <typename T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  /// The document so far; call after the outermost end_object()/end_array().
+  const std::string& str() const { return out_; }
+  std::string take() {
+    out_ += '\n';
+    return std::move(out_);
+  }
+
+ private:
+  void open(char c) {
+    pre_value();
+    out_ += c;
+    stack_.push_back(c);
+    first_in_scope_ = true;
+  }
+
+  void close(char c) {
+    if (!stack_.empty()) stack_.pop_back();
+    if (!first_in_scope_) newline_indent();
+    out_ += c;
+    first_in_scope_ = false;
+  }
+
+  void pre_value() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    comma_if_needed();
+    if (!stack_.empty()) newline_indent();
+  }
+
+  void comma_if_needed() {
+    if (!first_in_scope_ && !stack_.empty()) out_ += ',';
+    first_in_scope_ = false;
+  }
+
+  void newline_indent() {
+    out_ += '\n';
+    out_.append(stack_.size() * static_cast<std::size_t>(indent_width_), ' ');
+  }
+
+  void append_escaped(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\r': out_ += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  int indent_width_;
+  std::string out_;
+  std::vector<char> stack_;
+  bool first_in_scope_ = true;
+  bool pending_key_ = false;
+};
+
+}  // namespace watchmen::obs

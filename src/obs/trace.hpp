@@ -1,0 +1,263 @@
+#pragma once
+// Frame tracer (ISSUE 5 tentpole, piece 2; DESIGN.md §5e).
+//
+// Fixed-capacity per-thread ring buffers of trace events — span begin/end
+// plus instant events — emitted from the WatchmenSession frame phases
+// (message delivery, handoff/begin_frame, interest compute, dissemination,
+// verification instants). When a ring fills it overwrites its oldest
+// events, flight-recorder style: the export always holds the most recent
+// window, and recording never blocks or allocates on the hot path.
+//
+// chrome_trace_json() exports the merged rings as Chrome trace_event JSON,
+// loadable in about:tracing or https://ui.perfetto.dev (see README
+// "Observability"). Timestamps come from a monotonic wall clock by default
+// (diagnostic only — nothing protocol-visible depends on them; determinism
+// of sessions and recordings is unaffected); tests inject a deterministic
+// clock via set_clock().
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/ids.hpp"
+
+namespace watchmen::obs {
+
+enum class EventPhase : std::uint8_t {
+  kBegin = 0,
+  kEnd = 1,
+  kInstant = 2,
+};
+
+struct TraceEvent {
+  const char* name = "";  ///< static string; not owned
+  EventPhase phase = EventPhase::kInstant;
+  std::int64_t ts_us = 0;  ///< microseconds since the tracer's epoch
+  Frame frame = -1;
+  PlayerId player = kInvalidPlayer;
+};
+
+// Header-only on purpose: core/ emits spans through a Tracer* carried in
+// SessionOptions without linking the obs library (obs depends on core for
+// the flight recorder, so a compiled tracer would close a link cycle).
+class Tracer {
+ public:
+  /// @param ring_capacity  events retained per emitting thread
+  explicit Tracer(std::size_t ring_capacity = 1 << 14)
+      : capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+        tracer_id_(next_tracer_id()) {
+    // Diagnostic timestamps only: trace output is never protocol-visible
+    // and never feeds replay state, so the determinism rule does not apply.
+    // Tests that compare exports inject a deterministic clock (set_clock).
+    const auto epoch = std::chrono::steady_clock::now();  // wmlint: allow(raw-random)
+    now_us_ = [epoch] {
+      return std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::steady_clock::now() - epoch)  // wmlint: allow(raw-random)
+          .count();
+    };
+  }
+
+  // Stale thread-local cache entries for a destroyed tracer are harmless:
+  // ids are never reused, so a future tracer's lookup cannot alias them.
+  ~Tracer() = default;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// `name` must be a string literal (or otherwise outlive the tracer).
+  void begin(const char* name, Frame f, PlayerId p = kInvalidPlayer) {
+    emit(name, EventPhase::kBegin, f, p);
+  }
+  void end(const char* name, Frame f, PlayerId p = kInvalidPlayer) {
+    emit(name, EventPhase::kEnd, f, p);
+  }
+  void instant(const char* name, Frame f, PlayerId p = kInvalidPlayer) {
+    emit(name, EventPhase::kInstant, f, p);
+  }
+
+  /// Chrome trace_event JSON (object form, "traceEvents" array), events in
+  /// timestamp order. Call from a quiescent state (no concurrent emits).
+  std::string chrome_trace_json() const {
+    struct Tagged {
+      TraceEvent e;
+      std::uint32_t tid;
+    };
+    std::vector<Tagged> events;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& r : rings_) {
+        const std::size_t held =
+            static_cast<std::size_t>(std::min<std::uint64_t>(r->emitted, r->slots.size()));
+        // Oldest retained event first: when the ring has wrapped, that is
+        // the slot `next` points at.
+        const std::size_t start = r->emitted > r->slots.size() ? r->next : 0;
+        for (std::size_t i = 0; i < held; ++i) {
+          events.push_back({r->slots[(start + i) % r->slots.size()], r->tid});
+        }
+      }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Tagged& a, const Tagged& b) {
+                       if (a.e.ts_us != b.e.ts_us) return a.e.ts_us < b.e.ts_us;
+                       return a.tid < b.tid;
+                     });
+
+    JsonWriter j;
+    j.begin_object();
+    j.key("traceEvents");
+    j.begin_array();
+    for (const Tagged& t : events) {
+      const TraceEvent& e = t.e;
+      j.begin_object();
+      j.kv("name", e.name);
+      j.kv("cat", "watchmen");
+      switch (e.phase) {
+        case EventPhase::kBegin: j.kv("ph", "B"); break;
+        case EventPhase::kEnd: j.kv("ph", "E"); break;
+        case EventPhase::kInstant:
+          j.kv("ph", "i");
+          j.kv("s", "t");
+          break;
+      }
+      j.kv("ts", e.ts_us);
+      j.kv("pid", 0);
+      j.kv("tid", static_cast<std::uint64_t>(t.tid));
+      j.key("args");
+      j.begin_object();
+      j.kv("frame", static_cast<std::int64_t>(e.frame));
+      if (e.player != kInvalidPlayer) {
+        j.kv("player", static_cast<std::uint64_t>(e.player));
+      }
+      j.end_object();
+      j.end_object();
+    }
+    j.end_array();
+    j.kv("displayTimeUnit", "ms");
+    j.end_object();
+    return j.take();
+  }
+
+  /// Emitted events, including those the ring has since overwritten.
+  std::uint64_t total_events() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t n = 0;
+    for (const auto& r : rings_) n += r->emitted;
+    return n;
+  }
+
+  /// Events lost to ring wrap (oldest-overwritten).
+  std::uint64_t dropped_events() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t n = 0;
+    for (const auto& r : rings_) {
+      if (r->emitted > r->slots.size()) n += r->emitted - r->slots.size();
+    }
+    return n;
+  }
+
+  std::size_t ring_capacity() const { return capacity_; }
+
+  /// Threads that have emitted at least one event.
+  std::size_t num_threads() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return rings_.size();
+  }
+
+  /// Deterministic timestamp source for tests (microseconds).
+  void set_clock(std::function<std::int64_t()> now_us) {
+    now_us_ = std::move(now_us);
+  }
+
+  /// Drops all retained events (rings stay registered).
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto& r : rings_) {
+      r->next = 0;
+      r->emitted = 0;
+    }
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t capacity, std::uint32_t tid_)
+        : slots(capacity), tid(tid_) {}
+    std::vector<TraceEvent> slots;
+    std::size_t next = 0;        ///< slot the next event lands in
+    std::uint64_t emitted = 0;   ///< total events ever emitted to this ring
+    std::uint32_t tid = 0;       ///< registration order, stable per thread
+  };
+
+  void emit(const char* name, EventPhase phase, Frame f, PlayerId p) {
+    Ring& r = ring_for_thread();
+    TraceEvent& e = r.slots[r.next];
+    e.name = name;
+    e.phase = phase;
+    e.ts_us = now_us_();
+    e.frame = f;
+    e.player = p;
+    r.next = r.next + 1 == r.slots.size() ? 0 : r.next + 1;
+    ++r.emitted;
+  }
+
+  static std::uint64_t next_tracer_id() {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Thread-local cache mapping tracer id -> this thread's ring, so emit()
+  /// touches the registration mutex only once per (thread, tracer) pair.
+  struct RingCacheEntry {
+    std::uint64_t tracer_id;
+    Ring* ring;
+  };
+
+  Ring& ring_for_thread() {
+    thread_local std::vector<RingCacheEntry> cache;
+    for (const RingCacheEntry& e : cache) {
+      if (e.tracer_id == tracer_id_) return *e.ring;
+    }
+    const std::lock_guard<std::mutex> lock(mu_);
+    rings_.push_back(std::make_unique<Ring>(
+        capacity_, static_cast<std::uint32_t>(rings_.size())));
+    Ring* r = rings_.back().get();
+    cache.push_back({tracer_id_, r});
+    return *r;
+  }
+
+  const std::size_t capacity_;
+  const std::uint64_t tracer_id_;  ///< key for the thread-local ring cache
+  std::function<std::int64_t()> now_us_;
+  mutable std::mutex mu_;  ///< guards rings_ registration and export
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// RAII begin/end pair; no-op on a null tracer, so call sites stay branchless
+/// at the point of use:  obs::Span span(tracer_, "interest_compute", f);
+class Span {
+ public:
+  Span(Tracer* t, const char* name, Frame f, PlayerId p = kInvalidPlayer)
+      : t_(t), name_(name), f_(f), p_(p) {
+    if (t_) t_->begin(name_, f_, p_);
+  }
+  ~Span() {
+    if (t_) t_->end(name_, f_, p_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Tracer* t_;
+  const char* name_;
+  Frame f_;
+  PlayerId p_;
+};
+
+}  // namespace watchmen::obs

@@ -154,7 +154,13 @@ double watchmen_measured_kbps(const game::GameTrace& trace,
   for (PlayerId p = 0; p < trace.n_players; ++p) {
     total_bits += static_cast<double>(session.network().bits_sent_by(p));
   }
-  return total_bits / seconds / static_cast<double>(trace.n_players) / 1000.0;
+  const double kbps =
+      total_bits / seconds / static_cast<double>(trace.n_players) / 1000.0;
+  if (opts.registry) {
+    opts.registry->gauge("sim.upload_kbps_per_player").set(kbps);
+    opts.registry->gauge("sim.measured_seconds").set(seconds);
+  }
+  return kbps;
 }
 
 }  // namespace watchmen::sim

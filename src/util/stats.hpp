@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -66,7 +67,12 @@ class Histogram {
   }
 
   std::size_t bin_of(double x) const {
-    if (x < lo_) return 0;
+    // Non-finite samples never reach the cast below: NaN passes `x < lo_`
+    // and a NaN/inf-valued `t` makes static_cast<std::size_t> UB. NaN and
+    // -inf clamp to the first bin, +inf to the last (the documented
+    // out-of-range clamp), so total counts stay preserved either way.
+    if (std::isnan(x) || x < lo_) return 0;
+    if (x >= hi_) return counts_.size() - 1;
     const double t = (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
     const auto b = static_cast<std::size_t>(t);
     return std::min(b, counts_.size() - 1);
@@ -93,7 +99,7 @@ class Histogram {
 /// Stores all samples; exact quantiles. Fine for experiment-sized data.
 class Samples {
  public:
-  void add(double x) { xs_.push_back(x); sorted_ = false; }
+  void add(double x) { xs_.push_back(x); }
   std::size_t count() const { return xs_.size(); }
 
   double mean() const {
@@ -109,28 +115,40 @@ class Samples {
     return std::sqrt(acc / static_cast<double>(xs_.size() - 1));
   }
 
-  /// Quantile q in [0,1] with linear interpolation.
+  /// Quantile q in [0,1] with linear interpolation. Sorts a local copy, so
+  /// concurrent const reads are safe and values() keeps insertion order.
+  /// (The old mutable lazy-sort made this a data race under the documented
+  /// "const reads are safe" contract.) Batch related quantiles through
+  /// quantiles() to pay the sort once.
   double quantile(double q) const {
-    if (xs_.empty()) return 0.0;
-    sort();
-    const double pos = q * static_cast<double>(xs_.size() - 1);
-    const auto i = static_cast<std::size_t>(pos);
-    const double frac = pos - static_cast<double>(i);
-    if (i + 1 >= xs_.size()) return xs_.back();
-    return xs_[i] * (1.0 - frac) + xs_[i + 1] * frac;
+    std::vector<double> ys(xs_);
+    std::sort(ys.begin(), ys.end());
+    return quantile_of_sorted(ys, q);
+  }
+
+  /// One sort, many reads: returns the quantile for each q in `qs`.
+  std::vector<double> quantiles(std::initializer_list<double> qs) const {
+    std::vector<double> ys(xs_);
+    std::sort(ys.begin(), ys.end());
+    std::vector<double> out;
+    out.reserve(qs.size());
+    for (double q : qs) out.push_back(quantile_of_sorted(ys, q));
+    return out;
   }
 
   const std::vector<double>& values() const { return xs_; }
 
  private:
-  void sort() const {
-    if (!sorted_) {
-      std::sort(xs_.begin(), xs_.end());
-      sorted_ = true;
-    }
+  static double quantile_of_sorted(const std::vector<double>& ys, double q) {
+    if (ys.empty()) return 0.0;
+    const double pos = q * static_cast<double>(ys.size() - 1);
+    const auto i = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(i);
+    if (i + 1 >= ys.size()) return ys.back();
+    return ys[i] * (1.0 - frac) + ys[i + 1] * frac;
   }
-  mutable std::vector<double> xs_;
-  mutable bool sorted_ = false;
+
+  std::vector<double> xs_;
 };
 
 /// Gini coefficient of a set of non-negative values (0 = perfectly even,

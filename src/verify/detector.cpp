@@ -22,6 +22,7 @@ void Detector::accumulate(SuspectSummary& s, const CheatReport& r) const {
 void Detector::report(const CheatReport& r) {
   log_.push_back(r);
   accumulate(by_suspect_[r.suspect], r);
+  ++reports_by_type_[static_cast<std::size_t>(r.type)];
 }
 
 void Detector::add_fault_window(Frame begin, Frame end) {
@@ -43,8 +44,10 @@ void Detector::absolve(PlayerId suspect, std::initializer_list<CheckType> types,
   };
   std::erase_if(log_, matches);
   SuspectSummary rebuilt{};
+  reports_by_type_ = {};
   for (const CheatReport& r : log_) {
     if (r.suspect == suspect) accumulate(rebuilt, r);
+    ++reports_by_type_[static_cast<std::size_t>(r.type)];
   }
   by_suspect_[suspect] = rebuilt;
 }

@@ -10,6 +10,7 @@
 // accumulate into a ban. Completed crash-rejoin cycles can be absolved:
 // the silence-driven evidence (escape/rate) is churn, not cheating.
 
+#include <array>
 #include <cstdint>
 #include <initializer_list>
 #include <unordered_map>
@@ -71,6 +72,12 @@ class Detector {
   const std::vector<CheatReport>& reports() const { return log_; }
   std::size_t total_reports() const { return log_.size(); }
 
+  /// Report counts by check type (indexed by the CheckType enum value);
+  /// kept in sync through absolve() rebuilds. Feeds the obs registry.
+  const std::array<std::uint64_t, kNumCheckTypes>& reports_by_type() const {
+    return reports_by_type_;
+  }
+
  private:
   double effective_weight(const CheatReport& r) const;
   void accumulate(SuspectSummary& s, const CheatReport& r) const;
@@ -79,6 +86,7 @@ class Detector {
   std::vector<std::pair<Frame, Frame>> fault_windows_;
   std::unordered_map<PlayerId, SuspectSummary> by_suspect_;
   std::vector<CheatReport> log_;
+  std::array<std::uint64_t, kNumCheckTypes> reports_by_type_{};
 };
 
 }  // namespace watchmen::verify

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
@@ -195,12 +198,60 @@ TEST(Histogram, BinCenters) {
   EXPECT_DOUBLE_EQ(h.bin_center(9), 9.5);
 }
 
+TEST(Histogram, NonFiniteSamplesClamp) {
+  // Regression: NaN fell through `x < lo_` and was cast to size_t (UB);
+  // +inf produced an inf-valued bin index. Both must clamp like other
+  // out-of-range samples and keep the total preserved.
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::nan(""));
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(0), 2u);  // NaN and -inf
+  EXPECT_EQ(h.count(9), 1u);  // +inf
+  EXPECT_EQ(h.total(), 3u);
+}
+
 TEST(Samples, Quantiles) {
   Samples s;
   for (int i = 1; i <= 100; ++i) s.add(i);
   EXPECT_NEAR(s.quantile(0.0), 1.0, 1e-9);
   EXPECT_NEAR(s.quantile(1.0), 100.0, 1e-9);
   EXPECT_NEAR(s.quantile(0.5), 50.5, 1e-9);
+}
+
+TEST(Samples, QuantileKeepsInsertionOrder) {
+  Samples s;
+  for (double x : {5.0, 1.0, 3.0}) s.add(x);
+  EXPECT_NEAR(s.quantile(0.5), 3.0, 1e-9);
+  // quantile() must not reorder the underlying storage.
+  const std::vector<double> expect{5.0, 1.0, 3.0};
+  EXPECT_EQ(s.values(), expect);
+}
+
+TEST(Samples, QuantilesBatchMatchesSingle) {
+  Samples s;
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) s.add(rng.normal(0.0, 1.0));
+  const auto q = s.quantiles({0.5, 0.95, 0.99});
+  EXPECT_DOUBLE_EQ(q[0], s.quantile(0.5));
+  EXPECT_DOUBLE_EQ(q[1], s.quantile(0.95));
+  EXPECT_DOUBLE_EQ(q[2], s.quantile(0.99));
+}
+
+TEST(Samples, ConcurrentConstQuantileReads) {
+  // The old implementation lazily sorted `mutable` storage inside the
+  // const quantile(), so two const readers raced (TSan-visible). The
+  // fixed version sorts a local copy; this test documents the contract.
+  Samples s;
+  for (int i = 1; i <= 1000; ++i) s.add(1000 - i);
+  const Samples& cs = s;
+  double a = 0.0, b = 0.0;
+  std::thread t1([&] { a = cs.quantile(0.9); });
+  std::thread t2([&] { b = cs.quantile(0.9); });
+  t1.join();
+  t2.join();
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_NEAR(a, 899.1, 1e-9);  // values 0..999, pos = 0.9 * 999
 }
 
 TEST(Gini, UniformIsZero) {

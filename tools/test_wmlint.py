@@ -245,6 +245,58 @@ class MsgTypeCorpusTest(unittest.TestCase):
             self.assertEqual(wmlint.check_msgtype_corpus(Path(td)), [])
 
 
+class RecordCorpusTest(unittest.TestCase):
+    ENUMS = ("#pragma once\n"
+             "enum class RosterCheat : std::uint8_t {\n"
+             "  kSpeedHack = 0,\n"
+             "  kEscape = 1,\n"
+             "};\n"
+             "enum class RecEventKind : std::uint8_t {\n"
+             "  kCheckpoint = 0,\n"
+             "  kDisconnect = 1,\n"
+             "};\n")
+
+    @staticmethod
+    def corpus_tree(enums: str, gen: str) -> list:
+        with tempfile.TemporaryDirectory() as td:
+            root = Path(td)
+            (root / "src" / "obs").mkdir(parents=True)
+            (root / "fuzz").mkdir()
+            (root / "src" / "obs" / "recorder.hpp").write_text(enums)
+            (root / "fuzz" / "gen_corpus.cpp").write_text(gen)
+            return wmlint.check_record_corpus(root)
+
+    def test_all_seeded_is_clean(self):
+        fs = self.corpus_tree(
+            self.ENUMS,
+            "// RosterCheat::kSpeedHack RosterCheat::kEscape\n"
+            "// RecEventKind::kCheckpoint RecEventKind::kDisconnect\n")
+        self.assertEqual(fs, [])
+
+    def test_missing_member_flagged_per_enum(self):
+        fs = self.corpus_tree(
+            self.ENUMS,
+            "// RosterCheat::kSpeedHack RecEventKind::kCheckpoint\n")
+        self.assertEqual([f.check for f in fs],
+                         ["record-corpus", "record-corpus"])
+        self.assertIn("RosterCheat::kEscape", fs[0].msg)
+        self.assertIn("RecEventKind::kDisconnect", fs[1].msg)
+
+    def test_allow_annotation(self):
+        enums = self.ENUMS.replace(
+            "  kEscape = 1,\n",
+            "  kEscape = 1,  // wmlint: allow(record-corpus)\n")
+        fs = self.corpus_tree(
+            enums,
+            "// RosterCheat::kSpeedHack\n"
+            "// RecEventKind::kCheckpoint RecEventKind::kDisconnect\n")
+        self.assertEqual(fs, [])
+
+    def test_missing_files_skip_silently(self):
+        with tempfile.TemporaryDirectory() as td:
+            self.assertEqual(wmlint.check_record_corpus(Path(td)), [])
+
+
 class CliTest(unittest.TestCase):
     def test_exit_codes(self):
         with tempfile.TemporaryDirectory() as td:

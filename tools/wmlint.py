@@ -25,6 +25,10 @@ msgtype-corpus  Every member of the MsgType wire enum must have a seed in the
                 fuzz corpus generator (fuzz/gen_corpus.cpp): a wire type the
                 fuzzers never start from is a decode surface the smoke run
                 exercises only by accident.
+record-corpus   Same rule for the flight-recorder enums (RosterCheat and
+                RecEventKind in src/obs/recorder.hpp): every member must
+                appear qualified in fuzz/gen_corpus.cpp so each .wmrec
+                variant has a well-formed fuzz seed.
 format          (--format only) clang-format --dry-run over src/; skipped
                 with a notice when clang-format is not installed.
 
@@ -289,6 +293,46 @@ def check_msgtype_corpus(root: Path) -> list[Finding]:
     return out
 
 
+RECORD_ENUM_RE = re.compile(r"enum\s+class\s+(RosterCheat|RecEventKind)\b")
+
+
+def check_record_corpus(root: Path) -> list[Finding]:
+    """Every RosterCheat / RecEventKind member must appear qualified in the
+    corpus generator, so each .wmrec variant has a well-formed fuzz seed."""
+    recorder = root / "src" / "obs" / "recorder.hpp"
+    gen = root / "fuzz" / "gen_corpus.cpp"
+    if not recorder.exists() or not gen.exists():
+        return []  # layout not present (e.g. partial checkout): nothing to do
+    lines = recorder.read_text(encoding="utf-8").split("\n")
+    members: list[tuple[int, str]] = []  # (line idx, qualified member)
+    enum_name = None
+    for i, line in enumerate(lines):
+        if enum_name is None:
+            m = RECORD_ENUM_RE.search(line)
+            if m:
+                enum_name = m.group(1)
+            continue
+        if "}" in line:
+            enum_name = None
+            continue
+        m = MSGTYPE_MEMBER_RE.match(line)
+        if m:
+            members.append((i, f"{enum_name}::{m.group(1)}"))
+    gen_text = gen.read_text(encoding="utf-8")
+    out = []
+    for i, qualified in members:
+        if qualified in gen_text:
+            continue
+        if allowed(lines, i, "record-corpus"):
+            continue
+        out.append(Finding(
+            recorder, i + 1, "record-corpus",
+            f"{qualified} has no seed in fuzz/gen_corpus.cpp — extend the "
+            "fuzz_record recording to cover it (and regenerate the corpus) "
+            "or annotate `// wmlint: allow(record-corpus)`"))
+    return out
+
+
 def run_clang_format(root: Path) -> tuple[list[Finding], bool]:
     """Returns (findings, ran). Skips when clang-format is unavailable."""
     binary = shutil.which("clang-format")
@@ -368,6 +412,7 @@ def main(argv: list[str]) -> int:
     for f in collect_files(root, args.paths):
         findings += lint_file(f, root)
     findings += check_msgtype_corpus(root)
+    findings += check_record_corpus(root)
 
     if args.format:
         fmt_findings, ran = run_clang_format(root)
