@@ -10,10 +10,19 @@
 // scrape — so the fault window and the detector catching the cheaters are
 // visible as they happen.
 //
-// Usage: wmtop [seconds] [--snapshot FILE.json] [--trace FILE.trace.json]
+// Usage: wmtop [seconds] [--overhaul] [--snapshot FILE.json]
+//              [--trace FILE.trace.json]
+//   --overhaul  run with the wire-format overhaul (batching + anchored
+//               deltas + compact headers); the batch column goes live and
+//               the B/p/s column drops visibly
 //   --snapshot  write the final registry snapshot (registry schema JSON)
 //   --trace     write the frame tracer's ring as Chrome trace_event JSON
 //               (load in about:tracing or https://ui.perfetto.dev)
+//
+// Bandwidth columns are read back from the registry's
+// net.bytes_sent{type=...} counters and net.batch_size_mean gauge — the
+// same names a real scrape would use — not from the network object
+// directly, so the dashboard exercises the exported schema end to end.
 
 #include <cstdio>
 #include <cstdlib>
@@ -52,22 +61,31 @@ double kbps(std::uint64_t bits_delta) {
   return static_cast<double>(bits_delta) / 1000.0;  // bits over one second
 }
 
+/// Cumulative per-class byte counter as exported by the session's
+/// collect_metrics (0 until the class first appears on the wire).
+std::uint64_t bytes_of(obs::Registry& reg, const char* type) {
+  return reg.counter(std::string("net.bytes_sent{type=") + type + "}").value();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t seconds = 30;
+  bool overhaul = false;
   std::string snapshot_path, trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--snapshot") == 0 && i + 1 < argc) {
       snapshot_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--overhaul") == 0) {
+      overhaul = true;
     } else if (argv[i][0] != '-') {
       seconds = static_cast<std::size_t>(std::atoi(argv[i]));
       if (seconds == 0) seconds = 30;
     } else {
       std::fprintf(stderr,
-                   "usage: wmtop [seconds] [--snapshot FILE.json] "
+                   "usage: wmtop [seconds] [--overhaul] [--snapshot FILE.json] "
                    "[--trace FILE.trace.json]\n");
       return 2;
     }
@@ -104,6 +122,20 @@ int main(int argc, char** argv) {
     opts.faults = plan;
   }
 
+  if (overhaul) {
+    // The shipped wire overhaul (mirrors deathmatch_48's configuration):
+    // with batching on, per-origin envelopes travel inside kBatch
+    // containers, so the "batch" column carries most of the traffic and
+    // the per-class columns show only the unbatched remainder.
+    opts.watchmen.batching = true;
+    opts.watchmen.delta_updates = true;
+    opts.watchmen.ack_anchored = true;
+    opts.watchmen.quantized_guidance = true;
+    opts.watchmen.subscriber_diffs = true;
+    opts.watchmen.compact_headers = true;
+    opts.watchmen.other_update_budget = 64;
+  }
+
   obs::Registry registry;
   obs::Tracer tracer;
   opts.registry = &registry;
@@ -111,40 +143,51 @@ int main(int argc, char** argv) {
 
   core::WatchmenSession session(trace, map, opts, cheaters);
 
-  std::printf("wmtop — %zu players, %zus match, chaos window 10s-15s\n",
-              kPlayers, seconds);
-  net::NetStats prev{};  // per-second deltas come from snapshot differences
-  std::uint64_t prev_reports = 0;
+  std::printf("wmtop — %zu players, %zus match, chaos window 10s-15s%s\n",
+              kPlayers, seconds, overhaul ? ", wire overhaul ON" : "");
+  // Per-second deltas come from registry snapshot differences: cumulative
+  // net.bytes_sent{type=...} counters sampled after each collect().
+  std::uint64_t prev_total = 0, prev_state = 0, prev_guid = 0, prev_batch = 0;
+  std::uint64_t prev_drops = 0, prev_reports = 0;
   for (std::size_t sec = 0; sec < seconds; ++sec) {
     if (sec % 10 == 0) {
-      std::printf("%4s %9s %9s %9s %9s %7s %8s %8s\n", "sec", "p99(fr)",
-                  "state", "guid", "ctrl", "drops", "reports", "flagged");
+      std::printf("%4s %8s %8s %8s %8s %8s %7s %6s %6s %8s %8s\n", "sec",
+                  "p99(fr)", "state", "guid", "batch", "ctrl", "B/p/s",
+                  "avgB", "drops", "reports", "flagged");
     }
     session.run_frames(kFramesPerSecond);
     registry.collect();
 
-    const net::NetStats& ns = session.network().stats();
-    std::uint64_t state_bits =
-        ns.bits_sent_by_class[static_cast<std::size_t>(core::MsgType::kStateUpdate)] -
-        prev.bits_sent_by_class[static_cast<std::size_t>(core::MsgType::kStateUpdate)];
-    std::uint64_t guid_bits =
-        ns.bits_sent_by_class[static_cast<std::size_t>(core::MsgType::kGuidance)] -
-        prev.bits_sent_by_class[static_cast<std::size_t>(core::MsgType::kGuidance)];
-    std::uint64_t total_bits = ns.bits_sent - prev.bits_sent;
-    const std::uint64_t drops = ns.dropped - prev.dropped;
+    const std::uint64_t total =
+        registry.counter("net.bits_sent").value() / 8;
+    const std::uint64_t state = bytes_of(registry, "state-update");
+    const std::uint64_t guid = bytes_of(registry, "guidance");
+    const std::uint64_t batch = bytes_of(registry, "batch");
+    const std::uint64_t drops = registry.counter("net.dropped").value();
     const std::uint64_t reports =
-        registry.counter("detector.reports").value() - prev_reports;
+        registry.counter("detector.reports").value();
+    const double batch_mean = registry.gauge("net.batch_size_mean").value();
 
-    std::printf("%4zu %9.2f %8.0fk %8.0fk %8.0fk %7llu %8llu %8llu\n",
+    const std::uint64_t ctrl =
+        (total - prev_total) - (state - prev_state) - (guid - prev_guid) -
+        (batch - prev_batch);
+    std::printf("%4zu %8.2f %7.0fk %7.0fk %7.0fk %7.0fk %7.0f %6.2f %6llu "
+                "%8llu %8llu\n",
                 sec + 1, registry.gauge("session.staleness_p99").value(),
-                kbps(state_bits), kbps(guid_bits),
-                kbps(total_bits - state_bits - guid_bits),
-                static_cast<unsigned long long>(drops),
-                static_cast<unsigned long long>(reports),
+                kbps(8 * (state - prev_state)), kbps(8 * (guid - prev_guid)),
+                kbps(8 * (batch - prev_batch)), kbps(8 * ctrl),
+                static_cast<double>(total - prev_total) / kPlayers,
+                batch_mean > 0 ? batch_mean : 1.0,
+                static_cast<unsigned long long>(drops - prev_drops),
+                static_cast<unsigned long long>(reports - prev_reports),
                 static_cast<unsigned long long>(
                     registry.counter("detector.flagged_players").value()));
-    prev = ns;
-    prev_reports = registry.counter("detector.reports").value();
+    prev_total = total;
+    prev_state = state;
+    prev_guid = guid;
+    prev_batch = batch;
+    prev_drops = drops;
+    prev_reports = reports;
   }
 
   std::printf("\nmatch over: %llu trace events in ring (%llu emitted), "

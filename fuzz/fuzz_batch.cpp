@@ -1,0 +1,75 @@
+// Fuzz target: the kBatch per-link container — the one wire format that is
+// *not* a sealed envelope, so its framing is parsed before any signature
+// check and must reject garbage on its own.
+//
+// Invariants checked:
+//  * decode_batch() throws DecodeError or returns sub-wire views;
+//  * a successful decode re-encodes into a container that decodes back to
+//    the same sub-wires (byte identity is too strict: the reader accepts
+//    non-minimal varints that the writer canonicalizes);
+//  * every decoded sub-wire either opens as a sealed envelope or is
+//    rejected by the envelope parser — never anything undefined;
+//  * truncations and single-bit flips of a valid re-encode either decode
+//    or throw DecodeError (the defined rejection path), never crash.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "core/messages.hpp"
+#include "util/bytes.hpp"
+
+using namespace watchmen;
+using namespace watchmen::core;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> in(data, size);
+  std::vector<std::vector<std::uint8_t>> subs;
+  try {
+    for (const auto sub : decode_batch(in)) {
+      // Sub-wires must be safe to hand to the envelope parser as-is.
+      (void)open_unverified(sub);
+      subs.emplace_back(sub.begin(), sub.end());
+    }
+  } catch (const DecodeError&) {
+    return 0;  // malformed container: the defined rejection path
+  }
+
+  // Round trip: the canonical re-encode must decode to the same sub-wires.
+  const std::vector<std::uint8_t> re = encode_batch(subs);
+  try {
+    const auto again = decode_batch(re);
+    if (again.size() != subs.size()) std::abort();
+    for (std::size_t i = 0; i < again.size(); ++i) {
+      if (again[i].size() != subs[i].size() ||
+          !std::equal(again[i].begin(), again[i].end(), subs[i].begin())) {
+        std::abort();
+      }
+    }
+  } catch (const DecodeError&) {
+    std::abort();  // our own canonical encoding must always decode
+  }
+
+  // Truncations of a valid container decode or reject — never crash.
+  for (const std::size_t cut : {re.size() / 2, re.size() - 1}) {
+    try {
+      (void)decode_batch(std::span(re.data(), cut));
+    } catch (const DecodeError&) {
+    }
+  }
+
+  // Single-bit corruption, at a position derived from the input itself so
+  // the sweep stays deterministic per input.
+  if (!re.empty()) {
+    std::vector<std::uint8_t> flipped = re;
+    flipped[re.size() / 3] ^= static_cast<std::uint8_t>(1u << (re.size() % 8));
+    try {
+      for (const auto sub : decode_batch(flipped)) (void)open_unverified(sub);
+    } catch (const DecodeError&) {
+    }
+  }
+  return 0;
+}

@@ -33,16 +33,20 @@ void check_envelope(std::span<const std::uint8_t> in) {
     std::abort();
   }
   const crypto::KeyPair key = crypto::KeyPair::generate(msg->header.origin + 1);
-  const auto wire = seal(msg->header, msg->body, key);
-  const auto again = open_unverified(wire);
-  if (!again) std::abort();
-  if (again->body != msg->body) std::abort();
-  if (again->header.type != msg->header.type ||
-      again->header.origin != msg->header.origin ||
-      again->header.subject != msg->header.subject ||
-      again->header.frame != msg->header.frame ||
-      again->header.seq != msg->header.seq) {
-    std::abort();
+  // Both header encodings (legacy fixed-width and compact varint) must
+  // round-trip the parsed header exactly — they share one parser.
+  for (const bool compact : {false, true}) {
+    const auto wire = seal(msg->header, msg->body, key, compact);
+    const auto again = open_unverified(wire);
+    if (!again) std::abort();
+    if (again->body != msg->body) std::abort();
+    if (again->header.type != msg->header.type ||
+        again->header.origin != msg->header.origin ||
+        again->header.subject != msg->header.subject ||
+        again->header.frame != msg->header.frame ||
+        again->header.seq != msg->header.seq) {
+      std::abort();
+    }
   }
 }
 

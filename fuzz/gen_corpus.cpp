@@ -123,6 +123,59 @@ int main(int argc, char** argv) {
     put(dir, "subscriber_list",
         sealed(core::MsgType::kSubscriberList,
                core::encode_subscriber_list_body({1, 2, 5, 8, 13})));
+    put(dir, "subscriber_diff",
+        sealed(core::MsgType::kSubscriberList,
+               core::encode_subscriber_list_diff_body({1, 2, 5, 8, 13},
+                                                      {1, 2, 7, 8, 13, 21})));
+    put(dir, "state_anchored",
+        sealed(core::MsgType::kStateUpdate,
+               core::encode_state_body_delta_anchored(sample_state(), 1196, 4,
+                                                      sample_state())));
+    put(dir, "guidance_q",
+        sealed(core::MsgType::kGuidance,
+               core::encode_guidance_body_q(sample_guidance())));
+    const auto sealed_c = [&](core::MsgType t, std::vector<std::uint8_t> body) {
+      core::MsgHeader h;
+      h.type = t;
+      h.origin = 3;
+      h.subject = 5;
+      h.frame = 1200;
+      h.seq = 42;
+      return core::seal(h, body, key, /*compact=*/true);
+    };
+    put(dir, "state_compact",
+        sealed_c(core::MsgType::kStateUpdate,
+                 core::encode_state_body(sample_state())));
+    put(dir, "position_compact",
+        sealed_c(core::MsgType::kPositionUpdate,
+                 core::encode_position_body({10.0, 20.0, 30.0})));
+  }
+
+  // --- fuzz_batch: MsgType::kBatch containers — empty, a pair of sealed
+  // envelopes (the common per-link coalescing case), and a singleton.
+  {
+    const crypto::KeyPair key = crypto::KeyPair::generate(7);
+    const auto dir = root / "fuzz_batch";
+    const auto sealed = [&](core::MsgType t, std::vector<std::uint8_t> body) {
+      core::MsgHeader h;
+      h.type = t;
+      h.origin = 3;
+      h.subject = 5;
+      h.frame = 1200;
+      h.seq = 42;
+      return core::seal(h, body, key);
+    };
+    put(dir, "empty", core::encode_batch({}));
+    put(dir, "pair",
+        core::encode_batch(
+            {sealed(core::MsgType::kStateUpdate,
+                    core::encode_state_body(sample_state())),
+             sealed(core::MsgType::kPositionUpdate,
+                    core::encode_position_body({10.0, 20.0, 30.0}))}));
+    put(dir, "single",
+        core::encode_batch({sealed(
+            core::MsgType::kGuidance,
+            core::encode_guidance_body_q(sample_guidance()))}));
   }
 
   // --- fuzz_handoff: with and without predecessor summary.

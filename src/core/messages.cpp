@@ -1,5 +1,9 @@
 #include "core/messages.hpp"
 
+#include <algorithm>
+#include <iterator>
+#include <limits>
+
 #include "interest/delta.hpp"
 
 namespace watchmen::core {
@@ -16,13 +20,27 @@ const char* to_string(MsgType t) {
     case MsgType::kSubscriberList: return "subscriber-list";
     case MsgType::kAck: return "ack";
     case MsgType::kRejoinNotice: return "rejoin-notice";
+    case MsgType::kBatch: return "batch";
   }
   return "?";
 }
 
 namespace {
 
-void write_header(ByteWriter& w, const MsgHeader& h) {
+/// High bit of the leading type byte flags the compact header encoding;
+/// MsgType values stay well below 0x80, so the two layouts are
+/// self-describing and can coexist on one link.
+constexpr std::uint8_t kCompactHeaderBit = 0x80;
+
+void write_header(ByteWriter& w, const MsgHeader& h, bool compact) {
+  if (compact) {
+    w.u8(static_cast<std::uint8_t>(h.type) | kCompactHeaderBit);
+    w.varint(h.origin);
+    w.varint(h.subject);
+    w.varint(interest::zigzag(h.frame));
+    w.varint(h.seq);
+    return;
+  }
   w.u8(static_cast<std::uint8_t>(h.type));
   w.u32(h.origin);
   w.u32(h.subject);
@@ -32,7 +50,22 @@ void write_header(ByteWriter& w, const MsgHeader& h) {
 
 MsgHeader read_header(ByteReader& r) {
   MsgHeader h;
-  h.type = checked_enum<MsgType>(r.u8(), kNumMsgTypes, "message type");
+  const std::uint8_t tag = r.u8();
+  h.type = checked_enum<MsgType>(tag & ~kCompactHeaderBit, kNumMsgTypes,
+                                 "message type");
+  if (tag & kCompactHeaderBit) {
+    const auto narrow_id = [](std::uint64_t v, const char* what) {
+      if (v > std::numeric_limits<std::uint32_t>::max()) {
+        throw DecodeError(what);
+      }
+      return static_cast<std::uint32_t>(v);
+    };
+    h.origin = narrow_id(r.varint(), "origin out of range");
+    h.subject = narrow_id(r.varint(), "subject out of range");
+    h.frame = interest::unzigzag(r.varint());
+    h.seq = narrow_id(r.varint(), "seq out of range");
+    return h;
+  }
   h.origin = r.u32();
   h.subject = r.u32();
   h.frame = r.i64();
@@ -44,9 +77,9 @@ MsgHeader read_header(ByteReader& r) {
 
 std::vector<std::uint8_t> seal(const MsgHeader& header,
                                std::span<const std::uint8_t> body,
-                               const crypto::KeyPair& key) {
+                               const crypto::KeyPair& key, bool compact) {
   ByteWriter w;
-  write_header(w, header);
+  write_header(w, header, compact);
   w.blob(body);
   const crypto::Signature sig = crypto::sign(key, w.data());
   const auto sig_bytes = sig.encode();
@@ -92,6 +125,41 @@ std::optional<ParsedMessage> open_unverified(std::span<const std::uint8_t> wire)
   return parse(wire, nullptr);
 }
 
+bool is_batch_wire(std::span<const std::uint8_t> wire) {
+  return !wire.empty() &&
+         wire[0] == static_cast<std::uint8_t>(MsgType::kBatch);
+}
+
+std::vector<std::uint8_t> encode_batch(
+    const std::vector<std::vector<std::uint8_t>>& wires) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kBatch));
+  w.varint(wires.size());
+  for (const auto& sub : wires) w.blob(sub);
+  return w.take();
+}
+
+std::vector<std::span<const std::uint8_t>> decode_batch(
+    std::span<const std::uint8_t> wire) {
+  ByteReader r(wire);
+  if (checked_enum<MsgType>(r.u8(), kNumMsgTypes, "message type") !=
+      MsgType::kBatch) {
+    throw DecodeError("not a batch container");
+  }
+  const auto n = r.varint();
+  if (n > kMaxBatchMessages) throw DecodeError("implausible batch count");
+  std::vector<std::span<const std::uint8_t>> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto len = r.varint();
+    if (len > r.remaining()) throw DecodeError("truncated batch entry");
+    out.push_back(wire.subspan(wire.size() - r.remaining(), len));
+    r.bytes(len);
+  }
+  if (!r.done()) throw DecodeError("trailing bytes after batch");
+  return out;
+}
+
 std::vector<std::uint8_t> encode_state_body(const game::AvatarState& s) {
   ByteWriter w;
   w.u8(0);  // keyframe
@@ -111,10 +179,24 @@ std::vector<std::uint8_t> encode_state_body_delta(const game::AvatarState& basel
   return w.take();
 }
 
+std::vector<std::uint8_t> encode_state_body_delta_anchored(
+    const game::AvatarState& baseline, Frame baseline_frame,
+    std::uint8_t baseline_age, const game::AvatarState& cur) {
+  ByteWriter w;
+  w.u8(2);  // anchored delta
+  w.u8(baseline_age);
+  const auto payload =
+      interest::encode_delta_anchored(baseline, baseline_frame, cur);
+  w.bytes(payload);
+  return w.take();
+}
+
 StateBodyView parse_state_body(std::span<const std::uint8_t> body) {
   if (body.empty()) throw DecodeError("empty state body");
   StateBodyView v;
+  if (body[0] > 2) throw DecodeError("unknown state body kind");
   v.is_delta = body[0] != 0;
+  v.is_anchored = body[0] == 2;
   if (v.is_delta) {
     if (body.size() < 2) throw DecodeError("truncated delta body");
     v.baseline_age = body[1];
@@ -134,8 +216,19 @@ game::AvatarState decode_state_body(std::span<const std::uint8_t> body) {
 game::AvatarState decode_state_body(std::span<const std::uint8_t> body,
                                     const game::AvatarState& baseline) {
   const StateBodyView v = parse_state_body(body);
+  if (v.is_anchored) throw DecodeError("anchored body needs a baseline frame");
   return v.is_delta ? interest::decode_delta(baseline, v.payload)
                     : interest::decode_full(v.payload);
+}
+
+game::AvatarState decode_state_body_anchored(std::span<const std::uint8_t> body,
+                                             const game::AvatarState& baseline,
+                                             Frame baseline_frame) {
+  const StateBodyView v = parse_state_body(body);
+  if (!v.is_anchored) {
+    throw DecodeError("state body is not an anchored delta");
+  }
+  return interest::decode_delta_anchored(baseline, baseline_frame, v.payload);
 }
 
 std::vector<std::uint8_t> encode_position_body(const Vec3& pos) {
@@ -154,8 +247,36 @@ Vec3 decode_position_body(std::span<const std::uint8_t> body) {
   return {x, y, z};
 }
 
+namespace {
+
+// Quantized Vec3, zigzag-varint-coded as a difference against `ref`'s
+// quantized value (the guidance counterpart of interest's write_vec_q).
+void write_vec_gq(ByteWriter& w, const Vec3& ref, const Vec3& v) {
+  w.varint(interest::zigzag(
+      static_cast<std::int64_t>(interest::quant_pos(v.x)) - interest::quant_pos(ref.x)));
+  w.varint(interest::zigzag(
+      static_cast<std::int64_t>(interest::quant_pos(v.y)) - interest::quant_pos(ref.y)));
+  w.varint(interest::zigzag(
+      static_cast<std::int64_t>(interest::quant_pos(v.z)) - interest::quant_pos(ref.z)));
+}
+
+Vec3 read_vec_gq(ByteReader& r, const Vec3& ref) {
+  const auto read1 = [&r](double refv) {
+    const std::int64_t q =
+        interest::quant_pos(refv) + interest::unzigzag(r.varint());
+    return interest::dequant_pos(static_cast<std::int32_t>(q));
+  };
+  const double x = read1(ref.x);
+  const double y = read1(ref.y);
+  const double z = read1(ref.z);
+  return {x, y, z};
+}
+
+}  // namespace
+
 std::vector<std::uint8_t> encode_guidance_body(const interest::Guidance& g) {
   ByteWriter w;
+  w.u8(0);  // version 0: f32 fields
   w.i64(g.frame);
   w.f32(static_cast<float>(g.pos.x));
   w.f32(static_cast<float>(g.pos.y));
@@ -176,23 +297,63 @@ std::vector<std::uint8_t> encode_guidance_body(const interest::Guidance& g) {
   return w.take();
 }
 
+std::vector<std::uint8_t> encode_guidance_body_q(const interest::Guidance& g) {
+  ByteWriter w;
+  w.u8(1);  // version 1: quantized varints
+  w.varint(interest::zigzag(g.frame));
+  write_vec_gq(w, Vec3{}, g.pos);
+  write_vec_gq(w, Vec3{}, g.vel);
+  w.varint(interest::zigzag(interest::quant_ang(g.yaw)));
+  w.varint(interest::zigzag(interest::quant_ang(g.pitch)));
+  w.varint(interest::zigzag(g.health));
+  w.u8(static_cast<std::uint8_t>(g.weapon));
+  w.varint(g.waypoints.size());
+  // Waypoints chain off the position: dead-reckoning paths move a few units
+  // per waypoint, so each coordinate is a 1-2 byte varint.
+  Vec3 ref = g.pos;
+  for (const Vec3& p : g.waypoints) {
+    write_vec_gq(w, ref, p);
+    ref = p;
+  }
+  return w.take();
+}
+
 interest::Guidance decode_guidance_body(std::span<const std::uint8_t> body) {
   ByteReader r(body);
+  const std::uint8_t version = r.u8();
+  if (version > 1) throw DecodeError("unknown guidance version");
   interest::Guidance g;
-  g.frame = r.i64();
-  g.pos = {r.f32(), r.f32(), r.f32()};
-  g.vel = {r.f32(), r.f32(), r.f32()};
-  g.yaw = r.f32();
-  g.pitch = r.f32();
-  g.health = r.i32();
+  if (version == 0) {
+    g.frame = r.i64();
+    g.pos = {r.f32(), r.f32(), r.f32()};
+    g.vel = {r.f32(), r.f32(), r.f32()};
+    g.yaw = r.f32();
+    g.pitch = r.f32();
+    g.health = r.i32();
+  } else {
+    g.frame = interest::unzigzag(r.varint());
+    g.pos = read_vec_gq(r, Vec3{});
+    g.vel = read_vec_gq(r, Vec3{});
+    g.yaw = interest::dequant_ang(
+        static_cast<std::int32_t>(interest::unzigzag(r.varint())));
+    g.pitch = interest::dequant_ang(
+        static_cast<std::int32_t>(interest::unzigzag(r.varint())));
+    g.health = static_cast<std::int32_t>(interest::unzigzag(r.varint()));
+  }
   g.weapon = checked_enum<game::WeaponKind>(r.u8(), game::kNumWeapons, "weapon");
   const auto n = r.varint();
   // The count is attacker-controlled: cap the pre-allocation; an oversized
   // count simply runs the reader off the end and throws DecodeError.
   if (n > 64) throw DecodeError("too many guidance waypoints");
   g.waypoints.reserve(n);
+  Vec3 ref = g.pos;
   for (std::uint64_t i = 0; i < n; ++i) {
-    g.waypoints.push_back({r.f32(), r.f32(), r.f32()});
+    if (version == 0) {
+      g.waypoints.push_back({r.f32(), r.f32(), r.f32()});
+    } else {
+      g.waypoints.push_back(read_vec_gq(r, ref));
+      ref = g.waypoints.back();
+    }
   }
   return g;
 }
@@ -269,25 +430,133 @@ std::int64_t decode_rejoin_body(std::span<const std::uint8_t> body) {
   return r.i64();
 }
 
+namespace {
+
+constexpr std::uint64_t kMaxSubscribers = 4096;
+
+std::vector<PlayerId> sorted_ids(const std::vector<PlayerId>& ids) {
+  std::vector<PlayerId> s = ids;
+  std::sort(s.begin(), s.end());
+  s.erase(std::unique(s.begin(), s.end()), s.end());
+  return s;
+}
+
+// Sorted ids as gap-coded varints: first id absolute, then differences.
+void write_id_gaps(ByteWriter& w, const std::vector<PlayerId>& sorted) {
+  w.varint(sorted.size());
+  PlayerId prev = 0;
+  for (PlayerId p : sorted) {
+    w.varint(p - prev);
+    prev = p;
+  }
+}
+
+std::vector<PlayerId> read_id_gaps(ByteReader& r) {
+  const auto n = r.varint();
+  if (n > kMaxSubscribers) throw DecodeError("implausible subscriber count");
+  std::vector<PlayerId> out;
+  out.reserve(n);
+  PlayerId prev = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto gap = r.varint();
+    // Decoded ids must be strictly increasing (the canonical sorted-unique
+    // form the encoder writes): a zero gap would smuggle in duplicates and
+    // an overflowing one would wrap, and the set algebra above both relies
+    // on sorted-set inputs.
+    if (i > 0 && gap == 0) throw DecodeError("duplicate subscriber id");
+    if (gap > std::numeric_limits<PlayerId>::max() - prev) {
+      throw DecodeError("subscriber id overflow");
+    }
+    prev = static_cast<PlayerId>(prev + gap);
+    out.push_back(prev);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint16_t subscriber_list_hash(const std::vector<PlayerId>& subscribers) {
+  // FNV-1a over the sorted ids, folded to 16 bits. Order-insensitive (the
+  // input is sorted first) so sender and receiver agree regardless of how
+  // their copies were built.
+  const std::vector<PlayerId> s = sorted_ids(subscribers);
+  std::uint32_t h = 2166136261u;
+  for (PlayerId p : s) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      h ^= (p >> shift) & 0xff;
+      h *= 16777619u;
+    }
+  }
+  return static_cast<std::uint16_t>(h ^ (h >> 16));
+}
+
 std::vector<std::uint8_t> encode_subscriber_list_body(
     const std::vector<PlayerId>& subscribers) {
   ByteWriter w;
-  w.varint(subscribers.size());
-  for (PlayerId p : subscribers) w.varint(p);
+  w.u8(0);  // mode 0: full list
+  write_id_gaps(w, sorted_ids(subscribers));
   return w.take();
 }
 
-std::vector<PlayerId> decode_subscriber_list_body(
-    std::span<const std::uint8_t> body) {
+std::vector<std::uint8_t> encode_subscriber_list_diff_body(
+    const std::vector<PlayerId>& baseline,
+    const std::vector<PlayerId>& subscribers) {
+  const std::vector<PlayerId> old_ids = sorted_ids(baseline);
+  const std::vector<PlayerId> new_ids = sorted_ids(subscribers);
+  std::vector<PlayerId> removed, added;
+  std::set_difference(old_ids.begin(), old_ids.end(), new_ids.begin(),
+                      new_ids.end(), std::back_inserter(removed));
+  std::set_difference(new_ids.begin(), new_ids.end(), old_ids.begin(),
+                      old_ids.end(), std::back_inserter(added));
+  ByteWriter w;
+  w.u8(1);  // mode 1: diff
+  w.u16(subscriber_list_hash(old_ids));
+  write_id_gaps(w, removed);
+  write_id_gaps(w, added);
+  return w.take();
+}
+
+namespace {
+
+std::optional<std::vector<PlayerId>> decode_subscriber_list(
+    std::span<const std::uint8_t> body, const std::vector<PlayerId>* baseline) {
   ByteReader r(body);
-  const auto n = r.varint();
-  if (n > 4096) throw DecodeError("implausible subscriber count");
+  const std::uint8_t mode = r.u8();
+  if (mode > 1) throw DecodeError("unknown subscriber-list mode");
+  if (mode == 0) {
+    auto full = read_id_gaps(r);
+    if (!r.done()) throw DecodeError("trailing bytes in subscriber list");
+    return full;
+  }
+  if (!baseline) throw DecodeError("subscriber diff without baseline");
+  const std::uint16_t hash = r.u16();
+  const std::vector<PlayerId> removed = read_id_gaps(r);
+  const std::vector<PlayerId> added = read_id_gaps(r);
+  if (!r.done()) throw DecodeError("trailing bytes in subscriber diff");
+  const std::vector<PlayerId> base = sorted_ids(*baseline);
+  if (hash != subscriber_list_hash(base)) return std::nullopt;
+  std::vector<PlayerId> kept;
+  std::set_difference(base.begin(), base.end(), removed.begin(), removed.end(),
+                      std::back_inserter(kept));
   std::vector<PlayerId> out;
-  out.reserve(n);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    out.push_back(static_cast<PlayerId>(r.varint()));
+  std::set_union(kept.begin(), kept.end(), added.begin(), added.end(),
+                 std::back_inserter(out));
+  if (out.size() > kMaxSubscribers) {
+    throw DecodeError("implausible subscriber count");
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<PlayerId> decode_subscriber_list_body(
+    std::span<const std::uint8_t> body) {
+  return *decode_subscriber_list(body, nullptr);
+}
+
+std::optional<std::vector<PlayerId>> decode_subscriber_list_body(
+    std::span<const std::uint8_t> body, const std::vector<PlayerId>& baseline) {
+  return decode_subscriber_list(body, &baseline);
 }
 
 }  // namespace watchmen::core

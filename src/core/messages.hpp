@@ -38,8 +38,12 @@ enum class MsgType : std::uint8_t {
   kRejoinNotice = 9,    ///< a returning player (or its current proxy, after
                         ///< a heal) announces pool re-entry at an agreed
                         ///< round — the inverse of kChurnNotice
+  kBatch = 10,          ///< unsigned per-link container: every message one
+                        ///< node sends another in a frame, coalesced into a
+                        ///< single datagram. Sub-messages keep their origin
+                        ///< signatures intact (§IV unchanged).
 };
-constexpr int kNumMsgTypes = 10;
+constexpr int kNumMsgTypes = 11;
 
 const char* to_string(MsgType t);
 
@@ -58,9 +62,19 @@ struct ParsedMessage {
 };
 
 /// Serializes and signs header+body. The result is what goes on the wire.
+///
+/// Two self-describing header encodings share the wire (the high bit of the
+/// leading type byte discriminates; MsgType values stay below 0x80):
+///   legacy   [u8 type][u32 origin][u32 subject][i64 frame][u32 seq]  (21 B)
+///   compact  [u8 type|0x80][varint origin][varint subject]
+///            [zigzag-varint frame][varint seq]                      (~7-10 B)
+/// `compact` selects the encoding; open()/open_unverified() accept both, so
+/// peers with mixed configurations interoperate and the flag can flip
+/// per-scenario without a protocol version bump.
 std::vector<std::uint8_t> seal(const MsgHeader& header,
                                std::span<const std::uint8_t> body,
-                               const crypto::KeyPair& key);
+                               const crypto::KeyPair& key,
+                               bool compact = false);
 
 /// Parses and verifies a sealed message against the origin's public key from
 /// the registry. Returns nullopt on malformed input or bad signature —
@@ -71,22 +85,56 @@ std::optional<ParsedMessage> open(std::span<const std::uint8_t> wire,
 /// Parses without verifying the signature (for size accounting and tests).
 std::optional<ParsedMessage> open_unverified(std::span<const std::uint8_t> wire);
 
+// ------------------------------------------------------------------ batch
+//
+// Per-link frame batching (ISSUE 6 tentpole): every message a node sends to
+// one peer during a frame slice rides one datagram, amortizing the fixed
+// UDP/IP cost. The container is NOT a sealed envelope — it is a transport
+// detail added and removed hop-by-hop:
+//
+//   [u8 = MsgType::kBatch][varint count][blob sub-wire] * count
+//
+// Each sub-wire is an intact sealed envelope (origin signature preserved),
+// so a proxy can batch messages it merely forwards without being able to
+// tamper with them. The leading type byte keeps NetStats' per-class
+// bucketing working on the raw datagram.
+constexpr std::size_t kMaxBatchMessages = 512;
+
+/// True when the datagram is a batch container (vs a bare sealed envelope).
+bool is_batch_wire(std::span<const std::uint8_t> wire);
+
+std::vector<std::uint8_t> encode_batch(
+    const std::vector<std::vector<std::uint8_t>>& wires);
+
+/// Splits a batch into views of its sub-wires (into `wire`'s storage).
+/// Throws DecodeError on malformed input.
+std::vector<std::span<const std::uint8_t>> decode_batch(
+    std::span<const std::uint8_t> wire);
+
 // ----------------------------------------------------------------- bodies
 
 // State-update bodies support Quake-style delta coding (paper §II-A:
-// consecutive updates show high temporal similarity). A body is either a
-// keyframe (full state) or a delta against the sender's state at
-// `baseline_frame`; receivers that missed the baseline wait for the next
-// keyframe.
+// consecutive updates show high temporal similarity). A body is a keyframe
+// (full state), a delta against the sender's previous keyframe, or — with
+// ack-anchored baselines on — a delta against the receiver-acknowledged
+// state at `header frame - baseline_age`, with the baseline frame stamped
+// into the payload so a wrong baseline is an explicit BaselineMismatch
+// instead of silent garbage.
 std::vector<std::uint8_t> encode_state_body(const game::AvatarState& s);
 /// `baseline_age` = header frame minus the keyframe's frame (1..255).
 std::vector<std::uint8_t> encode_state_body_delta(const game::AvatarState& baseline,
                                                   std::uint8_t baseline_age,
                                                   const game::AvatarState& cur);
+/// Anchored delta: baseline is the sender state at `baseline_frame`
+/// (= header frame - baseline_age), which the receiver acked.
+std::vector<std::uint8_t> encode_state_body_delta_anchored(
+    const game::AvatarState& baseline, Frame baseline_frame,
+    std::uint8_t baseline_age, const game::AvatarState& cur);
 
 struct StateBodyView {
   bool is_delta = false;
-  std::uint8_t baseline_age = 0;  ///< keyframe = header frame - age
+  bool is_anchored = false;       ///< payload carries its baseline frame
+  std::uint8_t baseline_age = 0;  ///< baseline = header frame - age
   std::span<const std::uint8_t> payload;
 };
 
@@ -100,10 +148,23 @@ game::AvatarState decode_state_body(std::span<const std::uint8_t> body);
 game::AvatarState decode_state_body(std::span<const std::uint8_t> body,
                                     const game::AvatarState& baseline);
 
+/// Decodes an anchored delta body; throws interest::BaselineMismatch when
+/// `baseline_frame` is not the frame the sender coded against.
+game::AvatarState decode_state_body_anchored(std::span<const std::uint8_t> body,
+                                             const game::AvatarState& baseline,
+                                             Frame baseline_frame);
+
 std::vector<std::uint8_t> encode_position_body(const Vec3& pos);
 Vec3 decode_position_body(std::span<const std::uint8_t> body);
 
+// Guidance bodies are versioned by a leading byte:
+//   version 0 — f32 fields (the original layout);
+//   version 1 — quantized varints on the delta-coding grid (1/8 unit
+//               positions, 1e-4 rad angles), waypoints delta-coded against
+//               the position. Roughly 2.5x smaller for typical guidance.
+// The decoder accepts both.
 std::vector<std::uint8_t> encode_guidance_body(const interest::Guidance& g);
+std::vector<std::uint8_t> encode_guidance_body_q(const interest::Guidance& g);
 interest::Guidance decode_guidance_body(std::span<const std::uint8_t> body);
 
 std::vector<std::uint8_t> encode_subscribe_body(interest::SetKind kind);
@@ -126,10 +187,27 @@ std::int64_t decode_churn_body(std::span<const std::uint8_t> body);
 
 /// Subscriber-list body (§VI optimization 3, direct-update mode): the IS
 /// subscribers the player should push frequent updates to directly.
+///
+/// Two modes, selected by a leading byte:
+///   mode 0 — full list: sorted ids, gap-coded varints;
+///   mode 1 — diff against the last sent list: a 16-bit hash of the
+///            baseline, then removed and added ids (sorted, gap-coded).
+/// A receiver whose baseline hash does not match keeps its old list and
+/// waits for the sender's periodic full refresh.
 std::vector<std::uint8_t> encode_subscriber_list_body(
     const std::vector<PlayerId>& subscribers);
+std::vector<std::uint8_t> encode_subscriber_list_diff_body(
+    const std::vector<PlayerId>& baseline,
+    const std::vector<PlayerId>& subscribers);
+/// Order-insensitive hash of a subscriber set (for diff baselines).
+std::uint16_t subscriber_list_hash(const std::vector<PlayerId>& subscribers);
+/// Decodes a full-mode body; throws DecodeError on a diff-mode body.
 std::vector<PlayerId> decode_subscriber_list_body(
     std::span<const std::uint8_t> body);
+/// Decodes either mode against the receiver's current list. Returns nullopt
+/// when a diff's baseline hash does not match `baseline`.
+std::optional<std::vector<PlayerId>> decode_subscriber_list_body(
+    std::span<const std::uint8_t> body, const std::vector<PlayerId>& baseline);
 
 /// Ack body: identifies the control message being acknowledged. Acks are
 /// hop-by-hop (each relay acks its immediate sender), unsigned-content

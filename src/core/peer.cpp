@@ -38,7 +38,65 @@ WatchmenPeer::WatchmenPeer(PlayerId id, WatchmenConfig cfg, net::SimNetwork& net
 
 void WatchmenPeer::send_wire(PlayerId to, std::vector<std::uint8_t> wire) {
   ++metrics_.messages_sent;
-  net_->send(id_, to, std::move(wire));
+  net_send(to,
+           std::make_shared<const std::vector<std::uint8_t>>(std::move(wire)));
+}
+
+void WatchmenPeer::net_send(
+    PlayerId to, std::shared_ptr<const std::vector<std::uint8_t>> wire) {
+  if (!cfg_.batching) {
+    net_->send(id_, to, std::move(wire));
+    return;
+  }
+  // First-touch destination order keeps the flush deterministic.
+  for (BatchSlot& slot : batch_buf_) {
+    if (slot.to != to) continue;
+    slot.wires.push_back(std::move(wire));
+    if (slot.wires.size() >= kMaxBatchMessages) {
+      // Container full: coalesce what we have and start the slot over.
+      ByteWriter w;
+      w.u8(static_cast<std::uint8_t>(MsgType::kBatch));
+      w.varint(slot.wires.size());
+      for (const auto& sub : slot.wires) w.blob(*sub);
+      ++metrics_.batches_sent;
+      metrics_.batched_messages += slot.wires.size();
+      metrics_.batch_sizes.add(static_cast<double>(slot.wires.size()));
+      net_->send(id_, to, w.take());
+      slot.wires.clear();
+    }
+    return;
+  }
+  batch_buf_.push_back({to, {std::move(wire)}});
+}
+
+void WatchmenPeer::flush_batches() {
+  if (batch_buf_.empty()) return;
+  for (BatchSlot& slot : batch_buf_) {
+    if (slot.wires.empty()) continue;  // drained by an early full-slot flush
+    metrics_.batch_sizes.add(static_cast<double>(slot.wires.size()));
+    if (slot.wires.size() == 1) {
+      // A lone message rides bare: no container overhead, and the leading
+      // type byte keeps per-class stats exact.
+      net_->send(id_, slot.to, std::move(slot.wires.front()));
+      continue;
+    }
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(MsgType::kBatch));
+    w.varint(slot.wires.size());
+    for (const auto& sub : slot.wires) w.blob(*sub);
+    ++metrics_.batches_sent;
+    metrics_.batched_messages += slot.wires.size();
+    net_->send(id_, slot.to, w.take());
+  }
+  batch_buf_.clear();
+}
+
+void WatchmenPeer::note_published(Frame f, std::uint32_t seq,
+                                  const game::AvatarState& s) {
+  published_.put(f, s);
+  SentSeq& slot = sent_seqs_[seq % sent_seqs_.size()];
+  slot.seq = seq;
+  slot.frame = f;
 }
 
 std::vector<std::uint8_t> WatchmenPeer::make_sealed(
@@ -52,7 +110,7 @@ std::vector<std::uint8_t> WatchmenPeer::make_sealed(
   h.frame = frame;
   h.seq = seq_++;
   last_sealed_seq_ = h.seq;
-  return seal(h, body, keys_->key_pair(id_));
+  return seal(h, body, keys_->key_pair(id_), cfg_.compact_headers);
 }
 
 void WatchmenPeer::send_to_proxy(MsgType type, PlayerId subject, Frame frame,
@@ -73,7 +131,7 @@ void WatchmenPeer::send_to_proxy(MsgType type, PlayerId subject, Frame frame,
   }
   auto shared = std::make_shared<const std::vector<std::uint8_t>>(std::move(wire));
   ++metrics_.messages_sent;
-  net_->send(id_, px, shared);
+  net_send(px, shared);
   if (reliable) track_reliable(px, id_, last_sealed_seq_, type, shared);
   if (proxy_silent(px)) {
     // Emergency failover: our proxy has gone fully silent past the
@@ -83,7 +141,7 @@ void WatchmenPeer::send_to_proxy(MsgType type, PlayerId subject, Frame frame,
     const PlayerId succ = schedule_.proxy_of(id_, schedule_.round_of(frame_) + 1);
     if (succ != px && succ != id_) {
       ++metrics_.messages_sent;
-      net_->send(id_, succ, shared);
+      net_send(succ, shared);
     }
   }
 }
@@ -128,7 +186,7 @@ void WatchmenPeer::flush_retransmits(Frame f) {
     --it->retries_left;
     ++metrics_.retransmits_by_type[static_cast<std::size_t>(it->type)];
     ++metrics_.messages_sent;
-    net_->send(id_, it->to, it->wire);
+    net_send(it->to, it->wire);
     it->backoff *= 2;
     it->next_retry = f + it->backoff;
     ++it;
@@ -151,7 +209,7 @@ void WatchmenPeer::maybe_ack(const net::Envelope& env, const MsgHeader& h) {
 
 void WatchmenPeer::handle_ack(const net::Envelope& env,
                               const ParsedMessage& msg) {
-  if (!cfg_.reliable_control) return;
+  if (!cfg_.reliable_control && !cfg_.ack_anchored) return;
   if (env.from != msg.header.origin) return;  // acks travel one hop, unsigned relays don't
   AckBody a;
   try {
@@ -160,6 +218,27 @@ void WatchmenPeer::handle_ack(const net::Envelope& env,
     return;
   }
   ++metrics_.acks_received;
+  if (a.acked_type == MsgType::kStateUpdate) {
+    // Frequent-stream ack: our proxy acknowledged one of our own state
+    // updates. Resolve the acked seq back to its frame and advance the
+    // delta anchor (monotonically — reordered acks never move it back).
+    // Only a plausible proxy-of-round may steer our anchor: a forged ack
+    // from anyone else could pin deltas to baselines the proxy never held.
+    if (!cfg_.ack_anchored || a.acked_origin != id_) return;
+    const std::int64_t r = schedule_.round_of(frame_);
+    const bool from_proxy =
+        env.from == schedule_.proxy_of(id_, r) ||
+        env.from == schedule_.proxy_of(id_, r + 1) ||
+        (r > 0 && env.from == schedule_.proxy_of(id_, r - 1));
+    if (!from_proxy) return;
+    const SentSeq& slot = sent_seqs_[a.acked_seq % sent_seqs_.size()];
+    if (slot.frame >= 0 && slot.seq == a.acked_seq &&
+        slot.frame > acked_frame_) {
+      acked_frame_ = slot.frame;
+    }
+    return;
+  }
+  if (!cfg_.reliable_control) return;
   std::erase_if(reliable_, [&](const PendingReliable& p) {
     return p.to == env.from && p.origin == a.acked_origin &&
            p.seq == a.acked_seq && p.type == a.acked_type;
@@ -244,8 +323,18 @@ void WatchmenPeer::begin_frame(Frame f) {
     // Sorted id order: wire traffic must not depend on hash iteration order.
     for (const PlayerId q : proxied_players()) {
       if ((f + q) % 10 != 0) continue;
-      const auto body = encode_subscriber_list_body(
-          proxied_.at(q).subs.subscribers(interest::SetKind::kInterest, f));
+      ProxiedState& ps = proxied_.at(q);
+      auto subscribers =
+          ps.subs.subscribers(interest::SetKind::kInterest, f);
+      // Subscriber diffs: most sends carry only the ids that changed since
+      // the last list, guarded by a baseline hash; every 4th send is a full
+      // refresh so a lost list (hash miss at the player) self-heals.
+      const bool full = !cfg_.subscriber_diffs || ps.sub_sends % 4 == 0;
+      const auto body =
+          full ? encode_subscriber_list_body(subscribers)
+               : encode_subscriber_list_diff_body(ps.sent_subs, subscribers);
+      ++ps.sub_sends;
+      ps.sent_subs = std::move(subscribers);
       send_wire(q, make_sealed(MsgType::kSubscriberList, q, f, body));
     }
   }
@@ -258,6 +347,8 @@ void WatchmenPeer::begin_frame(Frame f) {
         d.to == kInvalidPlayer ? schedule_.proxy_at(id_, f) : d.to;
     send_wire(to, std::move(d.wire));
   }
+
+  flush_batches();
 }
 
 void WatchmenPeer::produce(std::span<const game::AvatarState> truth,
@@ -272,15 +363,52 @@ void WatchmenPeer::produce(std::span<const game::AvatarState> truth,
   //    against the previous frame when enabled, with periodic keyframes.
   const game::AvatarState published = misbehavior_->mutate_state(own_state_, f);
   if (misbehavior_->send_state_update(f)) {
-    const bool keyframe = !cfg_.delta_updates || last_keyframe_frame_ < 0 ||
-                          f - last_keyframe_frame_ >= cfg_.keyframe_period;
-    const auto body =
-        keyframe ? encode_state_body(published)
-                 : encode_state_body_delta(
-                       last_keyframe_,
-                       static_cast<std::uint8_t>(f - last_keyframe_frame_),
-                       published);
+    bool keyframe = !cfg_.delta_updates || last_keyframe_frame_ < 0 ||
+                    f - last_keyframe_frame_ >= cfg_.keyframe_period;
+    if (cfg_.ack_anchored) {
+      // A new proxy tenure starts with no decoded baseline: reset the
+      // anchored chain and seed it with a fresh keyframe, whatever the
+      // keyframe cadence. Without this, a long keyframe_period strands the
+      // new proxy on deltas it can never decode (it also never acks, so
+      // the stream would stay dead for the whole tenure).
+      const PlayerId proxy_now = schedule_.proxy_at(id_, f);
+      if (proxy_now != anchor_proxy_) {
+        anchor_proxy_ = proxy_now;
+        acked_frame_ = -1;
+        keyframe = true;
+      }
+    }
+    // Baseline preference: the receiver-acked state when the anchor is live
+    // (ack-anchored mode), else the last keyframe. A valid anchor survives
+    // any loss pattern — the proxy acked it, so the proxy holds it — while
+    // the keyframe baseline desyncs every receiver that missed it.
+    const game::AvatarState* anchor =
+        !keyframe && cfg_.ack_anchored && acked_frame_ >= 0 &&
+                f - acked_frame_ >= 1 && f - acked_frame_ <= 255
+            ? published_.get(acked_frame_)
+            : nullptr;
+    // The delta age rides a u8; past 255 frames since the keyframe the
+    // legacy fallback would wrap into a bogus age, so refresh instead.
+    // (Reachable when the anchor goes stale under sustained loss faster
+    // than the keyframe cadence refreshes the baseline.)
+    if (!keyframe && !anchor && f - last_keyframe_frame_ > 255) {
+      keyframe = true;
+    }
+    std::vector<std::uint8_t> body;
+    if (keyframe) {
+      body = encode_state_body(published);
+    } else if (anchor) {
+      body = encode_state_body_delta_anchored(
+          *anchor, acked_frame_, static_cast<std::uint8_t>(f - acked_frame_),
+          published);
+      ++metrics_.anchored_sent;
+    } else {
+      body = encode_state_body_delta(
+          last_keyframe_, static_cast<std::uint8_t>(f - last_keyframe_frame_),
+          published);
+    }
     send_to_proxy(MsgType::kStateUpdate, id_, f, body, delay);
+    if (cfg_.ack_anchored) note_published(f, last_sealed_seq_, published);
     if (cfg_.direct_updates && delay == 0) {
       // §VI optimization 3: one hop to the IS subscribers our proxy named;
       // the proxy copy above still feeds verification (and serves the proxy
@@ -293,6 +421,7 @@ void WatchmenPeer::produce(std::span<const game::AvatarState> truth,
     }
     for (int i = misbehavior_->extra_state_updates(f); i > 0; --i) {
       send_to_proxy(MsgType::kStateUpdate, id_, f, body, delay);
+      if (cfg_.ack_anchored) note_published(f, last_sealed_seq_, published);
     }
     if (keyframe) {
       last_keyframe_ = published;
@@ -306,7 +435,8 @@ void WatchmenPeer::produce(std::span<const game::AvatarState> truth,
     interest::Guidance g = interest::make_guidance(
         published, f, cfg_.guidance_waypoints, cfg_.dr_damping);
     g = misbehavior_->mutate_guidance(g, f);
-    const auto gbody = encode_guidance_body(g);
+    const auto gbody = cfg_.quantized_guidance ? encode_guidance_body_q(g)
+                                               : encode_guidance_body(g);
     send_to_proxy(MsgType::kGuidance, id_, f, gbody, delay);
 
     const auto pbody = encode_position_body(published.pos);
@@ -403,6 +533,8 @@ void WatchmenPeer::produce(std::span<const game::AvatarState> truth,
   for (auto& [to, wire] : misbehavior_->direct_messages(f)) {
     if (to < schedule_.num_players()) send_wire(to, std::move(wire));
   }
+
+  flush_batches();
 }
 
 void WatchmenPeer::end_frame(Frame f) {
@@ -560,12 +692,14 @@ void WatchmenPeer::end_frame(Frame f) {
       auto shared = std::make_shared<const std::vector<std::uint8_t>>(
           make_sealed(MsgType::kHandoff, q, f, body));
       ++metrics_.messages_sent;
-      net_->send(id_, successor, shared);
+      net_send(successor, shared);
       if (cfg_.reliable_control) {
         track_reliable(successor, id_, last_sealed_seq_, MsgType::kHandoff,
                        shared);
       } else {
         ++metrics_.messages_sent;
+        // The blind duplicate exists to decorrelate loss; riding the same
+        // batch datagram as the original would defeat it, so it goes bare.
         net_->send(id_, successor, shared);
       }
       my_last_summaries_[q] = std::move(s);
@@ -583,14 +717,36 @@ void WatchmenPeer::end_frame(Frame f) {
       ++it;
     }
   }
+
+  flush_batches();
 }
 
 // --------------------------------------------------------------- receive
 
 void WatchmenPeer::on_message(const net::Envelope& env) {
-  misbehavior_->on_received_wire(env.bytes());
+  if (is_batch_wire(env.bytes())) {
+    // Per-link batch container: unwrap hop-by-hop, then process each
+    // sub-wire exactly as if it had arrived bare (same from / timing).
+    std::vector<std::span<const std::uint8_t>> subs;
+    try {
+      subs = decode_batch(env.bytes());
+    } catch (const DecodeError&) {
+      ++metrics_.batch_rejects;
+      return;
+    }
+    for (const auto sub : subs) handle_wire(env, sub);
+  } else {
+    handle_wire(env, env.bytes());
+  }
+  // Anything this delivery caused us to send goes out now, coalesced.
+  flush_batches();
+}
 
-  const auto parsed = open(env.bytes(), *keys_);
+void WatchmenPeer::handle_wire(const net::Envelope& env,
+                               std::span<const std::uint8_t> wire) {
+  misbehavior_->on_received_wire(wire);
+
+  const auto parsed = open(wire, *keys_);
   if (!parsed) {
     // Tampered, malformed, or spoofed: the signature layer catches it and
     // the network-level sender takes the blame (§IV). A failed signature is
@@ -639,7 +795,15 @@ void WatchmenPeer::on_message(const net::Envelope& env) {
     if (cfg_.direct_updates && h.subject == id_ &&
         env.from == schedule_.proxy_at(id_, net_->clock().frame())) {
       try {
-        direct_targets_ = decode_subscriber_list_body(parsed->body);
+        // Full lists replace; diffs apply against the current list, and a
+        // baseline-hash miss (nullopt) keeps the old list until the proxy's
+        // periodic full refresh.
+        auto updated = decode_subscriber_list_body(parsed->body, direct_targets_);
+        if (updated) {
+          direct_targets_ = std::move(*updated);
+        } else {
+          ++metrics_.sub_diff_misses;
+        }
       } catch (const DecodeError&) {
       }
     }
@@ -657,7 +821,7 @@ void WatchmenPeer::on_message(const net::Envelope& env) {
   if (h.type == MsgType::kSubscribe) {
     if (env.from == h.origin) {
       // First hop: we are (supposed to be) the subscriber's proxy.
-      proxy_handle_subscribe_first_hop(env, *parsed);
+      proxy_handle_subscribe_first_hop(wire, *parsed);
     } else {
       // Second hop: we are (supposed to be) the target's proxy.
       const auto it = proxied_.find(h.subject);
@@ -676,9 +840,8 @@ void WatchmenPeer::on_message(const net::Envelope& env) {
           proxy_handle_subscribe_second_hop(*parsed, slot->second);
         } else if (env.from != cur) {  // no ping-pong
           ++metrics_.forwarded;
-          net_->send(id_, cur,
-                     std::make_shared<const std::vector<std::uint8_t>>(
-                         env.bytes().begin(), env.bytes().end()));
+          net_send(cur, std::make_shared<const std::vector<std::uint8_t>>(
+                            wire.begin(), wire.end()));
         }
       }
     }
@@ -687,7 +850,7 @@ void WatchmenPeer::on_message(const net::Envelope& env) {
 
   if (env.from == h.origin) {
     // Direct leg: player -> its proxy.
-    handle_as_proxy(env, *parsed);
+    handle_as_proxy(env, wire, *parsed);
   } else {
     // Forwarded leg: proxy -> subscriber.
     handle_as_player(env, *parsed);
@@ -719,6 +882,7 @@ bool WatchmenPeer::replay_guard(RemoteKnowledge& k, const MsgHeader& h,
 }
 
 void WatchmenPeer::handle_as_proxy(const net::Envelope& env,
+                                   std::span<const std::uint8_t> wire,
                                    const ParsedMessage& msg) {
   const MsgHeader& h = msg.header;
   auto it = proxied_.find(h.origin);
@@ -757,11 +921,11 @@ void WatchmenPeer::handle_as_proxy(const net::Envelope& env,
       if (h.type == MsgType::kStateUpdate && !cfg_.direct_updates) {
         forward_to(git->second.state.subs.subscribers(
                        interest::SetKind::kInterest, now),
-                   env, h.origin);
+                   wire, h.origin);
       } else if (h.type == MsgType::kGuidance) {
         forward_to(git->second.state.subs.subscribers(
                        interest::SetKind::kVision, now),
-                   env, h.origin);
+                   wire, h.origin);
       }
       return;
     }
@@ -801,10 +965,10 @@ void WatchmenPeer::handle_as_proxy(const net::Envelope& env,
     case MsgType::kStateUpdate:
     case MsgType::kPositionUpdate:
     case MsgType::kGuidance:
-      proxy_handle_update(env, msg, ps);
+      proxy_handle_update(env, wire, msg, ps);
       break;
     case MsgType::kKillClaim:
-      proxy_handle_kill_claim(env, msg, ps);
+      proxy_handle_kill_claim(wire, msg, ps);
       break;
     default:
       break;
@@ -812,6 +976,7 @@ void WatchmenPeer::handle_as_proxy(const net::Envelope& env,
 }
 
 void WatchmenPeer::proxy_handle_update(const net::Envelope& env,
+                                       std::span<const std::uint8_t> wire,
                                        const ParsedMessage& msg,
                                        ProxiedState& ps) {
   const MsgHeader& h = msg.header;
@@ -823,9 +988,21 @@ void WatchmenPeer::proxy_handle_update(const net::Envelope& env,
       bool decodable = true;
       try {
         const StateBodyView v = parse_state_body(msg.body);
-        if (v.is_delta) {
-          // Deltas decode against the sender's last keyframe only.
+        if (v.is_anchored) {
+          // Ack-anchored delta: baseline is whatever we decoded at the
+          // stamped frame — any acked state, not just the last keyframe.
+          const Frame base = h.frame - static_cast<Frame>(v.baseline_age);
+          if (const game::AvatarState* b = ps.decoded.get(base)) {
+            s = decode_state_body_anchored(msg.body, *b, base);
+            ++metrics_.anchored_decodes;
+          } else {
+            ++metrics_.baseline_mismatches;
+            decodable = false;
+          }
+        } else if (v.is_delta) {
+          // Legacy deltas decode against the sender's last keyframe only.
           if (h.frame - static_cast<Frame>(v.baseline_age) != ps.keyframe_frame) {
+            ++metrics_.baseline_mismatches;
             decodable = false;
           } else {
             s = interest::decode_delta(ps.keyframe_state, v.payload);
@@ -834,7 +1011,13 @@ void WatchmenPeer::proxy_handle_update(const net::Envelope& env,
           s = interest::decode_full(v.payload);
           ps.keyframe_state = s;
           ps.keyframe_frame = h.frame;
+          ++metrics_.keyframes_decoded;
         }
+      } catch (const interest::BaselineMismatch&) {
+        // The payload's own baseline stamp disagreed with the frame math —
+        // the explicit error path a stale/corrupt anchor now takes.
+        ++metrics_.baseline_mismatches;
+        break;
       } catch (const DecodeError&) {
         break;
       }
@@ -844,7 +1027,7 @@ void WatchmenPeer::proxy_handle_update(const net::Envelope& env,
         ++ps.updates_in_round;
         if (!cfg_.direct_updates) {
           forward_to(ps.subs.subscribers(interest::SetKind::kInterest, now),
-                     env, h.origin);
+                     wire, h.origin);
         }
         break;
       }
@@ -858,7 +1041,7 @@ void WatchmenPeer::proxy_handle_update(const net::Envelope& env,
         for (PlayerId w = 0; w < schedule_.num_players(); ++w) {
           if (w != id_ && w != h.origin) all.push_back(w);
         }
-        forward_to(all, env, h.origin);
+        forward_to(all, wire, h.origin);
       }
       // Position / physics check against the previous verified update;
       // suppressed across a known death-respawn window.
@@ -927,6 +1110,22 @@ void WatchmenPeer::proxy_handle_update(const net::Envelope& env,
         ++recv_state_in_round_[h.origin];
       }
 
+      if (cfg_.ack_anchored) {
+        // Every decoded state is a candidate anchor; ack the stream at the
+        // configured cadence so the sender's anchor keeps advancing.
+        ps.decoded.put(h.frame, s);
+        if (h.frame - ps.last_state_ack >= cfg_.state_ack_period) {
+          AckBody a;
+          a.acked_origin = h.origin;
+          a.acked_seq = h.seq;
+          a.acked_type = MsgType::kStateUpdate;
+          ++metrics_.state_acks_sent;
+          send_wire(env.from, make_sealed(MsgType::kAck, h.origin, now,
+                                          encode_ack_body(a)));
+          ps.last_state_ack = h.frame;
+        }
+      }
+
       // The proxy holds complete information about its player.
       RemoteKnowledge& k = know_[h.origin];
       checkpoint_pos(k, s.pos, h.frame);
@@ -940,8 +1139,8 @@ void WatchmenPeer::proxy_handle_update(const net::Envelope& env,
       // In direct-update mode the player pushed to its IS subscribers
       // itself; the proxy copy exists for verification only.
       if (!cfg_.direct_updates) {
-        forward_to(ps.subs.subscribers(interest::SetKind::kInterest, now), env,
-                   h.origin);
+        forward_to(ps.subs.subscribers(interest::SetKind::kInterest, now),
+                   wire, h.origin);
       }
       break;
     }
@@ -962,7 +1161,7 @@ void WatchmenPeer::proxy_handle_update(const net::Envelope& env,
       k.path_samples.clear();
       k.path_samples.emplace_back(g.frame, g.pos);
 
-      forward_to(ps.subs.subscribers(interest::SetKind::kVision, now), env,
+      forward_to(ps.subs.subscribers(interest::SetKind::kVision, now), wire,
                  h.origin);
       break;
     }
@@ -976,7 +1175,25 @@ void WatchmenPeer::proxy_handle_update(const net::Envelope& env,
           others.push_back(q);
         }
       }
-      forward_to(others, env, h.origin);
+      // Budgeted fan-out: this is the only term that grows O(n) per player,
+      // so at scale the proxy forwards each beacon to a rotating window of
+      // the Other set instead of all of it. Receivers refresh every
+      // ceil(|others|/budget) beacons; the position checks' dead-reckoning
+      // slack already scales with update age, so verification keeps working
+      // on the longer interval.
+      if (cfg_.other_update_budget > 0 &&
+          others.size() > cfg_.other_update_budget) {
+        std::vector<PlayerId> window;
+        window.reserve(cfg_.other_update_budget);
+        ps.other_cursor %= others.size();
+        for (std::uint32_t i = 0; i < cfg_.other_update_budget; ++i) {
+          window.push_back(others[(ps.other_cursor + i) % others.size()]);
+        }
+        ps.other_cursor += cfg_.other_update_budget;
+        forward_to(window, wire, h.origin);
+      } else {
+        forward_to(others, wire, h.origin);
+      }
       break;
     }
     default:
@@ -984,8 +1201,8 @@ void WatchmenPeer::proxy_handle_update(const net::Envelope& env,
   }
 }
 
-void WatchmenPeer::proxy_handle_subscribe_first_hop(const net::Envelope& env,
-                                                    const ParsedMessage& msg) {
+void WatchmenPeer::proxy_handle_subscribe_first_hop(
+    std::span<const std::uint8_t> wire, const ParsedMessage& msg) {
   const MsgHeader& h = msg.header;
   ProxiedState* psp = nullptr;
   if (const auto it = proxied_.find(h.origin); it != proxied_.end()) {
@@ -1074,8 +1291,8 @@ void WatchmenPeer::proxy_handle_subscribe_first_hop(const net::Envelope& env,
   ++metrics_.forwarded;
   const PlayerId target_proxy = schedule_.proxy_at(target, frame_);
   auto shared = std::make_shared<const std::vector<std::uint8_t>>(
-      env.bytes().begin(), env.bytes().end());
-  net_->send(id_, target_proxy, shared);
+      wire.begin(), wire.end());
+  net_send(target_proxy, shared);
   if (cfg_.reliable_control && target_proxy != id_) {
     // Second hop of the subscribe chain: track under the *origin's*
     // header, which is what the target proxy will ack. Serving both ends
@@ -1096,7 +1313,7 @@ void WatchmenPeer::proxy_handle_subscribe_second_hop(const ParsedMessage& msg,
   }
 }
 
-void WatchmenPeer::proxy_handle_kill_claim(const net::Envelope& env,
+void WatchmenPeer::proxy_handle_kill_claim(std::span<const std::uint8_t> wire,
                                            const ParsedMessage& msg,
                                            ProxiedState& ps) {
   const MsgHeader& h = msg.header;
@@ -1152,7 +1369,7 @@ void WatchmenPeer::proxy_handle_kill_claim(const net::Envelope& env,
   for (PlayerId q = 0; q < schedule_.num_players(); ++q) {
     if (q != id_ && q != h.origin) all.push_back(q);
   }
-  forward_to(all, env, h.origin);
+  forward_to(all, wire, h.origin);
 }
 
 void WatchmenPeer::handle_churn_notice(const ParsedMessage& msg) {
@@ -1236,7 +1453,7 @@ void WatchmenPeer::broadcast_control(MsgType type, PlayerId subject,
   for (PlayerId w = 0; w < schedule_.num_players(); ++w) {
     if (w == id_ || w == subject) continue;
     ++metrics_.messages_sent;
-    net_->send(id_, w, shared);
+    net_send(w, shared);
     if (cfg_.reliable_control) {
       track_reliable(w, id_, last_sealed_seq_, type, shared);
     }
@@ -1254,6 +1471,10 @@ void WatchmenPeer::rejoin(Frame f) {
   outbox_.clear();
   reliable_.clear();
   direct_targets_.clear();
+  batch_buf_.clear();
+  // The pre-crash anchor refers to a proxy tenure that has lapsed; restart
+  // the anchored chain from the next keyframe.
+  acked_frame_ = -1;
 
   // A crash spanning a full round means the churn agreement has removed us
   // from everyone else's pool; mirror that locally so our assignment math
@@ -1278,6 +1499,8 @@ void WatchmenPeer::rejoin(Frame f) {
   }
   sent_level_.clear();
   sent_level_frame_.clear();
+
+  flush_batches();
 }
 
 bool WatchmenPeer::pool_transition_grace() const {
@@ -1388,10 +1611,27 @@ void WatchmenPeer::handle_as_player(const net::Envelope& env,
       game::AvatarState s;
       try {
         const StateBodyView v = parse_state_body(msg.body);
-        if (v.is_delta) {
+        if (v.is_anchored) {
+          // Ack-anchored delta: the baseline is the (proxy-acked) state at
+          // the stamped frame; any frame we decoded can serve.
+          const Frame base = h.frame - static_cast<Frame>(v.baseline_age);
+          const game::AvatarState* b = k.decoded.get(base);
+          if (!b) {
+            ++metrics_.baseline_mismatches;
+            // The arrival still counts for the witness-side forwarding
+            // expectation; the next anchored delta likely recovers us.
+            if (h.origin < recv_state_in_round_.size()) {
+              ++recv_state_in_round_[h.origin];
+            }
+            break;
+          }
+          s = decode_state_body_anchored(msg.body, *b, base);
+          ++metrics_.anchored_decodes;
+        } else if (v.is_delta) {
           if (h.frame - static_cast<Frame>(v.baseline_age) != k.keyframe_frame) {
             // Out of sync until the next keyframe; the arrival still counts
             // for the witness-side forwarding expectation.
+            ++metrics_.baseline_mismatches;
             if (h.origin < recv_state_in_round_.size()) {
               ++recv_state_in_round_[h.origin];
             }
@@ -1402,10 +1642,15 @@ void WatchmenPeer::handle_as_player(const net::Envelope& env,
           s = interest::decode_full(v.payload);
           k.keyframe_state = s;
           k.keyframe_frame = h.frame;
+          ++metrics_.keyframes_decoded;
         }
+      } catch (const interest::BaselineMismatch&) {
+        ++metrics_.baseline_mismatches;
+        break;
       } catch (const DecodeError&) {
         break;
       }
+      if (cfg_.ack_anchored) k.decoded.put(h.frame, s);
       metrics_.update_age_frames.add(static_cast<double>(now - h.frame));
       ++metrics_.updates_received;
 
@@ -1522,19 +1767,20 @@ void WatchmenPeer::handle_as_player(const net::Envelope& env,
 }
 
 void WatchmenPeer::forward_to(const std::vector<PlayerId>& recipients,
-                              const net::Envelope& env, PlayerId subject) {
+                              std::span<const std::uint8_t> wire,
+                              PlayerId subject) {
   for (PlayerId to : recipients) {
     if (to == id_) continue;
     if (misbehavior_->proxy_drop_forward(subject, frame_)) continue;
     auto bytes = std::make_shared<const std::vector<std::uint8_t>>(
-        env.bytes().begin(), env.bytes().end());
+        wire.begin(), wire.end());
     if (misbehavior_->proxy_tamper_forward(subject, frame_)) {
       auto tampered = *bytes;
       if (!tampered.empty()) tampered[tampered.size() / 2] ^= 0xff;
       bytes = std::make_shared<const std::vector<std::uint8_t>>(std::move(tampered));
     }
     ++metrics_.forwarded;
-    net_->send(id_, to, bytes);
+    net_send(to, std::move(bytes));
   }
 }
 

@@ -16,6 +16,7 @@
 #include <array>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -93,6 +94,39 @@ struct WatchmenConfig {
   /// as starved. Defaults reproduce the pre-chaos behaviour.
   double starve_loss_allowance = 0.5;
   double starve_floor = 1.0 / 3.0;
+
+  // --- wire-format overhaul (ISSUE 6) — all off by default so the seed
+  // protocol stays bit-for-bit unchanged unless a scenario opts in ---------
+  /// Per-link frame batching: every message bound for the same peer within
+  /// one event slice rides a single kBatch datagram (one UDP/IP overhead).
+  /// Sub-messages keep their origin signatures; cheat-resistance unchanged.
+  bool batching = false;
+  /// Delta state updates against the receiver-acknowledged baseline instead
+  /// of the last keyframe: the proxy acks the frequent stream at
+  /// `state_ack_period`, and a lost delta no longer desyncs the receiver
+  /// until the next keyframe. Effective only with delta_updates on.
+  bool ack_anchored = false;
+  Frame state_ack_period = 5;  ///< proxy ack cadence for the frequent stream
+  /// Guidance rides the version-1 quantized encoding (varints on the delta
+  /// grid) instead of raw f32 fields.
+  bool quantized_guidance = false;
+  /// kSubscriberList sends sorted-id varint diffs against the last sent
+  /// list, with a periodic full refresh for loss recovery.
+  bool subscriber_diffs = false;
+  /// Envelope headers use the varint encoding (high bit of the type byte
+  /// set): ~7-10 bytes instead of the fixed 21. Self-describing, so mixed
+  /// configurations interoperate; pure repackaging, decoded content is
+  /// unchanged.
+  bool compact_headers = false;
+  /// Caps how many Other-set receivers a proxy forwards each infrequent
+  /// position beacon to, rotating round-robin across the set so every
+  /// receiver still refreshes eventually. The unbudgeted fan-out is the one
+  /// O(n) term in per-player upload (every beacon reaches every player
+  /// without a richer subscription); Donnybrook-style budgeting is what
+  /// keeps upload flat at 512-1024 players. Others' dead-reckoning slack
+  /// already tolerates the longer refresh interval. 0 = unlimited (seed
+  /// behaviour).
+  std::uint32_t other_update_budget = 0;
 };
 
 struct PeerMetrics {
@@ -114,6 +148,44 @@ struct PeerMetrics {
   std::uint64_t acks_received = 0;
   std::uint64_t reliable_expired = 0;    ///< retry budget exhausted
   std::uint64_t failover_adoptions = 0;  ///< emergency proxy takeovers
+
+  // Wire-format overhaul (ISSUE 6).
+  std::uint64_t batches_sent = 0;     ///< kBatch datagrams emitted (size >= 2)
+  std::uint64_t batched_messages = 0; ///< logical messages that rode a batch
+  std::uint64_t batch_rejects = 0;    ///< malformed batch containers dropped
+  Samples batch_sizes;                ///< messages per per-link flush
+  std::uint64_t anchored_sent = 0;       ///< deltas coded against an acked state
+  std::uint64_t anchored_decodes = 0;    ///< deltas recovered via the ack anchor
+  std::uint64_t keyframes_decoded = 0;   ///< full-state bodies decoded
+  std::uint64_t baseline_mismatches = 0; ///< delta arrived, baseline absent
+  std::uint64_t state_acks_sent = 0;     ///< proxy acks of the frequent stream
+  std::uint64_t sub_diff_misses = 0;     ///< subscriber diff hash mismatches
+};
+
+/// Fixed-size ring of recently decoded (or published) states keyed by frame
+/// — the candidate baselines for ack-anchored deltas. Slots allocate lazily
+/// on first use: every RemoteKnowledge holds one, but only frequent-stream
+/// endpoints ever pay for it.
+struct StateRing {
+  static constexpr std::size_t kSlots = 64;
+  struct Slot {
+    Frame frame = -1;
+    game::AvatarState state;
+  };
+  std::vector<Slot> slots;
+
+  void put(Frame f, const game::AvatarState& s) {
+    if (f < 0) return;
+    if (slots.empty()) slots.resize(kSlots);
+    Slot& slot = slots[static_cast<std::size_t>(f) % kSlots];
+    slot.frame = f;
+    slot.state = s;
+  }
+  const game::AvatarState* get(Frame f) const {
+    if (f < 0 || slots.empty()) return nullptr;
+    const Slot& slot = slots[static_cast<std::size_t>(f) % kSlots];
+    return slot.frame == f ? &slot.state : nullptr;
+  }
 };
 
 /// What a peer currently knows about another player.
@@ -128,6 +200,9 @@ struct RemoteKnowledge {
   /// Delta-coding baseline: the sender's last keyframe we decoded.
   game::AvatarState keyframe_state;
   Frame keyframe_frame = -1;
+  /// Recently decoded states by frame, for ack-anchored deltas (any frame
+  /// we decoded can serve as the sender's baseline).
+  StateRing decoded;
   /// Pre-teleport position sample, pinned whenever an incoming update
   /// jumps farther than physics allows (death + respawn). Used by the
   /// subscription checks to tell "aimed at where the target recently was"
@@ -210,6 +285,10 @@ class WatchmenPeer {
     bool has_state = false;
     game::AvatarState keyframe_state;  ///< delta-coding baseline
     Frame keyframe_frame = -1;
+    StateRing decoded;          ///< ack-anchored delta baselines by frame
+    Frame last_state_ack = -1000;  ///< frame of the last frequent-stream ack
+    std::vector<PlayerId> sent_subs;  ///< subscriber-diff baseline (sorted)
+    std::uint32_t sub_sends = 0;      ///< list sends; every 4th is a full refresh
     interest::Guidance guidance;
     bool has_guidance = false;
     std::vector<std::pair<Frame, Vec3>> path_samples;
@@ -217,6 +296,7 @@ class WatchmenPeer {
     std::uint32_t suspicious_in_round = 0;
     /// Angular-error samples for the statistical aimbot check (§Table I).
     std::vector<double> aim_samples;
+    std::size_t other_cursor = 0;   ///< round-robin start for budgeted fan-out
     Frame last_kill_claim = -1000;  ///< previous kill claim (refire check)
     int kill_claims_same_frame = 0; ///< splash multi-kills share a frame
     Frame adopted_at = -1;  ///< frame this peer became the proxy
@@ -226,11 +306,22 @@ class WatchmenPeer {
 
   // --- send helpers -------------------------------------------------------
   void send_wire(PlayerId to, std::vector<std::uint8_t> wire);
+  /// Single egress point: batches per destination when batching is on,
+  /// otherwise forwards straight to the network.
+  void net_send(PlayerId to,
+                std::shared_ptr<const std::vector<std::uint8_t>> wire);
+  /// Coalesces and sends the pending per-destination batches; called at the
+  /// end of every event slice (frame hooks and message deliveries) so batch
+  /// timing matches the unbatched send instants exactly.
+  void flush_batches();
   std::vector<std::uint8_t> make_sealed(MsgType type, PlayerId subject,
                                         Frame frame,
                                         std::span<const std::uint8_t> body);
   void send_to_proxy(MsgType type, PlayerId subject, Frame frame,
                      std::span<const std::uint8_t> body, Frame delay);
+  /// Records an own published state update (frame, seq, post-mutation state)
+  /// so a later proxy ack can be resolved into a delta anchor.
+  void note_published(Frame f, std::uint32_t seq, const game::AvatarState& s);
 
   // --- reliable control delivery ------------------------------------------
   /// Registers an already-sent control wire for ack-tracking; retransmitted
@@ -252,18 +343,25 @@ class WatchmenPeer {
   bool proxy_silent(PlayerId px) const;
 
   // --- receive paths ------------------------------------------------------
-  void handle_as_proxy(const net::Envelope& env, const ParsedMessage& msg);
+  /// One sealed envelope's worth of processing. `wire` is the envelope's
+  /// own bytes — either the whole datagram or one sub-wire of a kBatch
+  /// container (env then carries the batch; from/timing fields still apply).
+  void handle_wire(const net::Envelope& env, std::span<const std::uint8_t> wire);
+  void handle_as_proxy(const net::Envelope& env,
+                       std::span<const std::uint8_t> wire,
+                       const ParsedMessage& msg);
   /// `direct_path` marks a 1-hop update received straight from its origin
   /// under direct-update mode (skips the sender-is-the-proxy validation).
   void handle_as_player(const net::Envelope& env, const ParsedMessage& msg,
                         bool direct_path = false);
-  void proxy_handle_update(const net::Envelope& env, const ParsedMessage& msg,
-                           ProxiedState& ps);
-  void proxy_handle_subscribe_first_hop(const net::Envelope& env,
+  void proxy_handle_update(const net::Envelope& env,
+                           std::span<const std::uint8_t> wire,
+                           const ParsedMessage& msg, ProxiedState& ps);
+  void proxy_handle_subscribe_first_hop(std::span<const std::uint8_t> wire,
                                         const ParsedMessage& msg);
   void proxy_handle_subscribe_second_hop(const ParsedMessage& msg,
                                          ProxiedState& ps);
-  void proxy_handle_kill_claim(const net::Envelope& env,
+  void proxy_handle_kill_claim(std::span<const std::uint8_t> wire,
                                const ParsedMessage& msg, ProxiedState& ps);
   /// True if a known death of q makes physics discontinuities legal around
   /// updates following `baseline_frame`.
@@ -298,7 +396,7 @@ class WatchmenPeer {
   static constexpr Frame kDeathWindowFrames = 50;  ///< respawn delay + slack
   void handle_handoff(const ParsedMessage& msg);
   void forward_to(const std::vector<PlayerId>& recipients,
-                  const net::Envelope& env, PlayerId subject);
+                  std::span<const std::uint8_t> wire, PlayerId subject);
 
   // --- verification helpers -----------------------------------------------
   void emit(PlayerId suspect, verify::CheckType type, verify::Vantage vantage,
@@ -337,6 +435,18 @@ class WatchmenPeer {
   // (not the previous frame), so one lost delta does not break the chain.
   game::AvatarState last_keyframe_;
   Frame last_keyframe_frame_ = -1;
+  // Ack-anchored sender state: the published-state ring, the seq->frame map
+  // for resolving proxy acks, and the newest acked frame (the anchor).
+  StateRing published_;
+  struct SentSeq {
+    std::uint32_t seq = 0;
+    Frame frame = -1;
+  };
+  std::array<SentSeq, 128> sent_seqs_{};
+  Frame acked_frame_ = -1;
+  /// Proxy the current anchored chain is seeded against; a tenure change
+  /// resets the anchor and forces a keyframe for the new proxy.
+  PlayerId anchor_proxy_ = kInvalidPlayer;
   // Direct-update mode: the IS subscribers our proxy told us to push to.
   std::vector<PlayerId> direct_targets_;
   std::unordered_map<PlayerId, interest::SetKind> sent_level_;
@@ -416,6 +526,14 @@ class WatchmenPeer {
     std::vector<std::uint8_t> wire;
   };
   std::deque<Delayed> outbox_;
+
+  // Per-link batch accumulator (tentpole): wires queued per destination in
+  // first-touch order, coalesced into one kBatch datagram at flush_batches().
+  struct BatchSlot {
+    PlayerId to = kInvalidPlayer;
+    std::vector<std::shared_ptr<const std::vector<std::uint8_t>>> wires;
+  };
+  std::vector<BatchSlot> batch_buf_;
 
   PeerMetrics metrics_;
 };

@@ -212,6 +212,8 @@ void WatchmenSession::collect_metrics(obs::Registry& reg) const {
         c < kNumMsgTypes ? to_string(static_cast<MsgType>(c)) : "other";
     reg.counter(std::string("net.bits_sent{type=") + type + "}")
         .set(ns.bits_sent_by_class[c]);
+    reg.counter(std::string("net.bytes_sent{type=") + type + "}")
+        .set(ns.bits_sent_by_class[c] / 8);
     reg.counter(std::string("net.dropped{type=") + type + "}")
         .set(ns.dropped_by_class[c]);
   }
@@ -221,7 +223,11 @@ void WatchmenSession::collect_metrics(obs::Registry& reg) const {
   std::uint64_t sig_rejects = 0, dropped_replays = 0, retransmits = 0;
   std::uint64_t acks_sent = 0, acks_received = 0, reliable_expired = 0;
   std::uint64_t failover_adoptions = 0;
-  Samples staleness, update_ages;
+  std::uint64_t batches_sent = 0, batched_messages = 0, batch_rejects = 0;
+  std::uint64_t anchored_sent = 0, anchored_decodes = 0;
+  std::uint64_t keyframes_decoded = 0, baseline_mismatches = 0;
+  std::uint64_t state_acks_sent = 0, sub_diff_misses = 0;
+  Samples staleness, update_ages, batch_sizes;
   for (PlayerId p = 0; p < trace_->n_players; ++p) {
     const PeerMetrics& m = peers_[p]->metrics();
     updates_received += m.updates_received;
@@ -234,8 +240,18 @@ void WatchmenSession::collect_metrics(obs::Registry& reg) const {
     acks_received += m.acks_received;
     reliable_expired += m.reliable_expired;
     failover_adoptions += m.failover_adoptions;
+    batches_sent += m.batches_sent;
+    batched_messages += m.batched_messages;
+    batch_rejects += m.batch_rejects;
+    anchored_sent += m.anchored_sent;
+    anchored_decodes += m.anchored_decodes;
+    keyframes_decoded += m.keyframes_decoded;
+    baseline_mismatches += m.baseline_mismatches;
+    state_acks_sent += m.state_acks_sent;
+    sub_diff_misses += m.sub_diff_misses;
     for (double v : m.staleness_frames.values()) staleness.add(v);
     for (double v : m.update_age_frames.values()) update_ages.add(v);
+    for (double v : m.batch_sizes.values()) batch_sizes.add(v);
     reg.gauge("peer.staleness_p99", p)
         .set(m.staleness_frames.count() ? m.staleness_frames.quantile(0.99)
                                         : 0.0);
@@ -250,6 +266,27 @@ void WatchmenSession::collect_metrics(obs::Registry& reg) const {
   reg.counter("peer.acks_received").set(acks_received);
   reg.counter("peer.reliable_expired").set(reliable_expired);
   reg.counter("peer.failover_adoptions").set(failover_adoptions);
+
+  // Wire-format overhaul counters (no-ops unless the config flags are on).
+  // The batch-size distribution is mirrored as summary gauges: registry
+  // Samples accumulate across snapshots, so re-adding raw values from a
+  // pull collector would double-count.
+  reg.counter("peer.batches_sent").set(batches_sent);
+  reg.counter("peer.batched_messages").set(batched_messages);
+  reg.counter("peer.batch_rejects").set(batch_rejects);
+  reg.counter("peer.anchored_sent").set(anchored_sent);
+  reg.counter("peer.anchored_decodes").set(anchored_decodes);
+  reg.counter("peer.keyframes_decoded").set(keyframes_decoded);
+  reg.counter("peer.baseline_mismatches").set(baseline_mismatches);
+  reg.counter("peer.state_acks_sent").set(state_acks_sent);
+  reg.counter("peer.sub_diff_misses").set(sub_diff_misses);
+  if (batch_sizes.count()) {
+    const auto q = batch_sizes.quantiles({0.50, 0.99, 1.0});
+    reg.gauge("net.batch_size_mean").set(batch_sizes.mean());
+    reg.gauge("net.batch_size_p50").set(q[0]);
+    reg.gauge("net.batch_size_p99").set(q[1]);
+    reg.gauge("net.batch_size_max").set(q[2]);
+  }
   reg.gauge("session.staleness_p99")
       .set(staleness.count() ? staleness.quantile(0.99) : 0.0);
   reg.gauge("session.update_age_p99")

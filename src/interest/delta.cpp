@@ -1,6 +1,7 @@
 #include "interest/delta.hpp"
 
 #include <cmath>
+#include <string>
 
 namespace watchmen::interest {
 namespace {
@@ -18,20 +19,6 @@ enum : std::uint16_t {
   kFlags = 1 << 8,
   kFrags = 1 << 9,
 };
-
-std::int32_t quant_pos(double v) { return static_cast<std::int32_t>(std::lround(v * 8.0)); }
-double dequant_pos(std::int32_t q) { return static_cast<double>(q) / 8.0; }
-std::int32_t quant_ang(double v) { return static_cast<std::int32_t>(std::lround(v * 10000.0)); }
-double dequant_ang(std::int32_t q) { return static_cast<double>(q) / 10000.0; }
-
-// Zigzag mapping so small signed differences become small varints.
-std::uint64_t zigzag(std::int64_t v) {
-  return (static_cast<std::uint64_t>(v) << 1) ^
-         static_cast<std::uint64_t>(v >> 63);
-}
-std::int64_t unzigzag(std::uint64_t v) {
-  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
-}
 
 bool same_vec_q(const Vec3& a, const Vec3& b) {
   return quant_pos(a.x) == quant_pos(b.x) && quant_pos(a.y) == quant_pos(b.y) &&
@@ -137,6 +124,35 @@ game::AvatarState decode_delta(const game::AvatarState& prev,
     cur.frags = apply_diff_q(prev.frags, r.varint());
   }
   return cur;
+}
+
+std::vector<std::uint8_t> encode_delta_anchored(const game::AvatarState& prev,
+                                                Frame baseline_frame,
+                                                const game::AvatarState& cur) {
+  ByteWriter w;
+  w.varint(zigzag(baseline_frame));
+  const auto body = encode_delta(prev, cur);
+  w.bytes(body);
+  return w.take();
+}
+
+game::AvatarState decode_delta_anchored(const game::AvatarState& prev,
+                                        Frame baseline_frame,
+                                        std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const Frame stamped = unzigzag(r.varint());
+  if (stamped != baseline_frame) {
+    throw BaselineMismatch("delta anchored to frame " +
+                           std::to_string(static_cast<long long>(stamped)) +
+                           " but receiver baseline is frame " +
+                           std::to_string(static_cast<long long>(baseline_frame)));
+  }
+  return decode_delta(prev, bytes.subspan(bytes.size() - r.remaining()));
+}
+
+Frame anchored_baseline_frame(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  return unzigzag(r.varint());
 }
 
 }  // namespace watchmen::interest

@@ -64,11 +64,15 @@ void SimNetwork::send(PlayerId from, PlayerId to,
   if (payload_bits == 0 && payload) payload_bits = payload->size() * 8;
   const std::size_t wire_bits = payload_bits + kUdpOverheadBits;
 
+  // Class = the datagram's leading message-type byte. The high bit only
+  // flags the compact header encoding (core::seal), so it is masked off —
+  // a compact state-update buckets with its legacy twin.
+  const std::uint8_t lead_class =
+      (payload && !payload->empty() ? (*payload)[0] : 0) & 0x7f;
   ++stats_.sent;
   stats_.bits_sent += wire_bits;
   stats_.bits_sent_by_class[std::min<std::size_t>(
-      payload && !payload->empty() ? (*payload)[0] : 0,
-      NetStats::kClassBuckets - 1)] += wire_bits;
+      lead_class, NetStats::kClassBuckets - 1)] += wire_bits;
   node_bits_[from] += wire_bits;
 
   // Upload serialization delay: the datagram leaves once the sender's link
@@ -85,8 +89,7 @@ void SimNetwork::send(PlayerId from, PlayerId to,
   // thus determinism — independent of delivery order), but a lost message
   // still occupies queue space until its due time and is only counted as
   // dropped then: the sender cannot observe the loss.
-  const std::uint8_t msg_class =
-      payload && !payload->empty() ? (*payload)[0] : 0;
+  const std::uint8_t msg_class = lead_class;
   bool drop = rng_.chance(loss_rate_);
   double extra_ms = 0.0;
   if (has_faults_ && from != to) {
@@ -116,7 +119,9 @@ void SimNetwork::run_until(TimeMs t) {
     if (p.dropped) {
       ++stats_.dropped;
       const std::uint8_t cls =
-          p.env.payload && !p.env.payload->empty() ? (*p.env.payload)[0] : 0;
+          (p.env.payload && !p.env.payload->empty() ? (*p.env.payload)[0]
+                                                    : 0) &
+          0x7f;
       ++stats_.dropped_by_class[std::min<std::size_t>(
           cls, NetStats::kClassBuckets - 1)];
       continue;

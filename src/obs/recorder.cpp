@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <stdexcept>
+#include <tuple>
 #include <utility>
 
 #include "cheat/cheats.hpp"
@@ -62,6 +63,13 @@ void put_watchmen_config(ByteWriter& w, const core::WatchmenConfig& c) {
   w.i64(c.proxy_failover_silence);
   w.f64(c.starve_loss_allowance);
   w.f64(c.starve_floor);
+  put_bool(w, c.batching);
+  put_bool(w, c.ack_anchored);
+  w.i64(c.state_ack_period);
+  put_bool(w, c.quantized_guidance);
+  put_bool(w, c.subscriber_diffs);
+  put_bool(w, c.compact_headers);
+  w.u32(c.other_update_budget);
 }
 
 core::WatchmenConfig get_watchmen_config(ByteReader& r) {
@@ -93,6 +101,13 @@ core::WatchmenConfig get_watchmen_config(ByteReader& r) {
   c.proxy_failover_silence = r.i64();
   c.starve_loss_allowance = r.f64();
   c.starve_floor = r.f64();
+  c.batching = get_bool(r);
+  c.ack_anchored = get_bool(r);
+  c.state_ack_period = r.i64();
+  c.quantized_guidance = get_bool(r);
+  c.subscriber_diffs = get_bool(r);
+  c.compact_headers = get_bool(r);
+  c.other_update_budget = r.u32();
   return c;
 }
 
@@ -440,6 +455,53 @@ crypto::Digest session_digest(const core::WatchmenSession& s) {
 
   const auto& reports = s.detector().reports();
   w.varint(reports.size());
+  for (const auto& r : reports) {
+    w.u32(r.verifier);
+    w.u32(r.suspect);
+    w.u8(static_cast<std::uint8_t>(r.type));
+    w.u8(static_cast<std::uint8_t>(r.vantage));
+    w.i64(r.frame);
+    w.f64(r.deviation);
+    w.f64(r.rating);
+  }
+
+  return crypto::Sha256::hash(w.data());
+}
+
+crypto::Digest logical_digest(const core::WatchmenSession& s) {
+  ByteWriter w;
+  w.i64(s.current_frame());
+
+  const std::size_t n = s.num_players();
+  for (PlayerId p = 0; p < n; ++p) {
+    put_bool(w, s.connected(p));
+    const core::PeerMetrics& m = s.peer(p).metrics();
+    w.u64(m.updates_received);
+    w.varint(m.update_age_frames.count());
+    for (PlayerId q = 0; q < n; ++q) {
+      const core::RemoteKnowledge& k = s.peer(p).knowledge_of(q);
+      w.f64(k.pos.x);
+      w.f64(k.pos.y);
+      w.f64(k.pos.z);
+      w.i64(k.pos_frame);
+      w.i64(k.state_frame);
+      put_bool(w, k.has_state);
+      w.i64(k.last_heard);
+      w.i64(k.newest_frame);
+      w.u32(k.newest_seq);
+    }
+  }
+
+  // Reports in canonical order: per-receiver processing order inside one
+  // delivery slice depends on how messages were packed into datagrams, but
+  // the *set* of verdicts must not.
+  auto reports = s.detector().reports();
+  std::sort(reports.begin(), reports.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.frame, a.verifier, a.suspect, a.type, a.vantage,
+                    a.deviation, a.rating) <
+           std::tie(b.frame, b.verifier, b.suspect, b.type, b.vantage,
+                    b.deviation, b.rating);
+  });
   for (const auto& r : reports) {
     w.u32(r.verifier);
     w.u32(r.suspect);

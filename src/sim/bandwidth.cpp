@@ -1,6 +1,7 @@
 #include "sim/bandwidth.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/messages.hpp"
 #include "net/network.hpp"
@@ -53,6 +54,55 @@ WireSizes WireSizes::measure() {
       overhead;
   w.state_payload = static_cast<double>(core::encode_state_body(s).size()) * 8;
   w.snapshot_overhead = 22 * 8 + overhead;  // header + UDP/IP, no signature
+
+  // Overhauled formats. The anchored delta is measured on one frame of
+  // typical motion (the steady state once the proxy acks every
+  // state_ack_period frames: baselines stay 1-5 frames old, so deltas are
+  // small).
+  game::AvatarState next = s;
+  const double dt = static_cast<double>(kFrameMs) / 1000.0;
+  next.pos.x += s.vel.x * dt;
+  next.pos.y += s.vel.y * dt;
+  next.pos.z += s.vel.z * dt;
+  next.yaw += 0.02;
+  // v2 envelopes ride the compact varint header (seal's `compact` flag).
+  w.state_anchored =
+      static_cast<double>(
+          core::seal(h, core::encode_state_body_delta_anchored(s, h.frame - 1, 1, next),
+                     keys.key_pair(0), /*compact=*/true).size()) * 8 +
+      overhead;
+  w.guidance_q =
+      static_cast<double>(
+          core::seal(h, core::encode_guidance_body_q(g), keys.key_pair(0),
+                     /*compact=*/true).size()) * 8 +
+      overhead;
+  w.subscriber_diff =
+      static_cast<double>(
+          core::seal(h,
+                     core::encode_subscriber_list_diff_body({1, 2, 5, 8, 13},
+                                                            {1, 2, 5, 8, 21}),
+                     keys.key_pair(0), /*compact=*/true).size()) * 8 +
+      overhead;
+  w.position_update_c =
+      static_cast<double>(
+          core::seal(h, core::encode_position_body(s.pos), keys.key_pair(0),
+                     /*compact=*/true).size()) * 8 +
+      overhead;
+  w.subscribe_c =
+      static_cast<double>(
+          core::seal(h, core::encode_subscribe_body(interest::SetKind::kInterest),
+                     keys.key_pair(0), /*compact=*/true).size()) * 8 +
+      overhead;
+
+  // Batch framing costs, measured from the container encoder itself: the
+  // marginal cost of the second sub-message is the per-message framing, and
+  // what a singleton adds beyond that is the container header.
+  const auto one = core::seal(h, core::encode_state_body(s), keys.key_pair(0));
+  const auto b1 = core::encode_batch({one});
+  const auto b2 = core::encode_batch({one, one});
+  w.batch_frame_bits = static_cast<double>(b2.size() - b1.size() - one.size()) * 8;
+  w.batch_container_bits =
+      static_cast<double>(b1.size() - one.size()) * 8 - w.batch_frame_bits;
   return w;
 }
 
@@ -117,6 +167,51 @@ double watchmen_upload_kbps(std::size_t n, const SetSizeStats& s,
   return (player + proxy) / 1000.0;
 }
 
+double watchmen_upload_kbps_v2(std::size_t n, const SetSizeStats& s,
+                               const WireSizes& w, const WireV2Params& p) {
+  const double others = static_cast<double>(n - 1);
+  const double is = s.avg_is;
+  double vs = s.vs_fraction * others;
+  // Vision saturates with density on a fixed-size map: extrapolating the
+  // sparse-trace fraction linearly past the measured dense trace would
+  // charge for players nobody can actually see.
+  if (p.vs_cap > 0.0) vs = std::min(vs, p.vs_cap);
+  const double other_count = std::max(0.0, others - is - vs);
+  // The beacon fan-out is the one O(n) term; other_update_budget rotates a
+  // fixed-size window across the set instead (peer.cpp, kPositionUpdate).
+  const double other_fanout = p.other_budget > 0.0
+                                  ? std::min(other_count, p.other_budget)
+                                  : other_count;
+  const double overhead = static_cast<double>(net::kUdpOverheadBits);
+
+  // Per-link batching trades one UDP/IP header per message for one per
+  // datagram plus cheap internal framing: a message's effective cost drops
+  // from (envelope + overhead) to (envelope + length varint) with the
+  // datagram's container + overhead split `avg_batch` ways. Singletons
+  // (avg_batch <= 1) go bare and the model degenerates to the v1 shape.
+  const auto eff = [&](double msg_with_overhead) {
+    if (p.avg_batch <= 1.0) return msg_with_overhead;
+    return msg_with_overhead - overhead + w.batch_frame_bits +
+           (overhead + w.batch_container_bits) / p.avg_batch;
+  };
+
+  // Same traffic structure as watchmen_upload_kbps, with the overhauled
+  // per-message sizes: anchored deltas for the frequent stream, quantized
+  // guidance, diffs for subscription pushes, compact envelope headers.
+  const double player =
+      kUpdatesPerSecond * eff(w.state_anchored) +
+      kInfrequentPerSecond * (eff(w.guidance_q) + eff(w.position_update_c)) +
+      kInfrequentPerSecond * (is + vs) * eff(w.subscribe_c);
+
+  const double proxy =
+      kUpdatesPerSecond * is * eff(w.state_anchored) +
+      kInfrequentPerSecond * vs * eff(w.guidance_q) +
+      kInfrequentPerSecond * other_fanout * eff(w.position_update_c) +
+      kInfrequentPerSecond * (is + vs) * eff(w.subscriber_diff);
+
+  return (player + proxy) / 1000.0;
+}
+
 double donnybrook_upload_kbps(std::size_t n, const SetSizeStats& s,
                               const WireSizes& w) {
   // Frequent updates to the interest set, dead reckoning to everyone else,
@@ -143,9 +238,9 @@ double client_server_server_kbps(std::size_t n, const SetSizeStats& s,
   return static_cast<double>(n) * per_client / 1000.0;
 }
 
-double watchmen_measured_kbps(const game::GameTrace& trace,
-                              const game::GameMap& map,
-                              core::SessionOptions opts) {
+MeasuredBandwidth watchmen_measured(const game::GameTrace& trace,
+                                    const game::GameMap& map,
+                                    core::SessionOptions opts) {
   core::WatchmenSession session(trace, map, opts);
   session.run();
   const double seconds = static_cast<double>(trace.num_frames()) *
@@ -154,13 +249,32 @@ double watchmen_measured_kbps(const game::GameTrace& trace,
   for (PlayerId p = 0; p < trace.n_players; ++p) {
     total_bits += static_cast<double>(session.network().bits_sent_by(p));
   }
-  const double kbps =
+
+  MeasuredBandwidth out;
+  out.kbps_per_player =
       total_bits / seconds / static_cast<double>(trace.n_players) / 1000.0;
+  out.bytes_per_player_s =
+      total_bits / 8.0 / seconds / static_cast<double>(trace.n_players);
+
+  double flushes = 0.0, flushed_messages = 0.0;
+  for (PlayerId p = 0; p < trace.n_players; ++p) {
+    const core::PeerMetrics& m = session.peer(p).metrics();
+    flushes += static_cast<double>(m.batch_sizes.count());
+    for (double v : m.batch_sizes.values()) flushed_messages += v;
+  }
+  out.avg_batch_size = flushes > 0.0 ? flushed_messages / flushes : 1.0;
+
   if (opts.registry) {
-    opts.registry->gauge("sim.upload_kbps_per_player").set(kbps);
+    opts.registry->gauge("sim.upload_kbps_per_player").set(out.kbps_per_player);
     opts.registry->gauge("sim.measured_seconds").set(seconds);
   }
-  return kbps;
+  return out;
+}
+
+double watchmen_measured_kbps(const game::GameTrace& trace,
+                              const game::GameMap& map,
+                              core::SessionOptions opts) {
+  return watchmen_measured(trace, map, std::move(opts)).kbps_per_player;
 }
 
 }  // namespace watchmen::sim

@@ -27,6 +27,23 @@ struct WireSizes {
   /// trusted server's snapshot.
   double snapshot_overhead = 0.0;
 
+  // Overhauled wire format (batched datagrams + ack-anchored deltas):
+  // steady-state per-message costs, measured from the same encoders the
+  // peers use. All include UDP/IP overhead like the fields above, so the
+  // two generations are directly comparable; the batching model subtracts
+  // the overhead back out when amortizing it across a datagram.
+  // v2 envelopes are sealed with the compact varint header (the v1 fields
+  // above keep the legacy 21-byte header, so old vs new is apples-to-apples).
+  double state_anchored = 0.0;   ///< ack-anchored delta, one frame of motion
+  double guidance_q = 0.0;       ///< quantized varint guidance body
+  double subscriber_diff = 0.0;  ///< one-add/one-remove subscriber diff
+  double position_update_c = 0.0;  ///< position beacon, compact header
+  double subscribe_c = 0.0;        ///< subscribe, compact header
+  /// Per-sub-message framing inside a kBatch container (length varint).
+  double batch_frame_bits = 0.0;
+  /// Per-datagram container cost (kBatch byte + count varint).
+  double batch_container_bits = 0.0;
+
   static WireSizes measure();
 };
 
@@ -48,12 +65,46 @@ SetSizeStats measure_set_sizes(const game::GameTrace& trace,
 /// players, extrapolating the trace-measured set sizes.
 double watchmen_upload_kbps(std::size_t n, const SetSizeStats& s,
                             const WireSizes& w);
+/// Knobs of the overhauled wire the v2 model is parameterized by, all
+/// measured or configured rather than assumed.
+struct WireV2Params {
+  /// Mean messages per datagram (amortizes UDP/IP overhead; 1 = no batching).
+  double avg_batch = 1.0;
+  /// WatchmenConfig::other_update_budget — cap on Other-set receivers per
+  /// forwarded beacon (0 = unlimited, the O(n) seed behaviour).
+  double other_budget = 0.0;
+  /// Absolute cap on the vision-set size (players actually visible on a
+  /// fixed-size map saturate with density; measured from the densest
+  /// packet-level trace). 0 = extrapolate vs_fraction linearly.
+  double vs_cap = 0.0;
+};
+
+/// Watchmen with the overhauled wire format: frequent updates ride
+/// ack-anchored deltas, guidance is quantized, subscription pushes are
+/// diffs, envelopes use compact headers, per-link messages share datagrams,
+/// and the Other-set beacon fan-out is budgeted (the term that must be
+/// bounded for flat upload at 512-1024 players).
+double watchmen_upload_kbps_v2(std::size_t n, const SetSizeStats& s,
+                               const WireSizes& w, const WireV2Params& p);
 double donnybrook_upload_kbps(std::size_t n, const SetSizeStats& s,
                               const WireSizes& w);
 double naive_p2p_upload_kbps(std::size_t n, const WireSizes& w);
 /// Client/server: the *server's* upload (players upload only their inputs).
 double client_server_server_kbps(std::size_t n, const SetSizeStats& s,
                                  const WireSizes& w);
+
+/// Packet-level measurement of a full Watchmen session over the trace.
+struct MeasuredBandwidth {
+  double kbps_per_player = 0.0;
+  double bytes_per_player_s = 0.0;
+  /// Mean messages per per-link flush (1.0 when batching is off or the
+  /// session sent nothing batched).
+  double avg_batch_size = 1.0;
+};
+
+MeasuredBandwidth watchmen_measured(const game::GameTrace& trace,
+                                    const game::GameMap& map,
+                                    core::SessionOptions opts);
 
 /// Measured average per-player upload (kbps) from a full packet-level
 /// Watchmen session over the trace.
