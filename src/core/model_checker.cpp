@@ -1,0 +1,133 @@
+#include "core/model_checker.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace watchmen::core::model {
+
+namespace {
+
+struct ParentEdge {
+  std::uint64_t parent_hash = 0;
+  Action action;
+  std::uint32_t depth = 0;
+};
+
+std::vector<Action> reconstruct(
+    const std::unordered_map<std::uint64_t, ParentEdge>& parents,
+    std::uint64_t initial_hash, std::uint64_t violating_hash) {
+  std::vector<Action> actions;
+  std::uint64_t h = violating_hash;
+  while (h != initial_hash) {
+    const auto it = parents.find(h);
+    if (it == parents.end()) break;  // unreachable if bookkeeping is sound
+    actions.push_back(it->second.action);
+    h = it->second.parent_hash;
+  }
+  std::reverse(actions.begin(), actions.end());
+  return actions;
+}
+
+Counterexample make_counterexample(const ModelConfig& cfg,
+                                   std::vector<Action> actions,
+                                   std::uint8_t violations,
+                                   bool at_quiescence) {
+  Counterexample ce;
+  ce.violations = violations;
+  ce.at_quiescence = at_quiescence;
+  ce.trace = render_trace(cfg, actions);
+  ce.actions = std::move(actions);
+  if (at_quiescence) {
+    ce.trace.push_back("  [quiescence check] " + violations_to_string(violations));
+  }
+  return ce;
+}
+
+}  // namespace
+
+CheckResult check(const ModelConfig& cfg, const CheckLimits& limits) {
+  CheckResult res;
+
+  const State init = initial_state(cfg);
+  const std::uint64_t init_hash = state_hash(init);
+
+  // hash -> how we first reached it (BFS order => shortest action path).
+  std::unordered_map<std::uint64_t, ParentEdge> parents;
+  parents.reserve(1 << 20);
+  parents.emplace(init_hash, ParentEdge{});  // sentinel self-edge for init
+
+  std::vector<std::pair<State, std::uint64_t>> level;
+  level.emplace_back(init, init_hash);
+  res.states_explored = 1;
+
+  const auto note_state = [&res, &cfg](const State& s) -> bool {
+    // Returns true (stop) when s violates an invariant.
+    if (s.overflow != 0) ++res.overflow_states;
+    if (s.violations != 0) return true;
+    if (quiescent(s, cfg)) {
+      ++res.quiescent_states;
+      if (quiescence_violations(s, cfg) != 0) return true;
+    }
+    return false;
+  };
+
+  if (note_state(init)) {
+    res.found_violation = true;
+    res.counterexample = make_counterexample(
+        cfg, {}, init.violations ? init.violations : quiescence_violations(init, cfg),
+        init.violations == 0);
+    return res;
+  }
+
+  for (std::uint64_t depth = 0; !level.empty() && depth < limits.max_depth;
+       ++depth) {
+    std::vector<std::pair<State, std::uint64_t>> next;
+    for (const auto& [s, h] : level) {
+      for (const Action& a : enabled_actions(s, cfg)) {
+        State succ = apply(s, a, cfg);
+        ++res.transitions;
+        const std::uint64_t sh = state_hash(succ);
+        const auto [it, inserted] = parents.emplace(
+            sh, ParentEdge{h, a, static_cast<std::uint32_t>(depth + 1)});
+        if (!inserted) continue;  // dedup: already visited via a shorter path
+        ++res.states_explored;
+        res.max_depth_reached = std::max<std::uint64_t>(res.max_depth_reached,
+                                                        depth + 1);
+        if (note_state(succ)) {
+          res.found_violation = true;
+          const bool at_q = succ.violations == 0;
+          const std::uint8_t flags =
+              at_q ? quiescence_violations(succ, cfg) : succ.violations;
+          res.counterexample = make_counterexample(
+              cfg, reconstruct(parents, init_hash, sh), flags, at_q);
+          return res;
+        }
+        if (res.states_explored >= limits.max_states) {
+          return res;  // budget hit, not exhausted
+        }
+        next.emplace_back(std::move(succ), sh);
+      }
+    }
+    level = std::move(next);
+  }
+  res.exhausted = level.empty();
+  return res;
+}
+
+std::vector<std::string> render_trace(const ModelConfig& cfg,
+                                      const std::vector<Action>& actions) {
+  std::vector<std::string> lines;
+  State s = initial_state(cfg);
+  lines.push_back("  [init]  " + describe(s, cfg));
+  int step = 1;
+  for (const Action& a : actions) {
+    const std::string what = describe(a, s);
+    s = apply(s, a, cfg);
+    lines.push_back("  [" + std::to_string(step++) + "] " + what + "  =>  " +
+                    describe(s, cfg));
+  }
+  return lines;
+}
+
+}  // namespace watchmen::core::model

@@ -293,7 +293,7 @@ void WatchmenPeer::begin_frame(Frame f) {
       const Frame heard = know_[q].last_heard;
       if (heard >= 0 && f - heard <= cfg_.renewal_frames) {
         if (churn_restore_round_[q] >= 0) continue;  // already scheduled
-        const std::int64_t restore = r + 2;
+        const std::int64_t restore = r + protocol::kRejoinRestoreDelayRounds;
         churn_restore_round_[q] = restore;
         broadcast_control(MsgType::kRejoinNotice, q,
                           encode_rejoin_body(restore));
@@ -650,7 +650,7 @@ void WatchmenPeer::end_frame(Frame f) {
       if (silent && silent_everywhere &&
           expected >= static_cast<std::size_t>(cfg_.renewal_frames) &&
           schedule_.in_pool(q) && churn_removal_round_[q] < 0) {
-        const std::int64_t removal = r + 2;
+        const std::int64_t removal = r + protocol::kChurnRemovalDelayRounds;
         churn_removal_round_[q] = removal;
         broadcast_control(MsgType::kChurnNotice, q, encode_churn_body(removal));
       }
@@ -1485,7 +1485,7 @@ void WatchmenPeer::rejoin(Frame f) {
     schedule_.remove_from_pool(id_);
     churn_removal_round_[id_] = round_;
     last_pool_change_round_ = round_;
-    const std::int64_t restore = round_ + 2;
+    const std::int64_t restore = round_ + protocol::kRejoinRestoreDelayRounds;
     churn_restore_round_[id_] = restore;
     broadcast_control(MsgType::kRejoinNotice, id_, encode_rejoin_body(restore));
   }
@@ -1507,7 +1507,8 @@ bool WatchmenPeer::pool_transition_grace() const {
   // While peers apply churn removals, their schedules may briefly diverge;
   // protocol-violation reports are suppressed for two rounds around any
   // pool change.
-  return round_ - last_pool_change_round_ <= 2;
+  return round_ - last_pool_change_round_ <=
+         protocol::kPoolTransitionGraceRounds;
 }
 
 void WatchmenPeer::handle_handoff(const ParsedMessage& msg) {
@@ -1537,7 +1538,7 @@ void WatchmenPeer::handle_handoff(const ParsedMessage& msg) {
     // incoming proxy, adopt now; anyone else — including us when a stale
     // retransmit outlives our tenure — ignores it.
     const std::int64_t now_round = schedule_.round_of(net_->clock().frame());
-    if (stamp_round + 1 < now_round) return;
+    if (stamp_round + protocol::kHandoffStaleRounds < now_round) return;
     if (schedule_.proxy_of(h.subject, stamp_round + 1) != id_) return;
     ProxiedState ps(cfg_.renewal_frames);
     ps.adopted_at = net_->clock().frame();

@@ -12,6 +12,15 @@
 //
 // The session object drives all peers frame by frame:
 //   begin_frame() -> produce() -> [network delivery -> on_message()] -> end_frame()
+//
+// Thread-safety: a peer is confined to the session's frame thread — every
+// entry point above is called under WatchmenSession's frame_mu_ (directly
+// or via SimNetwork handlers invoked from run_until on the same thread),
+// so the hot-path state below carries no locks by design. The annotation
+// pass (DESIGN.md §5g) makes that confinement checkable one level up: the
+// session can only reach a peer from inside its guarded frame body. The
+// parallel interest phase never touches peers; it writes per-player
+// interest::PlayerSets slots owned by the session.
 
 #include <array>
 #include <deque>
@@ -25,6 +34,7 @@
 #include "core/handoff.hpp"
 #include "core/messages.hpp"
 #include "core/misbehavior.hpp"
+#include "core/protocol_params.hpp"
 #include "core/proxy_schedule.hpp"
 #include "crypto/keys.hpp"
 #include "game/events.hpp"
@@ -486,7 +496,9 @@ class WatchmenPeer {
     ProxiedState state{ProxySchedule::kDefaultRenewalFrames};
   };
   std::unordered_map<PlayerId, GraceEntry> grace_;
-  static constexpr Frame kGraceFrames = 6;
+  // Shared with the wmcheck protocol model (core/protocol_params.hpp): the
+  // checker verifies the same timing the implementation runs.
+  static constexpr Frame kGraceFrames = protocol::kGraceFrames;
 
   // Churn (§VI): agreed round at which each player leaves the proxy pool
   // (-1 = not scheduled), and the round of this peer's last pool change

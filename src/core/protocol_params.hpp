@@ -1,0 +1,46 @@
+#pragma once
+// Shared handoff/failover/churn protocol constants (DESIGN.md §5g).
+//
+// These numbers define the timing skeleton of the proxy-transition
+// protocol: how long an outgoing proxy keeps serving in-flight traffic,
+// when an agreed churn removal / rejoin restore takes effect, and how much
+// round skew the handoff validator tolerates. They used to live as
+// literals inside WatchmenPeer; tools/wmcheck models the same protocol as
+// a pure transition system, and the model is only a *proof* about the
+// implementation if both read the very same constants — so they live here,
+// included by core/peer and by the wmcheck model.
+//
+// Changing any value changes the protocol: wmcheck re-verifies the
+// exactly-one-active-proxy and termination invariants against the new
+// timing on the next CI run, which is the intended workflow for tuning.
+
+#include "util/ids.hpp"
+
+namespace watchmen::core::protocol {
+
+/// After handing a player off, the old proxy keeps the proxied state alive
+/// this many frames and keeps serving messages already in flight to it
+/// across the round boundary (forwards, subscription verifies).
+inline constexpr Frame kGraceFrames = 6;
+
+/// A silence-agreed churn removal broadcast in round r schedules the
+/// player's pool exit for round r + this (one full round of notice so every
+/// peer applies the same pool at the same round boundary).
+inline constexpr std::int64_t kChurnRemovalDelayRounds = 2;
+
+/// A rejoin notice broadcast in round r restores the player to the pool at
+/// round r + this — enough lead time for the notice to spread before
+/// assignment math starts depending on it.
+inline constexpr std::int64_t kRejoinRestoreDelayRounds = 2;
+
+/// Protocol-violation reports are suppressed while
+/// round - last_pool_change_round <= this: peers' schedules may briefly
+/// diverge while churn notices propagate, and divergence is not cheating.
+inline constexpr std::int64_t kPoolTransitionGraceRounds = 2;
+
+/// A handoff stamped in round s is still installable while
+/// s + kHandoffStaleRounds >= current round (covers retransmits and
+/// boundary-crossing copies); anything older is silently dropped.
+inline constexpr std::int64_t kHandoffStaleRounds = 1;
+
+}  // namespace watchmen::core::protocol

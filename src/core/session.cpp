@@ -84,11 +84,18 @@ WatchmenSession::~WatchmenSession() {
 }
 
 void WatchmenSession::run_frames(std::size_t n) {
-  const auto limit =
-      std::min<std::size_t>(trace_->num_frames(),
-                            static_cast<std::size_t>(next_frame_) + n);
+  std::size_t start;
+  {
+    const util::MutexLock lock(frame_mu_);
+    start = static_cast<std::size_t>(next_frame_);
+  }
+  const auto limit = std::min<std::size_t>(trace_->num_frames(), start + n);
   obs::Tracer* const tr = opts_.tracer;
-  for (auto fi = static_cast<std::size_t>(next_frame_); fi < limit; ++fi) {
+  for (auto fi = start; fi < limit; ++fi) {
+    // frame_mu_ is held for the whole frame body and released between
+    // frames — the only points where cross-thread observers (registry
+    // snapshots, connected()/current_frame()) may see the session.
+    const util::MutexLock lock(frame_mu_);
     const Frame f = static_cast<Frame>(fi);
     next_frame_ = f;
     const obs::Span frame_span(tr, "frame", f);
@@ -99,8 +106,8 @@ void WatchmenSession::run_frames(std::size_t n) {
     // the frame (the node misses even this frame's deliveries).
     for (const auto& c : opts_.faults.crashes) {
       if (c.player >= trace_->n_players) continue;
-      if (c.at == f && connected_[c.player]) disconnect(c.player);
-      if (c.rejoin == f && !connected_[c.player]) reconnect(c.player);
+      if (c.at == f && connected_[c.player]) disconnect_locked(c.player);
+      if (c.rejoin == f && !connected_[c.player]) reconnect_locked(c.player);
     }
 
     {
@@ -137,8 +144,14 @@ void WatchmenSession::run_frames(std::size_t n) {
       const interest::InteractionFn last_hit = [this](PlayerId a, PlayerId b) {
         return replayer_.last_interaction(a, b);
       };
+      // The workers read connectivity through an alias: the thread-safety
+      // analysis is intraprocedural, so a lambda touching the guarded
+      // member directly would warn even though this thread holds frame_mu_
+      // across the whole parallel region (and nobody can take it
+      // meanwhile). The alias states that ownership transfer explicitly.
+      const std::vector<bool>& live = connected_;
       pool_.parallel_for(n, [&](std::size_t p) {
-        if (!connected_[p]) return;
+        if (!live[p]) return;
         interest::compute_sets_into(static_cast<PlayerId>(p), tf.avatars, *map_,
                                     f, last_hit, opts_.watchmen.interest,
                                     &prev_sets_[p], &vis_cache_, frame_sets_[p],
@@ -165,20 +178,32 @@ void WatchmenSession::run_frames(std::size_t n) {
       if (connected_[p]) peers_[p]->end_frame(f);
     }
   }
+  const util::MutexLock lock(frame_mu_);
   next_frame_ = static_cast<Frame>(limit);
 }
 
 void WatchmenSession::run() {
-  run_frames(trace_->num_frames() - static_cast<std::size_t>(next_frame_));
+  run_frames(trace_->num_frames() -
+             static_cast<std::size_t>(current_frame()));
 }
 
 void WatchmenSession::disconnect(PlayerId p) {
+  const util::MutexLock lock(frame_mu_);
+  disconnect_locked(p);
+}
+
+void WatchmenSession::disconnect_locked(PlayerId p) {
   connected_.at(p) = false;
   net_->set_handler(p, nullptr);  // the node is gone; traffic to it vanishes
   if (opts_.tracer) opts_.tracer->instant("disconnect", next_frame_, p);
 }
 
 void WatchmenSession::reconnect(PlayerId p) {
+  const util::MutexLock lock(frame_mu_);
+  reconnect_locked(p);
+}
+
+void WatchmenSession::reconnect_locked(PlayerId p) {
   if (connected_.at(p)) return;
   connected_.at(p) = true;
   if (opts_.tracer) opts_.tracer->instant("reconnect", next_frame_, p);
@@ -194,6 +219,9 @@ void WatchmenSession::reconnect(PlayerId p) {
 }
 
 void WatchmenSession::collect_metrics(obs::Registry& reg) const {
+  // Holding frame_mu_ here means a snapshot taken from another thread
+  // waits for the frame in flight and then reads quiescent peers/net state.
+  const util::MutexLock lock(frame_mu_);
   reg.counter("session.frames").set(static_cast<std::uint64_t>(next_frame_));
   std::uint64_t connected = 0;
   for (bool c : connected_) connected += c ? 1 : 0;
@@ -201,7 +229,7 @@ void WatchmenSession::collect_metrics(obs::Registry& reg) const {
 
   // Network, with the per-class breakdown keyed by MsgType name (classes
   // the wire never carried are skipped to keep snapshots compact).
-  const net::NetStats& ns = net_->stats();
+  const net::NetStats ns = net_->stats();
   reg.counter("net.sent").set(ns.sent);
   reg.counter("net.delivered").set(ns.delivered);
   reg.counter("net.dropped").set(ns.dropped);
@@ -309,6 +337,7 @@ void WatchmenSession::collect_metrics(obs::Registry& reg) const {
 }
 
 Samples WatchmenSession::merged_update_ages() const {
+  const util::MutexLock lock(frame_mu_);  // peers quiescent at frame boundary
   Samples all;
   for (const auto& peer : peers_) {
     for (double v : peer->metrics().update_age_frames.values()) all.add(v);

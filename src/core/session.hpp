@@ -4,10 +4,22 @@
 // methodology (§VII): every node knows from the shared trace which message
 // should have arrived at which frame, which is how update age (Fig. 7) and
 // verification effectiveness (Fig. 6) are measured.
+//
+// Thread-safety (checked by clang -Wthread-safety, DESIGN.md §5g):
+// frame_mu_ guards the session's control state (connected_, next_frame_)
+// and is held for the body of each frame, so cross-thread observers —
+// obs::Registry::snapshot_json pulling collect_metrics, a monitor calling
+// connected()/current_frame() — interleave only at frame boundaries, when
+// peers and the network are quiescent. Lock order: frame_mu_ before the
+// registry's and network's internal mutexes, never the reverse (the
+// registry runs collectors with its own lock released, which is what makes
+// the frame_mu_ -> registry.mu_ edge acyclic).
 
 #include <memory>
 #include <unordered_map>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 #include "core/peer.hpp"
 #include "core/proxy_schedule.hpp"
@@ -75,26 +87,32 @@ class WatchmenSession {
   ~WatchmenSession();
 
   /// Runs frames [next, next+n) of the trace; call repeatedly or use run().
-  void run_frames(std::size_t n);
+  void run_frames(std::size_t n) EXCLUDES(frame_mu_);
 
   /// Runs the whole remaining trace.
-  void run();
+  void run() EXCLUDES(frame_mu_);
 
   /// Disconnects a player (churn, §VI): it stops producing and receiving
   /// from the next frame on. Peers detect the silence, its proxy announces
   /// the departure, and everyone removes it from the proxy pool.
-  void disconnect(PlayerId p);
+  void disconnect(PlayerId p) EXCLUDES(frame_mu_);
 
   /// Reconnects a crashed player at the current frame: its handler is
   /// reattached, the peer runs crash recovery (WatchmenPeer::rejoin — pool
   /// re-entry through the churn-agreement round), and the silence-driven
   /// escape/rate evidence the crash accumulated is absolved (churn, not
   /// cheating).
-  void reconnect(PlayerId p);
+  void reconnect(PlayerId p) EXCLUDES(frame_mu_);
 
-  bool connected(PlayerId p) const { return connected_.at(p); }
+  bool connected(PlayerId p) const EXCLUDES(frame_mu_) {
+    const util::MutexLock lock(frame_mu_);
+    return connected_.at(p);
+  }
 
-  Frame current_frame() const { return next_frame_; }
+  Frame current_frame() const EXCLUDES(frame_mu_) {
+    const util::MutexLock lock(frame_mu_);
+    return next_frame_;
+  }
   std::size_t num_players() const { return trace_->n_players; }
 
   const WatchmenPeer& peer(PlayerId p) const { return *peers_.at(p); }
@@ -107,12 +125,21 @@ class WatchmenSession {
   const crypto::KeyRegistry& keys() const { return keys_; }
 
   /// Update-age samples pooled across all honest receivers (Fig. 7 input).
-  Samples merged_update_ages() const;
+  /// Takes frame_mu_ so the peers it reads are frame-boundary quiescent.
+  Samples merged_update_ages() const EXCLUDES(frame_mu_);
 
  private:
   /// Mirrors subsystem counters (net, peers, detector) into the registry;
-  /// runs at snapshot time as a pull-model collector.
-  void collect_metrics(obs::Registry& reg) const;
+  /// runs at snapshot time as a pull-model collector. Takes frame_mu_, so a
+  /// snapshot from another thread waits for the frame in flight to finish.
+  void collect_metrics(obs::Registry& reg) const EXCLUDES(frame_mu_);
+
+  /// Disconnect/reconnect cores, callable from inside the frame loop (which
+  /// already holds frame_mu_ when applying scripted crash events) — the
+  /// public wrappers just take the lock. REQUIRES makes an unlocked call a
+  /// compile error and a re-locking call a caught self-deadlock.
+  void disconnect_locked(PlayerId p) REQUIRES(frame_mu_);
+  void reconnect_locked(PlayerId p) REQUIRES(frame_mu_);
 
   const game::GameTrace* trace_;
   const game::GameMap* map_;
@@ -128,8 +155,9 @@ class WatchmenSession {
   interest::VisibilityCache vis_cache_;  ///< frame-scoped pair LoS cache
   interest::EyeTable eye_table_;         ///< per-frame shared eye positions
   util::ThreadPool pool_;
-  std::vector<bool> connected_;
-  Frame next_frame_ = 0;
+  mutable util::Mutex frame_mu_;
+  std::vector<bool> connected_ GUARDED_BY(frame_mu_);
+  Frame next_frame_ GUARDED_BY(frame_mu_) = 0;
   /// Collector registered with opts_.registry (deregistered on destruction
   /// — the registry may outlive this session). -1 when no registry is set.
   std::int64_t collector_id_ = -1;

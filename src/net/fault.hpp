@@ -20,6 +20,14 @@
 // All randomness drawn while evaluating a plan comes from a dedicated Rng
 // substream inside SimNetwork, so the same FaultPlan + session seed yields
 // bit-identical NetStats regardless of how the plan is composed.
+//
+// Thread-safety: a FaultPlan is immutable once installed — every query
+// below is const and touches only the declarative window lists. All
+// *mutable* chaos state (the per-link Gilbert–Elliott chains, the fault
+// Rng) lives inside SimNetwork under its mutex, GUARDED_BY-annotated
+// there; keeping the plan itself stateless is what lets SimNetwork hand
+// out point-in-time copies via fault_plan() without aliasing live state
+// (DESIGN.md §5g).
 
 #include <cstdint>
 #include <utility>

@@ -2,13 +2,17 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace watchmen::net {
+
+using util::MutexLock;
 
 SimNetwork::SimNetwork(std::size_t n_nodes,
                        std::unique_ptr<LatencyModel> latency, double loss_rate,
                        std::uint64_t seed)
-    : latency_(std::move(latency)),
+    : n_nodes_(n_nodes),
+      latency_(std::move(latency)),
       loss_rate_(loss_rate),
       rng_(substream_seed(seed, 0x6e657477ULL)),
       fault_rng_(substream_seed(seed, 0x6661756cULL)),
@@ -24,13 +28,20 @@ void SimNetwork::set_handler(PlayerId node, Handler handler) {
 }
 
 void SimNetwork::set_upload_bps(PlayerId node, double bps) {
+  const MutexLock lock(mu_);
   upload_bps_.at(node) = bps;
 }
 
 void SimNetwork::set_fault_plan(FaultPlan plan) {
+  const MutexLock lock(mu_);
   plan_ = std::move(plan);
   has_faults_ = !plan_.empty();
-  ge_bad_.assign(handlers_.size() * handlers_.size(), 0);
+  ge_bad_.assign(n_nodes_ * n_nodes_, 0);
+}
+
+FaultPlan SimNetwork::fault_plan() const {
+  const MutexLock lock(mu_);
+  return plan_;
 }
 
 bool SimNetwork::fault_drop(PlayerId from, PlayerId to, std::uint8_t msg_class,
@@ -41,7 +52,7 @@ bool SimNetwork::fault_drop(PlayerId from, PlayerId to, std::uint8_t msg_class,
     // Advance this directed link's chain by one step, then sample loss in
     // the resulting state. Links are independent; bursts correlate drops
     // in time on a link, which is exactly what defeats blind send-twice.
-    std::uint8_t& bad = ge_bad_[from * handlers_.size() + to];
+    std::uint8_t& bad = ge_bad_[from * n_nodes_ + to];
     if (bad != 0) {
       if (fault_rng_.chance(ge->p_exit_bad)) bad = 0;
     } else if (fault_rng_.chance(ge->p_enter_bad)) {
@@ -58,7 +69,7 @@ bool SimNetwork::fault_drop(PlayerId from, PlayerId to, std::uint8_t msg_class,
 void SimNetwork::send(PlayerId from, PlayerId to,
                       std::shared_ptr<const std::vector<std::uint8_t>> payload,
                       std::size_t payload_bits) {
-  if (from >= handlers_.size() || to >= handlers_.size()) {
+  if (from >= n_nodes_ || to >= n_nodes_) {
     throw std::out_of_range("SimNetwork::send: bad node id");
   }
   if (payload_bits == 0 && payload) payload_bits = payload->size() * 8;
@@ -69,6 +80,9 @@ void SimNetwork::send(PlayerId from, PlayerId to,
   // a compact state-update buckets with its legacy twin.
   const std::uint8_t lead_class =
       (payload && !payload->empty() ? (*payload)[0] : 0) & 0x7f;
+  const TimeMs now_ms = clock_.now();
+
+  const MutexLock lock(mu_);
   ++stats_.sent;
   stats_.bits_sent += wire_bits;
   stats_.bits_sent_by_class[std::min<std::size_t>(
@@ -77,7 +91,7 @@ void SimNetwork::send(PlayerId from, PlayerId to,
 
   // Upload serialization delay: the datagram leaves once the sender's link
   // has drained everything queued before it.
-  const auto now = static_cast<double>(clock_.now());
+  const auto now = static_cast<double>(now_ms);
   double departure = now;
   if (upload_bps_[from] > 0.0) {
     const double tx_ms = static_cast<double>(wire_bits) / upload_bps_[from] * 1000.0;
@@ -93,8 +107,8 @@ void SimNetwork::send(PlayerId from, PlayerId to,
   bool drop = rng_.chance(loss_rate_);
   double extra_ms = 0.0;
   if (has_faults_ && from != to) {
-    if (fault_drop(from, to, msg_class, clock_.now())) drop = true;
-    extra_ms = plan_.extra_latency_ms(clock_.now());
+    if (fault_drop(from, to, msg_class, now_ms)) drop = true;
+    extra_ms = plan_.extra_latency_ms(now_ms);
   }
 
   const double delay =
@@ -104,36 +118,66 @@ void SimNetwork::send(PlayerId from, PlayerId to,
   Envelope env;
   env.from = from;
   env.to = to;
-  env.sent_at = clock_.now();
+  env.sent_at = now_ms;
   env.delivered_at = due;
   env.wire_bits = wire_bits;
   env.payload = std::move(payload);
   queue_.push(Pending{due, seq_++, drop, std::move(env)});
 }
 
-void SimNetwork::run_until(TimeMs t) {
-  while (!queue_.empty() && queue_.top().due <= t) {
-    Pending p = queue_.top();
-    queue_.pop();
-    clock_.advance_to(p.due);
-    if (p.dropped) {
-      ++stats_.dropped;
-      const std::uint8_t cls =
-          (p.env.payload && !p.env.payload->empty() ? (*p.env.payload)[0]
-                                                    : 0) &
-          0x7f;
-      ++stats_.dropped_by_class[std::min<std::size_t>(
-          cls, NetStats::kClassBuckets - 1)];
-      continue;
+bool SimNetwork::deliver_one(TimeMs t) {
+  // Pop exactly one deliverable event per lock acquisition, then run the
+  // handler unlocked: handlers re-enter send() (acks, retransmits,
+  // forwarded updates), and messages they enqueue that are due at or
+  // before t must be seen by the caller's next iteration — which one-at-a-
+  // time popping gives us for free, preserving the exact delivery order of
+  // the pre-refactor loop.
+  Envelope env;
+  {
+    const MutexLock lock(mu_);
+    for (;;) {
+      if (queue_.empty() || queue_.top().due > t) return false;
+      Pending p = queue_.top();
+      queue_.pop();
+      clock_.advance_to(p.due);
+      if (p.dropped) {
+        ++stats_.dropped;
+        const std::uint8_t cls =
+            (p.env.payload && !p.env.payload->empty() ? (*p.env.payload)[0]
+                                                      : 0) &
+            0x7f;
+        ++stats_.dropped_by_class[std::min<std::size_t>(
+            cls, NetStats::kClassBuckets - 1)];
+        continue;  // a drop is not an event the driving thread observes
+      }
+      ++stats_.delivered;
+      env = std::move(p.env);
+      break;
     }
-    ++stats_.delivered;
-    auto& handler = handlers_[p.env.to];
-    if (handler) handler(p.env);
+  }
+  Handler& handler = handlers_[env.to];
+  if (handler) handler(env);
+  return true;
+}
+
+void SimNetwork::run_until(TimeMs t) {
+  while (deliver_one(t)) {
   }
   clock_.advance_to(t);
 }
 
+NetStats SimNetwork::stats() const {
+  const MutexLock lock(mu_);
+  return stats_;
+}
+
+std::uint64_t SimNetwork::bits_sent_by(PlayerId node) const {
+  const MutexLock lock(mu_);
+  return node_bits_.at(node);
+}
+
 void SimNetwork::reset_bit_counters() {
+  const MutexLock lock(mu_);
   for (auto& b : node_bits_) b = 0;
 }
 

@@ -14,6 +14,20 @@
 // Payloads are shared between multicast recipients; `wire_bits` is the
 // modelled on-the-wire size (payload + UDP/IP overhead), used both for the
 // bandwidth meter and the serialization delay.
+//
+// Thread-safety (checked by clang -Wthread-safety, DESIGN.md §5g): mu_
+// guards the event queue, rngs, fault windows and all counters, so send()
+// and the stats readers may be called from any thread — the prerequisite
+// for the sharded scale-out, where shard threads inject cross-shard
+// traffic while a monitor thread snapshots stats. Delivery stays
+// single-threaded by contract: run_until() pops one due event per lock
+// acquisition and invokes the receiver's handler with mu_ RELEASED (the
+// deliver-under-lock smell from ISSUE 7 satellite 2 — a handler that calls
+// send() would self-deadlock otherwise), so handlers_ and clock_ belong to
+// the single driving thread and are deliberately unguarded. Cross-thread
+// senders must therefore send between run_until calls (shards run frames in
+// lock-step), because send() timestamps off clock_, which only run_until
+// advances.
 
 #include <array>
 #include <cstdint>
@@ -28,6 +42,7 @@
 #include "net/latency.hpp"
 #include "util/ids.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace watchmen::net {
 
@@ -73,20 +88,24 @@ class SimNetwork {
   SimNetwork(std::size_t n_nodes, std::unique_ptr<LatencyModel> latency,
              double loss_rate, std::uint64_t seed);
 
+  // Clock reads belong to the driving thread (see header comment); the
+  // mutable accessor exists for tests that pre-advance time.
   SimClock& clock() { return clock_; }
   const SimClock& clock() const { return clock_; }
-  std::size_t size() const { return handlers_.size(); }
+  std::size_t size() const { return n_nodes_; }
 
+  /// Driving-thread only: swapping a handler while run_until is delivering
+  /// to it is a contract violation, not a data race we lock against.
   void set_handler(PlayerId node, Handler handler);
 
   /// Per-node upload rate in bits/s; 0 means unconstrained (default).
-  void set_upload_bps(PlayerId node, double bps);
+  void set_upload_bps(PlayerId node, double bps) EXCLUDES(mu_);
 
   /// Installs a scripted fault schedule (see net/fault.hpp). Fault
   /// randomness comes from its own Rng substream, so the same plan + seed
   /// reproduces identical NetStats.
-  void set_fault_plan(FaultPlan plan);
-  const FaultPlan& fault_plan() const { return plan_; }
+  void set_fault_plan(FaultPlan plan) EXCLUDES(mu_);
+  FaultPlan fault_plan() const EXCLUDES(mu_);
 
   /// Queues a message. `payload_bits` defaults to 8*payload.size(); UDP/IP
   /// overhead is added on top. Loss is decided here (deterministically)
@@ -94,20 +113,24 @@ class SimNetwork {
   /// drop, just as over real UDP.
   void send(PlayerId from, PlayerId to,
             std::shared_ptr<const std::vector<std::uint8_t>> payload,
-            std::size_t payload_bits = 0);
+            std::size_t payload_bits = 0) EXCLUDES(mu_);
 
   void send(PlayerId from, PlayerId to, std::vector<std::uint8_t> payload) {
     send(from, to,
          std::make_shared<const std::vector<std::uint8_t>>(std::move(payload)));
   }
 
-  /// Delivers all messages due up to and including time t, advancing the clock.
-  void run_until(TimeMs t);
+  /// Delivers all messages due up to and including time t, advancing the
+  /// clock. Driving-thread only (handlers run on this thread, unlocked).
+  void run_until(TimeMs t) EXCLUDES(mu_);
 
-  const NetStats& stats() const { return stats_; }
-  std::uint64_t bits_sent_by(PlayerId node) const { return node_bits_.at(node); }
+  /// Point-in-time copy — a consistent snapshot even while other threads
+  /// send. (Used to return a reference into live state; the annotation pass
+  /// flagged that as unpublishable once mu_ exists.)
+  NetStats stats() const EXCLUDES(mu_);
+  std::uint64_t bits_sent_by(PlayerId node) const EXCLUDES(mu_);
   /// Resets the per-node bit counters (e.g. at a measurement-window boundary).
-  void reset_bit_counters();
+  void reset_bit_counters() EXCLUDES(mu_);
 
  private:
   struct Pending {
@@ -121,23 +144,33 @@ class SimNetwork {
   };
 
   bool fault_drop(PlayerId from, PlayerId to, std::uint8_t msg_class,
-                  TimeMs now);
+                  TimeMs now) REQUIRES(mu_);
 
-  SimClock clock_;
+  /// Pops and delivers the single next event due at or before t. Returns
+  /// false when none remains. The receiver's handler runs with mu_
+  /// released.
+  bool deliver_one(TimeMs t) EXCLUDES(mu_);
+
+  const std::size_t n_nodes_;
+  SimClock clock_;  ///< driving-thread owned (advanced only inside run_until)
   std::unique_ptr<LatencyModel> latency_;
-  double loss_rate_;
-  Rng rng_;
-  FaultPlan plan_;
-  bool has_faults_ = false;
-  Rng fault_rng_;
-  std::vector<std::uint8_t> ge_bad_;  // per directed link: chain in bad state
-  std::vector<Handler> handlers_;
-  std::vector<double> upload_bps_;
-  std::vector<double> upload_free_at_;  // per-node queue drain time (ms)
-  std::vector<std::uint64_t> node_bits_;
-  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue_;
-  std::uint64_t seq_ = 0;
-  NetStats stats_;
+  const double loss_rate_;
+  mutable util::Mutex mu_;
+  Rng rng_ GUARDED_BY(mu_);
+  FaultPlan plan_ GUARDED_BY(mu_);
+  bool has_faults_ GUARDED_BY(mu_) = false;
+  Rng fault_rng_ GUARDED_BY(mu_);
+  // per directed link: chain in bad state
+  std::vector<std::uint8_t> ge_bad_ GUARDED_BY(mu_);
+  std::vector<Handler> handlers_;  ///< driving-thread owned
+  std::vector<double> upload_bps_ GUARDED_BY(mu_);
+  // per-node queue drain time (ms)
+  std::vector<double> upload_free_at_ GUARDED_BY(mu_);
+  std::vector<std::uint64_t> node_bits_ GUARDED_BY(mu_);
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue_
+      GUARDED_BY(mu_);
+  std::uint64_t seq_ GUARDED_BY(mu_) = 0;
+  NetStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace watchmen::net

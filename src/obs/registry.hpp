@@ -18,17 +18,20 @@
 // writer the bench reports use — with keys in sorted (map) order, so output
 // is byte-deterministic for a deterministic session.
 //
-// Thread-safety: registration and snapshot take a mutex; recording through
-// a previously obtained Counter&/Gauge& is lock-free but not synchronized —
-// the session records from the sequential frame loop only (the parallel
-// interest phase does not touch the registry), matching how PeerMetrics is
-// used today.
+// Thread-safety: registration and snapshot take mu_ (annotations checked by
+// clang -Wthread-safety, DESIGN.md §5g); recording through a previously
+// obtained Counter&/Gauge& is lock-free but not synchronized — the session
+// records from the sequential frame loop only (the parallel interest phase
+// does not touch the registry), matching how PeerMetrics is used today.
+// Collectors are user callbacks that re-enter the registry, so collect()
+// copies them out and runs them with mu_ released — EXCLUDES(mu_) makes
+// calling it (or snapshot_json) with the lock held a compile error rather
+// than a deadlock.
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -37,6 +40,7 @@
 #include "obs/json.hpp"
 #include "util/ids.hpp"
 #include "util/stats.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace watchmen::obs {
 
@@ -67,17 +71,17 @@ class Registry {
 
   /// Find-or-create. References stay valid for the registry's lifetime
   /// (metrics live in deques; the maps only hold pointers).
-  Counter& counter(std::string_view name) {
-    const std::lock_guard<std::mutex> lock(mu_);
+  Counter& counter(std::string_view name) EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
     return find_or_create(counters_, counter_slab_, name);
   }
-  Gauge& gauge(std::string_view name) {
-    const std::lock_guard<std::mutex> lock(mu_);
+  Gauge& gauge(std::string_view name) EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
     return find_or_create(gauges_, gauge_slab_, name);
   }
   /// Sample distribution (exact quantiles; experiment-sized data).
-  Samples& samples(std::string_view name) {
-    const std::lock_guard<std::mutex> lock(mu_);
+  Samples& samples(std::string_view name) EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
     return find_or_create(samples_, samples_slab_, name);
   }
 
@@ -103,15 +107,15 @@ class Registry {
   /// Registers a pull-model collector, run (in registration order) at the
   /// start of every snapshot. Returns an id for remove_collector — owners
   /// whose lifetime is shorter than the registry's must deregister.
-  CollectorId add_collector(std::function<void(Registry&)> fn) {
-    const std::lock_guard<std::mutex> lock(mu_);
+  CollectorId add_collector(std::function<void(Registry&)> fn) EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
     const CollectorId id = next_collector_id_++;
     collectors_.emplace_back(id, std::move(fn));
     return id;
   }
 
-  void remove_collector(CollectorId id) {
-    const std::lock_guard<std::mutex> lock(mu_);
+  void remove_collector(CollectorId id) EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
     std::erase_if(collectors_,
                   [id](const auto& c) { return c.first == id; });
   }
@@ -119,9 +123,9 @@ class Registry {
   /// Runs collectors, then serializes every metric:
   ///   {"counters": {...}, "gauges": {...},
   ///    "samples": {name: {count, mean, p50, p95, p99, max}}}
-  std::string snapshot_json() {
+  std::string snapshot_json() EXCLUDES(mu_) {
     collect();
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     JsonWriter j;
     j.begin_object();
     j.key("counters");
@@ -152,19 +156,19 @@ class Registry {
   }
 
   /// Runs the collectors without serializing (e.g. before reading gauges).
-  void collect() {
+  void collect() EXCLUDES(mu_) {
     // Copy under the lock, run outside it: collectors re-enter the registry.
     std::vector<std::function<void(Registry&)>> fns;
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const util::MutexLock lock(mu_);
       fns.reserve(collectors_.size());
       for (const auto& [id, fn] : collectors_) fns.push_back(fn);
     }
     for (const auto& fn : fns) fn(*this);
   }
 
-  std::size_t num_metrics() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t num_metrics() const EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
     return counters_.size() + gauges_.size() + samples_.size();
   }
 
@@ -178,15 +182,16 @@ class Registry {
     return slab.back();
   }
 
-  mutable std::mutex mu_;
-  std::map<std::string, Counter*, std::less<>> counters_;
-  std::map<std::string, Gauge*, std::less<>> gauges_;
-  std::map<std::string, Samples*, std::less<>> samples_;
-  std::deque<Counter> counter_slab_;
-  std::deque<Gauge> gauge_slab_;
-  std::deque<Samples> samples_slab_;
-  std::vector<std::pair<CollectorId, std::function<void(Registry&)>>> collectors_;
-  CollectorId next_collector_id_ = 0;
+  mutable util::Mutex mu_;
+  std::map<std::string, Counter*, std::less<>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, Gauge*, std::less<>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, Samples*, std::less<>> samples_ GUARDED_BY(mu_);
+  std::deque<Counter> counter_slab_ GUARDED_BY(mu_);
+  std::deque<Gauge> gauge_slab_ GUARDED_BY(mu_);
+  std::deque<Samples> samples_slab_ GUARDED_BY(mu_);
+  std::vector<std::pair<CollectorId, std::function<void(Registry&)>>>
+      collectors_ GUARDED_BY(mu_);
+  CollectorId next_collector_id_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace watchmen::obs

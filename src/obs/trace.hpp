@@ -15,19 +15,27 @@
 // of sessions and recordings is unaffected); tests inject a deterministic
 // clock via set_clock().
 
+// Thread-safety (checked by clang -Wthread-safety, DESIGN.md §5g): mu_
+// guards the rings_ registration vector only. Each Ring's *contents*
+// (slots/next/emitted) are owned by the single thread that registered it —
+// emit() runs lock-free on that ring — which the annotation language cannot
+// express (pointee ownership per thread), so the export/stat readers
+// document the quiescence contract instead: call them only when no thread
+// is concurrently emitting. set_clock() is likewise set-before-first-emit.
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "obs/json.hpp"
 #include "util/ids.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace watchmen::obs {
 
@@ -85,14 +93,14 @@ class Tracer {
 
   /// Chrome trace_event JSON (object form, "traceEvents" array), events in
   /// timestamp order. Call from a quiescent state (no concurrent emits).
-  std::string chrome_trace_json() const {
+  std::string chrome_trace_json() const EXCLUDES(mu_) {
     struct Tagged {
       TraceEvent e;
       std::uint32_t tid;
     };
     std::vector<Tagged> events;
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const util::MutexLock lock(mu_);
       for (const auto& r : rings_) {
         const std::size_t held =
             static_cast<std::size_t>(std::min<std::uint64_t>(r->emitted, r->slots.size()));
@@ -146,16 +154,16 @@ class Tracer {
   }
 
   /// Emitted events, including those the ring has since overwritten.
-  std::uint64_t total_events() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total_events() const EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
     std::uint64_t n = 0;
     for (const auto& r : rings_) n += r->emitted;
     return n;
   }
 
   /// Events lost to ring wrap (oldest-overwritten).
-  std::uint64_t dropped_events() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t dropped_events() const EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
     std::uint64_t n = 0;
     for (const auto& r : rings_) {
       if (r->emitted > r->slots.size()) n += r->emitted - r->slots.size();
@@ -166,8 +174,8 @@ class Tracer {
   std::size_t ring_capacity() const { return capacity_; }
 
   /// Threads that have emitted at least one event.
-  std::size_t num_threads() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t num_threads() const EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
     return rings_.size();
   }
 
@@ -176,9 +184,10 @@ class Tracer {
     now_us_ = std::move(now_us);
   }
 
-  /// Drops all retained events (rings stay registered).
-  void clear() {
-    const std::lock_guard<std::mutex> lock(mu_);
+  /// Drops all retained events (rings stay registered). Quiescence contract
+  /// as for chrome_trace_json: no concurrent emitters.
+  void clear() EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
     for (auto& r : rings_) {
       r->next = 0;
       r->emitted = 0;
@@ -219,12 +228,12 @@ class Tracer {
     Ring* ring;
   };
 
-  Ring& ring_for_thread() {
+  Ring& ring_for_thread() EXCLUDES(mu_) {
     thread_local std::vector<RingCacheEntry> cache;
     for (const RingCacheEntry& e : cache) {
       if (e.tracer_id == tracer_id_) return *e.ring;
     }
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     rings_.push_back(std::make_unique<Ring>(
         capacity_, static_cast<std::uint32_t>(rings_.size())));
     Ring* r = rings_.back().get();
@@ -234,9 +243,9 @@ class Tracer {
 
   const std::size_t capacity_;
   const std::uint64_t tracer_id_;  ///< key for the thread-local ring cache
-  std::function<std::int64_t()> now_us_;
-  mutable std::mutex mu_;  ///< guards rings_ registration and export
-  std::vector<std::unique_ptr<Ring>> rings_;
+  std::function<std::int64_t()> now_us_;  ///< set before first emit
+  mutable util::Mutex mu_;  ///< guards rings_ registration and export
+  std::vector<std::unique_ptr<Ring>> rings_ GUARDED_BY(mu_);
 };
 
 /// RAII begin/end pair; no-op on a null tracer, so call sites stay branchless

@@ -1,0 +1,131 @@
+#pragma once
+// Clang thread-safety annotations (ISSUE 7 tentpole, part a; DESIGN.md §5g).
+//
+// Wraps Clang's `-Wthread-safety` capability attributes so the locking
+// discipline of every mutex-protected structure in src/ is *compiler
+// checked*: a member declared GUARDED_BY(mu_) can only be touched while
+// mu_ is held, a method declared REQUIRES(mu_) can only be called with it
+// held, and EXCLUDES(mu_) makes "this function must NOT be entered with
+// the lock held" (the re-entrancy / callback-under-lock smell) a build
+// error instead of a deadlock in production.
+//
+// Under GCC (and any compiler without the attributes) every macro expands
+// to nothing, so the annotations are free documentation; the CI
+// `static-verify` job builds src/ with clang and `-Werror=thread-safety`,
+// which is where the proof actually runs. wmlint's `mutex-guarded` check
+// enforces the complementary structural rule that every mutex member has
+// at least one GUARDED_BY referring to it.
+//
+// The macro names follow the Clang documentation (and Abseil/Bitcoin
+// practice). Each is #ifndef-guarded so an embedding project that already
+// defines them wins.
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define WM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef WM_THREAD_ANNOTATION
+#define WM_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) WM_THREAD_ANNOTATION(capability(x))
+#endif
+
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY WM_THREAD_ANNOTATION(scoped_lockable)
+#endif
+
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) WM_THREAD_ANNOTATION(guarded_by(x))
+#endif
+
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) WM_THREAD_ANNOTATION(pt_guarded_by(x))
+#endif
+
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) WM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) WM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES
+#define REQUIRES(...) \
+  WM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE
+#define ACQUIRE(...) WM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE
+#define RELEASE(...) WM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  WM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef EXCLUDES
+#define EXCLUDES(...) WM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#endif
+
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) WM_THREAD_ANNOTATION(assert_capability(x))
+#endif
+
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) WM_THREAD_ANNOTATION(lock_returned(x))
+#endif
+
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  WM_THREAD_ANNOTATION(no_thread_safety_analysis)
+#endif
+
+namespace watchmen::util {
+
+/// Annotated std::mutex. Public inheritance keeps std::unique_lock<
+/// std::mutex> and std::condition_variable working on it (the pool's wait
+/// paths need the real std type), while the shadowing lock/unlock methods
+/// carry the capability attributes the analysis tracks.
+class CAPABILITY("mutex") Mutex : public std::mutex {
+ public:
+  void lock() ACQUIRE() { std::mutex::lock(); }
+  void unlock() RELEASE() { std::mutex::unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return std::mutex::try_lock(); }
+};
+
+/// Annotated scoped lock — use instead of std::lock_guard on a Mutex
+/// (std::lock_guard carries no attributes, so the analysis would treat the
+/// protected region as unlocked).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Annotated std::unique_lock for condition-variable waits. IS-A
+/// std::unique_lock<std::mutex>, so std::condition_variable::wait accepts
+/// it directly; cv.wait's internal unlock/relock is invisible to the
+/// analysis, which is sound because the lock is held on both sides of the
+/// wait.
+class SCOPED_CAPABILITY CvLock : public std::unique_lock<std::mutex> {
+ public:
+  explicit CvLock(Mutex& mu) ACQUIRE(mu) : std::unique_lock<std::mutex>(mu) {}
+  ~CvLock() RELEASE() {}
+};
+
+}  // namespace watchmen::util

@@ -12,14 +12,22 @@
 //
 // A pool of size 1 never spawns a thread and runs everything inline, so
 // sequential behaviour is the true zero-overhead baseline.
+//
+// Locking discipline (checked by clang -Wthread-safety, DESIGN.md §5g):
+// mu_ guards the job descriptor and the lifecycle flags; next_ is the only
+// lock-free hand-off (a claim ticket, not shared data). Waits are explicit
+// while-loops rather than predicate lambdas so the analysis can see the
+// guarded reads happen under the CvLock.
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace watchmen::util {
 
@@ -44,7 +52,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stop_ = true;
     }
     wake_.notify_all();
@@ -55,14 +63,15 @@ class ThreadPool {
 
   /// Runs fn(i) for all i in [0, n); blocks until every call returned.
   /// fn must be safe to invoke concurrently from different threads.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn) EXCLUDES(mu_) {
     if (n == 0) return;
     if (workers_.empty() || n == 1) {
       for (std::size_t i = 0; i < n; ++i) fn(i);
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       job_fn_ = &fn;
       job_n_ = n;
       next_.store(0, std::memory_order_relaxed);
@@ -71,20 +80,20 @@ class ThreadPool {
     }
     wake_.notify_all();
     drain();  // caller works too
-    std::unique_lock<std::mutex> lock(mu_);
-    done_.wait(lock, [this] { return pending_ == 0; });
+    CvLock lock(mu_);
+    while (pending_ != 0) done_.wait(lock);
     job_fn_ = nullptr;
   }
 
  private:
-  void drain() {
+  void drain() EXCLUDES(mu_) {
     // Claim indices until the job is exhausted. `job_fn_` stays valid until
     // pending_ hits 0, and parallel_for cannot return (and invalidate fn)
     // before that.
     const std::function<void(std::size_t)>* fn;
     std::size_t n;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       fn = job_fn_;
       n = job_n_;
     }
@@ -97,18 +106,18 @@ class ThreadPool {
       ++finished;
     }
     if (finished > 0) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       pending_ -= finished;
       if (pending_ == 0) done_.notify_all();
     }
   }
 
-  void worker_loop() {
+  void worker_loop() EXCLUDES(mu_) {
     std::uint64_t seen = 0;
     for (;;) {
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        CvLock lock(mu_);
+        while (!stop_ && generation_ == seen) wake_.wait(lock);
         if (stop_) return;
         seen = generation_;
       }
@@ -118,15 +127,15 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::size_t size_ = 1;
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable wake_;
   std::condition_variable done_;
-  const std::function<void(std::size_t)>* job_fn_ = nullptr;
-  std::size_t job_n_ = 0;
-  std::atomic<std::size_t> next_{0};
-  std::size_t pending_ = 0;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
+  const std::function<void(std::size_t)>* job_fn_ GUARDED_BY(mu_) = nullptr;
+  std::size_t job_n_ GUARDED_BY(mu_) = 0;
+  std::atomic<std::size_t> next_{0};  ///< lock-free index claim ticket
+  std::size_t pending_ GUARDED_BY(mu_) = 0;
+  std::uint64_t generation_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace watchmen::util

@@ -157,6 +157,64 @@ class DecoderAbortTest(unittest.TestCase):
         self.assertEqual(fs, [])
 
 
+class MutexGuardedTest(unittest.TestCase):
+    def test_unguarded_mutex_flagged(self):
+        fs = lint_tree({"src/net/x.hpp":
+                        "#pragma once\n"
+                        "class X {\n"
+                        "  mutable util::Mutex mu_;\n"
+                        "  int count_ = 0;\n"
+                        "};\n"})
+        self.assertIn("mutex-guarded", checks(fs))
+        self.assertIn("mu_", [f.msg for f in fs if f.check == "mutex-guarded"][0])
+
+    def test_guarded_mutex_clean(self):
+        fs = lint_tree({"src/net/x.hpp":
+                        "#pragma once\n"
+                        "class X {\n"
+                        "  mutable util::Mutex mu_;\n"
+                        "  int count_ GUARDED_BY(mu_) = 0;\n"
+                        "};\n"})
+        self.assertEqual(fs, [])
+
+    def test_raw_std_mutex_flagged(self):
+        fs = lint_tree({"src/core/y.hpp":
+                        "#pragma once\nstd::mutex lock_;\n"})
+        self.assertIn("mutex-guarded", checks(fs))
+
+    def test_guard_must_name_this_mutex(self):
+        fs = lint_tree({"src/core/y.hpp":
+                        "#pragma once\n"
+                        "std::mutex a_;\nstd::mutex b_;\n"
+                        "int x_ GUARDED_BY(a_) = 0;\n"})
+        self.assertEqual(checks(fs), ["mutex-guarded"])
+        self.assertIn("b_", fs[0].msg)
+
+    def test_pt_guarded_by_counts(self):
+        fs = lint_tree({"src/core/y.hpp":
+                        "#pragma once\n"
+                        "std::mutex mu_;\n"
+                        "int* p_ PT_GUARDED_BY(mu_) = nullptr;\n"})
+        self.assertEqual(fs, [])
+
+    def test_reference_member_not_flagged(self):
+        # Lock-holder classes store `Mutex&` — not a mutex declaration.
+        fs = lint_tree({"src/util/x.hpp":
+                        "#pragma once\nclass L { Mutex& mu_; };\n"})
+        self.assertEqual(fs, [])
+
+    def test_allow_annotation(self):
+        fs = lint_tree({"src/net/x.hpp":
+                        "#pragma once\n"
+                        "// held only in ctor  // wmlint: allow(mutex-guarded)\n"
+                        "std::mutex init_mu_;\n"})
+        self.assertEqual(fs, [])
+
+    def test_outside_src_not_flagged(self):
+        fs = lint_tree({"tests/x.cpp": "std::mutex mu_;\n"})
+        self.assertEqual(fs, [])
+
+
 class IncludeHygieneTest(unittest.TestCase):
     def test_missing_pragma_once(self):
         fs = lint_tree({"src/util/x.hpp": "#include <vector>\n"})

@@ -29,6 +29,12 @@ record-corpus   Same rule for the flight-recorder enums (RosterCheat and
                 RecEventKind in src/obs/recorder.hpp): every member must
                 appear qualified in fuzz/gen_corpus.cpp so each .wmrec
                 variant has a well-formed fuzz seed.
+mutex-guarded   Every mutex declared in src/ (std::mutex or util::Mutex)
+                must be named by at least one GUARDED_BY/PT_GUARDED_BY in
+                the same file: an unreferenced mutex is invisible to the
+                Clang thread-safety analysis (util/thread_annotations.hpp),
+                so -Wthread-safety proves nothing about the data it is
+                supposed to protect.
 format          (--format only) clang-format --dry-run over src/; skipped
                 with a notice when clang-format is not installed.
 
@@ -86,6 +92,14 @@ DECODER_BANNED = [
 ]
 
 QUOTED_INCLUDE_RE = re.compile(r'#\s*include\s+"([^"]+)"')
+
+# A mutex *object* declaration (member or local): type directly followed by
+# a name and `;`/`=`/`{`. References (`Mutex& mu_`), pointers, parameters and
+# base-class mentions (`: public std::mutex {`) deliberately don't match.
+MUTEX_DECL_RE = re.compile(
+    r"\b(?:std::(?:recursive_|shared_|timed_|recursive_timed_)?mutex"
+    r"|(?:util::)?Mutex)\s+(\w+)\s*(?:;|=|\{)")
+GUARD_TARGET_RE = re.compile(r"\b(?:PT_)?GUARDED_BY\(\s*(?:this->)?(\w+)")
 
 
 class Finding:
@@ -203,6 +217,29 @@ def check_decoder_abort(path: Path, rel: str, lines: list[str]) -> list[Finding]
                         path, i + 1, "decoder-abort",
                         f"{what} in decode-path function '{name}' — malformed "
                         "input must throw watchmen::DecodeError"))
+    return out
+
+
+def check_mutex_guarded(path: Path, rel: str, lines: list[str]) -> list[Finding]:
+    if not rel.startswith("src/"):
+        return []
+    guarded = set()
+    for line in lines:
+        for m in GUARD_TARGET_RE.finditer(line):
+            guarded.add(m.group(1))
+    out = []
+    for i, line in enumerate(lines):
+        m = MUTEX_DECL_RE.search(line)
+        if not m or m.group(1) in guarded:
+            continue
+        if allowed(lines, i, "mutex-guarded"):
+            continue
+        out.append(Finding(
+            path, i + 1, "mutex-guarded",
+            f"mutex '{m.group(1)}' protects nothing the analysis can see — "
+            f"annotate the data it guards with GUARDED_BY({m.group(1)}) "
+            "(util/thread_annotations.hpp) or add "
+            "`// wmlint: allow(mutex-guarded)` with a rationale"))
     return out
 
 
@@ -369,6 +406,7 @@ def lint_file(path: Path, root: Path) -> list[Finding]:
     findings += check_raw_random(path, rel, lines)
     findings += check_wire_order(path, rel, lines)
     findings += check_decoder_abort(path, rel, lines)
+    findings += check_mutex_guarded(path, rel, lines)
     findings += check_include_hygiene(path, rel, lines)
     findings += check_whitespace(path, rel, lines, raw)
     return findings
