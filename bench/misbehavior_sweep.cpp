@@ -1,0 +1,373 @@
+// Emits BENCH_misbehavior.json: the misbehavior/reputation engine under
+// reporter-layer attack (DESIGN.md §5h).
+//
+// Three scenarios, swept across attacker fraction with several seeds each:
+//
+//  * collusion — a witness clique floods fabricated reports framing one
+//    honest victim. Witness evidence only corroborates, so the gated
+//    false-positive rate (honest players losing standing) must stay <= 1 %
+//    at a 30 % clique. A bold variant escalates to forged proxy-vantage
+//    claims; it is reported (not gated) to show the kFalseAccusation
+//    rebound discouraging the clique itself.
+//  * sybil — a Sybil swarm smears the honest population while one genuine
+//    speed-hacker plays. The noise must not drown real evidence: the gated
+//    false-negative rate (runs where the cheater keeps good standing) must
+//    stay <= 5 % at a 20 % swarm.
+//  * wash — a speed-hacker crashes and rejoins to launder its score. The
+//    frozen-standing + silence-only-refund rules must leave standing within
+//    one penalty unit of (a) the pre-crash score and (b) a no-crash control
+//    run with the identical cheat schedule.
+//
+// Exits nonzero when any acceptance gate fails (CI runs this).
+//
+// Usage: misbehavior_sweep [output.json]  (default ./BENCH_misbehavior.json)
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cheat/cheats.hpp"
+#include "core/session.hpp"
+#include "game/map.hpp"
+#include "game/trace.hpp"
+#include "net/fault.hpp"
+#include "reputation/misbehavior_engine.hpp"
+
+using namespace watchmen;
+using namespace watchmen::core;
+
+namespace {
+
+constexpr std::size_t kPlayers = 24;
+constexpr std::size_t kFrames = 600;  // 15 proxy rounds = 15 epochs
+constexpr std::uint64_t kSeeds[] = {4242, 4243, 4244};
+constexpr Frame kCrashAt = 300;
+constexpr Frame kRejoinAt = 400;
+/// "One penalty unit": a full-severity conviction of the offense being
+/// laundered (position violations for the wash cheat).
+constexpr double kWashUnit = reputation::penalty::kPosition;
+
+SessionOptions base_options(std::uint64_t seed) {
+  SessionOptions opts;
+  opts.seed = seed;
+  opts.net = NetProfile::kFixed;
+  opts.fixed_latency_ms = 25.0;
+  opts.loss_rate = 0.01;
+  opts.misbehavior_enforcement = true;  // exercise the full standing path
+  return opts;
+}
+
+std::size_t clique_size(double fraction) {
+  return static_cast<std::size_t>(fraction * kPlayers + 0.5);
+}
+
+// ------------------------------------------------------------- collusion
+
+struct CollusionPoint {
+  double fraction = 0.0;
+  bool claim_proxy = false;
+  std::size_t runs = 0;
+  std::size_t honest_total = 0;       ///< honest players x runs
+  std::size_t honest_discouraged = 0; ///< engine FP events
+  double victim_score_mean = 0.0;
+  double clique_score_mean = 0.0;
+  std::uint64_t forged_vantage = 0;
+
+  double fp_rate() const {
+    return honest_total == 0 ? 0.0
+                             : static_cast<double>(honest_discouraged) /
+                                   static_cast<double>(honest_total);
+  }
+};
+
+CollusionPoint run_collusion(const game::GameTrace& trace,
+                             const game::GameMap& map, double fraction,
+                             bool claim_proxy) {
+  CollusionPoint pt;
+  pt.fraction = fraction;
+  pt.claim_proxy = claim_proxy;
+  const std::size_t k = clique_size(fraction);
+  const PlayerId victim = 0;
+
+  for (const std::uint64_t seed : kSeeds) {
+    std::vector<std::unique_ptr<cheat::CollusionFrameCheat>> cheats;
+    std::unordered_map<PlayerId, Misbehavior*> mbs;
+    for (std::size_t i = 0; i < k; ++i) {
+      const PlayerId p = static_cast<PlayerId>(kPlayers - 1 - i);
+      cheats.push_back(std::make_unique<cheat::CollusionFrameCheat>(
+          seed + i, /*rate=*/0.4, victim, claim_proxy));
+      mbs[p] = cheats.back().get();
+    }
+
+    WatchmenSession s(trace, map, base_options(seed), mbs);
+    s.run();
+
+    const reputation::MisbehaviorEngine& eng = s.misbehavior();
+    ++pt.runs;
+    double clique_sum = 0.0;
+    for (PlayerId p = 0; p < kPlayers; ++p) {
+      const bool in_clique = mbs.count(p) != 0;
+      if (in_clique) {
+        clique_sum += eng.score(p);
+        continue;
+      }
+      ++pt.honest_total;
+      if (eng.standing(p) != reputation::Standing::kGood) {
+        ++pt.honest_discouraged;
+      }
+    }
+    pt.victim_score_mean += eng.score(victim);
+    pt.clique_score_mean += k ? clique_sum / static_cast<double>(k) : 0.0;
+    pt.forged_vantage += eng.forged_vantage_reports();
+  }
+  pt.victim_score_mean /= static_cast<double>(pt.runs);
+  pt.clique_score_mean /= static_cast<double>(pt.runs);
+  return pt;
+}
+
+// ----------------------------------------------------------------- sybil
+
+struct SybilPoint {
+  double fraction = 0.0;
+  std::size_t runs = 0;
+  std::size_t cheater_missed = 0;  ///< runs where the real cheater stayed kGood
+  std::size_t honest_total = 0;
+  std::size_t honest_discouraged = 0;
+  double cheater_score_mean = 0.0;
+
+  double fn_rate() const {
+    return runs == 0 ? 0.0
+                     : static_cast<double>(cheater_missed) /
+                           static_cast<double>(runs);
+  }
+  double fp_rate() const {
+    return honest_total == 0 ? 0.0
+                             : static_cast<double>(honest_discouraged) /
+                                   static_cast<double>(honest_total);
+  }
+};
+
+SybilPoint run_sybil(const game::GameTrace& trace, const game::GameMap& map,
+                     double fraction) {
+  SybilPoint pt;
+  pt.fraction = fraction;
+  const std::size_t k = clique_size(fraction);
+  const PlayerId cheater = 0;
+
+  for (const std::uint64_t seed : kSeeds) {
+    // Sybils smear the honest population (not the cheater — smearing it
+    // would only corroborate the genuine evidence).
+    std::vector<PlayerId> targets;
+    for (PlayerId p = 1; p < kPlayers - k; ++p) targets.push_back(p);
+
+    cheat::SpeedHackCheat hack(seed, /*rate=*/0.10, /*speed_factor=*/6.0);
+    std::vector<std::unique_ptr<cheat::SybilSwarmCheat>> sybils;
+    std::unordered_map<PlayerId, Misbehavior*> mbs{{cheater, &hack}};
+    for (std::size_t i = 0; i < k; ++i) {
+      const PlayerId p = static_cast<PlayerId>(kPlayers - 1 - i);
+      sybils.push_back(std::make_unique<cheat::SybilSwarmCheat>(
+          seed + i, /*rate=*/0.05, targets, /*forge_proxy_vantage=*/0.25));
+      mbs[p] = sybils.back().get();
+    }
+
+    WatchmenSession s(trace, map, base_options(seed), mbs);
+    s.run();
+
+    const reputation::MisbehaviorEngine& eng = s.misbehavior();
+    ++pt.runs;
+    if (eng.standing(cheater) == reputation::Standing::kGood) {
+      ++pt.cheater_missed;
+    }
+    pt.cheater_score_mean += eng.score(cheater);
+    for (const PlayerId p : targets) {
+      ++pt.honest_total;
+      if (eng.standing(p) != reputation::Standing::kGood) {
+        ++pt.honest_discouraged;
+      }
+    }
+  }
+  pt.cheater_score_mean /= static_cast<double>(pt.runs);
+  return pt;
+}
+
+// ------------------------------------------------------------------ wash
+
+struct WashOutcome {
+  std::size_t runs = 0;
+  double pre_crash_score_mean = 0.0;
+  double post_rejoin_score_mean = 0.0;
+  double wash_end_score_mean = 0.0;
+  double control_end_score_mean = 0.0;
+  double max_laundered_vs_pre = 0.0;      ///< max(pre - post_rejoin)
+  double max_laundered_vs_control = 0.0;  ///< max(control_end - wash_end)
+};
+
+WashOutcome run_wash(const game::GameTrace& trace, const game::GameMap& map) {
+  WashOutcome out;
+  const PlayerId cheater = 0;
+
+  for (const std::uint64_t seed : kSeeds) {
+    cheat::RatingWashCheat wash_cheat(seed, /*rate=*/0.15,
+                                      /*speed_factor=*/6.0, kCrashAt);
+    std::unordered_map<PlayerId, Misbehavior*> mbs{{cheater, &wash_cheat}};
+
+    SessionOptions opts = base_options(seed);
+    opts.faults.crashes.push_back({kCrashAt, cheater, kRejoinAt});
+    WatchmenSession s(trace, map, opts, mbs);
+    s.run_frames(static_cast<std::size_t>(kCrashAt));
+    const double pre = s.misbehavior().score(cheater);
+    s.run_frames(static_cast<std::size_t>(kRejoinAt - kCrashAt + 1));
+    const double post = s.misbehavior().score(cheater);
+    s.run();
+    const double wash_end = s.misbehavior().score(cheater);
+
+    // Control: identical cheat schedule, no crash — the wash run must not
+    // end better off than this.
+    cheat::RatingWashCheat control_cheat(seed, 0.15, 6.0, kCrashAt);
+    std::unordered_map<PlayerId, Misbehavior*> cmbs{{cheater, &control_cheat}};
+    WatchmenSession c(trace, map, base_options(seed), cmbs);
+    c.run();
+    const double control_end = c.misbehavior().score(cheater);
+
+    ++out.runs;
+    out.pre_crash_score_mean += pre;
+    out.post_rejoin_score_mean += post;
+    out.wash_end_score_mean += wash_end;
+    out.control_end_score_mean += control_end;
+    out.max_laundered_vs_pre =
+        std::max(out.max_laundered_vs_pre, pre - post);
+    out.max_laundered_vs_control =
+        std::max(out.max_laundered_vs_control, control_end - wash_end);
+  }
+  const double n = static_cast<double>(out.runs);
+  out.pre_crash_score_mean /= n;
+  out.post_rejoin_score_mean /= n;
+  out.wash_end_score_mean /= n;
+  out.control_end_score_mean /= n;
+  return out;
+}
+
+void write_collusion_point(obs::JsonWriter& j, const CollusionPoint& pt) {
+  j.begin_object();
+  j.kv("attacker_fraction", pt.fraction);
+  j.kv("claim_proxy_vantage", pt.claim_proxy);
+  j.kv("runs", pt.runs);
+  j.kv("honest_total", pt.honest_total);
+  j.kv("honest_discouraged", pt.honest_discouraged);
+  j.kv("fp_rate", pt.fp_rate());
+  j.kv("victim_score_mean", pt.victim_score_mean);
+  j.kv("clique_score_mean", pt.clique_score_mean);
+  j.kv("forged_vantage_reports", pt.forged_vantage);
+  j.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_misbehavior.json";
+
+  const game::GameMap map = game::make_longest_yard();
+  game::SessionConfig cfg;
+  cfg.n_players = kPlayers;
+  cfg.n_frames = kFrames;
+  cfg.seed = 42;
+  const game::GameTrace trace = game::record_session(map, cfg);
+
+  const double fractions[] = {0.1, 0.2, 0.3, 0.4};
+
+  std::vector<CollusionPoint> collusion;
+  for (const double x : fractions) {
+    collusion.push_back(run_collusion(trace, map, x, /*claim_proxy=*/false));
+    const CollusionPoint& pt = collusion.back();
+    std::printf("collusion %2.0f%%: fp %.4f, victim score %.1f, clique score "
+                "%.1f\n",
+                x * 100.0, pt.fp_rate(), pt.victim_score_mean,
+                pt.clique_score_mean);
+  }
+  // Bold variant at the gated fraction: forged proxy vantage, shown to
+  // rebound on the clique (informational).
+  const CollusionPoint bold =
+      run_collusion(trace, map, 0.3, /*claim_proxy=*/true);
+  std::printf("collusion 30%% (forged vantage): fp %.4f, victim %.1f, clique "
+              "%.1f, forged reports %llu\n",
+              bold.fp_rate(), bold.victim_score_mean, bold.clique_score_mean,
+              static_cast<unsigned long long>(bold.forged_vantage));
+
+  std::vector<SybilPoint> sybil;
+  for (const double x : fractions) {
+    if (x > 0.3) break;  // beyond 30 % sybils the pool floor dominates
+    sybil.push_back(run_sybil(trace, map, x));
+    const SybilPoint& pt = sybil.back();
+    std::printf("sybil %2.0f%%: fn %.4f, fp %.4f, cheater score %.1f\n",
+                x * 100.0, pt.fn_rate(), pt.fp_rate(), pt.cheater_score_mean);
+  }
+
+  const WashOutcome wash = run_wash(trace, map);
+  std::printf("wash: pre %.1f, post-rejoin %.1f, end %.1f vs control %.1f "
+              "(laundered: %.1f vs pre, %.1f vs control)\n",
+              wash.pre_crash_score_mean, wash.post_rejoin_score_mean,
+              wash.wash_end_score_mean, wash.control_end_score_mean,
+              wash.max_laundered_vs_pre, wash.max_laundered_vs_control);
+
+  // Acceptance gates (ISSUE 8).
+  const CollusionPoint& fp_pt = collusion[2];  // 30 % clique
+  const SybilPoint& fn_pt = sybil[1];          // 20 % swarm
+  const bool fp_ok = fp_pt.fp_rate() <= 0.01;
+  const bool fn_ok = fn_pt.fn_rate() <= 0.05;
+  const bool wash_ok = wash.max_laundered_vs_pre <= kWashUnit &&
+                       wash.max_laundered_vs_control <= kWashUnit;
+
+  obs::JsonWriter j;
+  j.begin_object();
+  bench::report_header(j, "BM_MisbehaviorSweep_24players", map.name(),
+                       kPlayers, kFrames);
+  j.kv("seeds_per_point", std::size(kSeeds));
+  j.key("collusion");
+  j.begin_array();
+  for (const CollusionPoint& pt : collusion) write_collusion_point(j, pt);
+  write_collusion_point(j, bold);
+  j.end_array();
+  j.key("sybil");
+  j.begin_array();
+  for (const SybilPoint& pt : sybil) {
+    j.begin_object();
+    j.kv("attacker_fraction", pt.fraction);
+    j.kv("runs", pt.runs);
+    j.kv("fn_rate", pt.fn_rate());
+    j.kv("fp_rate", pt.fp_rate());
+    j.kv("cheater_score_mean", pt.cheater_score_mean);
+    j.kv("honest_discouraged", pt.honest_discouraged);
+    j.end_object();
+  }
+  j.end_array();
+  j.key("wash");
+  j.begin_object();
+  j.kv("crash_frame", static_cast<std::uint64_t>(kCrashAt));
+  j.kv("rejoin_frame", static_cast<std::uint64_t>(kRejoinAt));
+  j.kv("pre_crash_score_mean", wash.pre_crash_score_mean);
+  j.kv("post_rejoin_score_mean", wash.post_rejoin_score_mean);
+  j.kv("wash_end_score_mean", wash.wash_end_score_mean);
+  j.kv("control_end_score_mean", wash.control_end_score_mean);
+  j.kv("max_laundered_vs_pre", wash.max_laundered_vs_pre);
+  j.kv("max_laundered_vs_control", wash.max_laundered_vs_control);
+  j.end_object();
+  j.key("acceptance");
+  j.begin_object();
+  j.kv("fp_rate_at_30pct_clique", fp_pt.fp_rate());
+  j.kv("fp_within_1pct", fp_ok);
+  j.kv("fn_rate_at_20pct_sybil", fn_pt.fn_rate());
+  j.kv("fn_within_5pct", fn_ok);
+  j.kv("wash_penalty_unit", kWashUnit);
+  j.kv("wash_within_one_unit", wash_ok);
+  j.end_object();
+  j.end_object();
+  if (!bench::write_report(out_path, j.take(), "misbehavior_sweep")) return 2;
+
+  std::printf("acceptance: fp %.4f (<= 0.01: %s), fn %.4f (<= 0.05: %s), "
+              "wash within %g: %s -> %s\n",
+              fp_pt.fp_rate(), fp_ok ? "yes" : "NO", fn_pt.fn_rate(),
+              fn_ok ? "yes" : "NO", kWashUnit, wash_ok ? "yes" : "NO",
+              out_path);
+  return fp_ok && fn_ok && wash_ok ? 0 : 1;
+}

@@ -208,18 +208,26 @@ int main(int argc, char** argv) {
     for (PlayerId p = 0; p < 48; ++p) {
       if (!flagged[p]) rep.report(session.schedule().proxy_of(p, round), p, true, 1.0);
     }
+    // Round boundary: snapshot reporter credibilities for the next round —
+    // a reporter's collapsing standing mutes it from here on, and the
+    // outcome stays independent of report order within the round.
+    rep.advance_epoch();
   }
 
-  std::printf("%-8s %-12s %10s %12s %8s\n", "player", "cheat", "hc-reports",
-              "reputation", "banned");
+  // The misbehavior engine ran *online* inside the session (typed penalties,
+  // discouragement / instant-ban tiers); print its verdicts alongside.
+  const reputation::MisbehaviorEngine& engine = session.misbehavior();
+  std::printf("%-8s %-12s %10s %12s %8s %9s %12s\n", "player", "cheat",
+              "hc-reports", "reputation", "banned", "m-score", "standing");
   const char* labels[4] = {"speed-hack", "fake-kills", "guidance", "suppress"};
   for (PlayerId p = 0; p < 12; ++p) {
     const auto& s = session.detector().summary(p);
     const bool is_cheater = p < 4;
-    std::printf("%-8u %-12s %10llu %12.3f %8s\n", p,
+    std::printf("%-8u %-12s %10llu %12.3f %8s %9.1f %12s\n", p,
                 is_cheater ? labels[p] : "-",
                 static_cast<unsigned long long>(s.high_confidence_reports),
-                rep.reputation(p), rep.should_ban(p) ? "BANNED" : "");
+                rep.reputation(p), rep.should_ban(p) ? "BANNED" : "",
+                engine.score(p), to_string(engine.standing(p)));
   }
 
   int caught = 0, wrongly_banned = 0;

@@ -312,4 +312,73 @@ ConsistencyCheat::direct_messages(Frame f) {
   return out;
 }
 
+// ---------------------------------------------------------- CollusionFrame
+
+CollusionFrameCheat::CollusionFrameCheat(std::uint64_t seed, double rate,
+                                         PlayerId victim, bool claim_proxy)
+    : rng_(substream_seed(seed, 0xc0111deULL)), rate_(rate), victim_(victim),
+      claim_proxy_(claim_proxy) {}
+
+std::vector<verify::CheatReport> CollusionFrameCheat::fabricated_reports(
+    Frame f) {
+  if (!rng_.chance(rate_)) return {};
+  // Alternate check families so the smear resembles organic detections; the
+  // rating is high but not uniformly 10 (a real clique would dodge that tell).
+  verify::CheatReport r;
+  r.suspect = victim_;  // verifier is overwritten by the filing peer
+  r.type = rng_.chance(0.5) ? verify::CheckType::kPosition
+                            : verify::CheckType::kKill;
+  r.vantage = claim_proxy_ ? verify::Vantage::kProxy
+                           : verify::Vantage::kInterestWitness;
+  r.frame = f;
+  r.deviation = rng_.uniform(50.0, 200.0);
+  r.rating = rng_.uniform(8.0, 10.0);
+  log_cheat(f);
+  return {r};
+}
+
+// ---------------------------------------------------------- SybilSwarm
+
+SybilSwarmCheat::SybilSwarmCheat(std::uint64_t seed, double rate,
+                                 std::vector<PlayerId> targets,
+                                 double forge_proxy_vantage)
+    : rng_(substream_seed(seed, 0x5b11ULL)), rate_(rate),
+      targets_(std::move(targets)), forge_rate_(forge_proxy_vantage) {}
+
+std::vector<verify::CheatReport> SybilSwarmCheat::fabricated_reports(Frame f) {
+  std::vector<verify::CheatReport> out;
+  for (const PlayerId t : targets_) {
+    if (!rng_.chance(rate_)) continue;
+    verify::CheatReport r;
+    r.suspect = t;
+    switch (rng_.below(3)) {
+      case 0: r.type = verify::CheckType::kPosition; break;
+      case 1: r.type = verify::CheckType::kGuidance; break;
+      default: r.type = verify::CheckType::kAimbot; break;
+    }
+    r.vantage = rng_.chance(forge_rate_) ? verify::Vantage::kProxy
+                                         : verify::Vantage::kVisionWitness;
+    r.frame = f;
+    r.deviation = rng_.uniform(20.0, 100.0);
+    r.rating = rng_.uniform(7.0, 10.0);
+    out.push_back(r);
+  }
+  if (!out.empty()) log_cheat(f);
+  return out;
+}
+
+// ---------------------------------------------------------- RatingWash
+
+RatingWashCheat::RatingWashCheat(std::uint64_t seed, double rate,
+                                 double speed_factor, Frame crash_at)
+    : inner_(seed, rate, speed_factor), crash_at_(crash_at) {}
+
+game::AvatarState RatingWashCheat::mutate_state(const game::AvatarState& s,
+                                                Frame f) {
+  if (f >= crash_at_) return s;  // post-crash: model citizen
+  const game::AvatarState out = inner_.mutate_state(s, f);
+  if (out.pos.x != s.pos.x || out.pos.y != s.pos.y) log_cheat(f);
+  return out;
+}
+
 }  // namespace watchmen::cheat

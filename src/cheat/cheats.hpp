@@ -239,4 +239,62 @@ class SpoofCheat final : public LoggedCheat {
   const crypto::KeyRegistry* keys_;
 };
 
+// ---------------------------------------------------------------------------
+// Reporter-layer attacks (DESIGN.md §5h). These do not manipulate the game
+// simulation; they attack the misbehavior/reputation engine itself with
+// fabricated evidence or laundering, and exist to be *defeated*: the
+// acceptance gates in bench/misbehavior_sweep.cpp pin the false-positive /
+// false-negative rates under each of them.
+
+/// Colluding witness clique: every member floods fabricated witness-vantage
+/// reports (position + kill checks, near-certain ratings) against one honest
+/// victim. With `claim_proxy` the clique escalates to forged proxy-vantage
+/// claims — which the engine validates against the verifiable schedule and
+/// rebounds as kFalseAccusation penalties on the clique itself.
+class CollusionFrameCheat final : public LoggedCheat {
+ public:
+  CollusionFrameCheat(std::uint64_t seed, double rate, PlayerId victim,
+                      bool claim_proxy = false);
+  std::vector<verify::CheatReport> fabricated_reports(Frame f) override;
+
+ private:
+  Rng rng_;
+  double rate_;
+  PlayerId victim_;
+  bool claim_proxy_;
+};
+
+/// Sybil swarm member: smears every target in `targets` with fabricated
+/// reports at `rate` per target per frame, rotating check types to look like
+/// organic detections. `forge_proxy_vantage` upgrades a fraction of the
+/// smears to proxy-vantage claims (same rebound as above).
+class SybilSwarmCheat final : public LoggedCheat {
+ public:
+  SybilSwarmCheat(std::uint64_t seed, double rate,
+                  std::vector<PlayerId> targets,
+                  double forge_proxy_vantage = 0.0);
+  std::vector<verify::CheatReport> fabricated_reports(Frame f) override;
+
+ private:
+  Rng rng_;
+  double rate_;
+  std::vector<PlayerId> targets_;
+  double forge_rate_;
+};
+
+/// Rating wash: speed-hacks aggressively until `crash_at`, then plays clean —
+/// the scripted crash+rejoin (net::FaultPlan) in between is the wash attempt.
+/// The engine's frozen-standing + silence-only-refund rules must leave the
+/// pre-crash score intact through the cycle.
+class RatingWashCheat final : public LoggedCheat {
+ public:
+  RatingWashCheat(std::uint64_t seed, double rate, double speed_factor,
+                  Frame crash_at);
+  game::AvatarState mutate_state(const game::AvatarState& s, Frame f) override;
+
+ private:
+  SpeedHackCheat inner_;
+  Frame crash_at_;
+};
+
 }  // namespace watchmen::cheat

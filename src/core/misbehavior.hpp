@@ -14,6 +14,7 @@
 #include "interest/deadreckoning.hpp"
 #include "interest/sets.hpp"
 #include "util/ids.hpp"
+#include "verify/report.hpp"
 
 namespace watchmen::core {
 
@@ -75,6 +76,14 @@ class Misbehavior {
   /// Receivers detect the protocol violation.
   virtual std::vector<std::pair<PlayerId, std::vector<std::uint8_t>>>
   direct_messages(Frame) {
+    return {};
+  }
+
+  /// Fabricated cheat reports to file this frame (Sybil smears, colluding
+  /// witness cliques framing honest players). The peer forces the verifier
+  /// field to its own id before filing — report *identity* is attributable
+  /// (signed channels), only the content is the cheater's to forge.
+  virtual std::vector<verify::CheatReport> fabricated_reports(Frame) {
     return {};
   }
 };

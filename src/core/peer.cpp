@@ -32,7 +32,20 @@ WatchmenPeer::WatchmenPeer(PlayerId id, WatchmenConfig cfg, net::SimNetwork& net
       is_held_frames_in_round_(schedule.num_players(), 0),
       pending_starve_(schedule.num_players()),
       churn_removal_round_(schedule.num_players(), -1),
-      churn_restore_round_(schedule.num_players(), -1) {}
+      churn_restore_round_(schedule.num_players(), -1),
+      pool_eligible_(schedule.num_players(), true) {}
+
+void WatchmenPeer::set_pool_standing(PlayerId p, bool eligible) {
+  if (p >= schedule_.num_players()) return;
+  if (pool_eligible_[p] == eligible) return;
+  pool_eligible_[p] = eligible;
+  if (!eligible && schedule_.in_pool(p)) {
+    schedule_.set_weight(p, 0.0);
+    // Schedules shift under everyone's feet at the same boundary; suppress
+    // the transient protocol-violation noise like any other pool change.
+    last_pool_change_round_ = round_;
+  }
+}
 
 // --------------------------------------------------------------- sending
 
@@ -267,8 +280,10 @@ void WatchmenPeer::begin_frame(Frame f) {
     for (PlayerId q = 0; q < schedule_.num_players(); ++q) {
       if (churn_restore_round_[q] < 0 || r < churn_restore_round_[q]) continue;
       // Restores only undo *churn* removals; a node configured out of the
-      // pool (weight 0) stays out no matter what notices claim.
-      if (!schedule_.in_pool(q) && churn_removal_round_[q] >= 0) {
+      // pool (weight 0) or reputation-barred (set_pool_standing) stays out
+      // no matter what notices claim.
+      if (!schedule_.in_pool(q) && churn_removal_round_[q] >= 0 &&
+          pool_eligible_[q]) {
         schedule_.restore_to_pool(q);
         last_pool_change_round_ = r;
       }
@@ -532,6 +547,18 @@ void WatchmenPeer::produce(std::span<const game::AvatarState> truth,
   // 6. Consistency cheat: direct sends bypassing the proxy.
   for (auto& [to, wire] : misbehavior_->direct_messages(f)) {
     if (to < schedule_.num_players()) send_wire(to, std::move(wire));
+  }
+
+  // 7. Fabricated reports (Sybil smears, collusion framing). The reporting
+  //    channel is origin-signed, so the *identity* is pinned to this peer —
+  //    only the content (suspect, type, vantage, rating) is forgeable.
+  //    Vantage lies are the misbehavior engine's problem to catch.
+  for (verify::CheatReport r : misbehavior_->fabricated_reports(f)) {
+    if (!report_ || r.suspect >= schedule_.num_players() || r.suspect == id_) {
+      continue;
+    }
+    r.verifier = id_;
+    report_(r);
   }
 
   flush_batches();

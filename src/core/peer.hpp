@@ -279,6 +279,13 @@ class WatchmenPeer {
   /// kRejoinNotice scheduling pool re-entry at an agreed round.
   void rejoin(Frame f);
 
+  /// Reputation enforcement (misbehavior engine): an ineligible player is
+  /// dropped from this peer's proxy pool and stays out — churn restores no
+  /// longer re-admit it, so a discouraged player cannot rejoin its way back
+  /// into proxy or failover duty. Applied by the session at round
+  /// boundaries, identically on every peer, so schedules stay consistent.
+  void set_pool_standing(PlayerId p, bool eligible);
+
   const RemoteKnowledge& knowledge_of(PlayerId p) const { return know_.at(p); }
 
   /// Players this peer is currently proxying.
@@ -508,6 +515,9 @@ class WatchmenPeer {
   /// Agreed round at which each player re-enters the pool (-1 = none);
   /// the inverse of churn_removal_round_, fed by kRejoinNotice.
   std::vector<std::int64_t> churn_restore_round_;
+  /// Players reputation-barred from the pool (set_pool_standing): sticky,
+  /// vetoes churn restores.
+  std::vector<bool> pool_eligible_;
   std::int64_t last_pool_change_round_ = -100;
   void handle_churn_notice(const ParsedMessage& msg);
   void handle_rejoin_notice(const ParsedMessage& msg);

@@ -19,6 +19,14 @@ std::unique_ptr<net::LatencyModel> make_latency(NetProfile profile,
   throw std::invalid_argument("bad net profile");
 }
 
+reputation::EngineConfig engine_config(const SessionOptions& opts) {
+  reputation::EngineConfig cfg = opts.misbehavior;
+  // Default aggregation epoch: one proxy round, the natural cadence at
+  // which proxy vantage rotates and verdicts complete.
+  if (cfg.epoch_frames <= 0) cfg.epoch_frames = opts.watchmen.renewal_frames;
+  return cfg;
+}
+
 }  // namespace
 
 WatchmenSession::WatchmenSession(
@@ -30,9 +38,11 @@ WatchmenSession::WatchmenSession(
       keys_(opts.seed, trace.n_players),
       schedule_(opts.seed, trace.n_players, opts.watchmen.renewal_frames),
       detector_(opts.detector),
+      misbehavior_(trace.n_players, engine_config(opts)),
       replayer_(trace),
       pool_(opts.compute_threads),
-      connected_(trace.n_players, true) {
+      connected_(trace.n_players, true),
+      rep_excluded_(trace.n_players, false) {
   net_ = std::make_unique<net::SimNetwork>(
       trace.n_players,
       make_latency(opts.net, trace.n_players, opts.fixed_latency_ms, opts.seed),
@@ -40,6 +50,33 @@ WatchmenSession::WatchmenSession(
 
   for (const auto& [p, w] : opts.pool_weights) schedule_.set_weight(p, w);
   for (const auto& [p, bps] : opts.upload_bps) net_->set_upload_bps(p, bps);
+
+  // Every detector verdict becomes a typed penalty, with the detector's
+  // loss-aware discount preserved.
+  detector_.set_penalty_sink([this](const verify::CheatReport& r,
+                                    double discount) {
+    misbehavior_.submit(r, discount);
+  });
+  // Proxy-vantage claims are validated against the verifiable schedule:
+  // ±1 round covers the handoff grace window and early failover adoption.
+  misbehavior_.set_proxy_vantage_check(
+      [this](PlayerId reporter, PlayerId subject, Frame frame) {
+        const std::int64_t r = schedule_.round_of(frame);
+        for (std::int64_t d = -1; d <= 1; ++d) {
+          if (r + d < 0) continue;
+          if (schedule_.proxy_of(subject, r + d) == reporter) return true;
+        }
+        return false;
+      });
+  if (opts_.registry) {
+    misbehavior_.set_penalty_signal(
+        [reg = opts_.registry](PlayerId, reputation::PenaltyReason reason,
+                               double, double) {
+          reg->counter(std::string("rep.penalty{reason=") +
+                       reputation::to_string(reason) + "}")
+              .add(1);
+        });
+  }
 
   if (!opts.faults.empty()) {
     net_->set_fault_plan(opts.faults);
@@ -108,6 +145,16 @@ void WatchmenSession::run_frames(std::size_t n) {
       if (c.player >= trace_->n_players) continue;
       if (c.at == f && connected_[c.player]) disconnect_locked(c.player);
       if (c.rejoin == f && !connected_[c.player]) reconnect_locked(c.player);
+    }
+
+    // Misbehavior epochs whose end has passed close now, before this
+    // frame's reports flow; standing enforcement applies only at round
+    // boundaries — before begin_frame adopts the round — so every peer
+    // serves a whole round under the same weights.
+    misbehavior_.advance_to_frame(f);
+    if (opts_.misbehavior_enforcement &&
+        f % opts_.watchmen.renewal_frames == 0) {
+      apply_standing_enforcement();
     }
 
     {
@@ -195,6 +242,9 @@ void WatchmenSession::disconnect(PlayerId p) {
 void WatchmenSession::disconnect_locked(PlayerId p) {
   connected_.at(p) = false;
   net_->set_handler(p, nullptr);  // the node is gone; traffic to it vanishes
+  // Standing freezes while down: no decay, and the silence penalties the
+  // gap produces stay refundable if this turns out to be a rejoin cycle.
+  misbehavior_.on_disconnect(p, next_frame_);
   if (opts_.tracer) opts_.tracer->instant("disconnect", next_frame_, p);
 }
 
@@ -216,6 +266,32 @@ void WatchmenSession::reconnect_locked(PlayerId p) {
   // report under other check types and survive the absolution).
   detector_.absolve(p, {verify::CheckType::kEscape, verify::CheckType::kRate},
                     next_frame_);
+  // The engine mirrors the absolution — silence penalties from the gap are
+  // refunded — but every other penalty carries forward: rejoining does not
+  // wash a rating.
+  misbehavior_.on_rejoin(p, next_frame_);
+}
+
+void WatchmenSession::apply_standing_enforcement() {
+  const std::size_t n = trace_->n_players;
+  for (PlayerId p = 0; p < n; ++p) {
+    if (rep_excluded_[p] || !misbehavior_.discouraged(p)) continue;
+    // The pool must keep at least two eligible serving members (everyone
+    // needs a proxy other than themselves); with fewer, even a discouraged
+    // player keeps serving — deprioritized, not load-bearing, is the tier's
+    // contract.
+    std::size_t eligible = 0;
+    for (PlayerId q = 0; q < n; ++q) {
+      if (schedule_.in_pool(q) && !rep_excluded_[q]) ++eligible;
+    }
+    if (schedule_.in_pool(p) && eligible <= 2) continue;
+    rep_excluded_[p] = true;
+    if (opts_.tracer) opts_.tracer->instant("rep_excluded", next_frame_, p);
+    if (schedule_.in_pool(p)) schedule_.set_weight(p, 0.0);
+    for (PlayerId q = 0; q < n; ++q) {
+      peers_[q]->set_pool_standing(p, false);
+    }
+  }
 }
 
 void WatchmenSession::collect_metrics(obs::Registry& reg) const {
@@ -334,6 +410,42 @@ void WatchmenSession::collect_metrics(obs::Registry& reg) const {
     if (detector_.flagged(p)) ++flagged;
   }
   reg.counter("detector.flagged_players").set(flagged);
+
+  // Misbehavior engine. Per-penalty counters ("rep.penalty{reason=...}")
+  // ride the push-model signal hook; this mirror carries the pull-side
+  // aggregates and the score distribution (summary gauges, same rationale
+  // as the batch-size histogram above).
+  std::uint64_t rep_reports = 0;
+  for (int t = 0; t < reputation::kNumPenaltyReasons; ++t) {
+    const auto reason = static_cast<reputation::PenaltyReason>(t);
+    const reputation::ReasonStats& rs = misbehavior_.stats(reason);
+    rep_reports += rs.reports;
+    if (rs.convictions == 0) continue;
+    reg.counter(std::string("rep.convictions{reason=") +
+                reputation::to_string(reason) + "}")
+        .set(rs.convictions);
+  }
+  reg.counter("rep.reports").set(rep_reports);
+  reg.counter("rep.rejected_reports").set(misbehavior_.rejected_reports());
+  reg.counter("rep.forged_vantage").set(misbehavior_.forged_vantage_reports());
+  Samples scores;
+  std::uint64_t discouraged = 0, banned = 0;
+  for (PlayerId p = 0; p < trace_->n_players; ++p) {
+    scores.add(misbehavior_.score(p));
+    switch (misbehavior_.standing(p)) {
+      case reputation::Standing::kDiscouraged: ++discouraged; break;
+      case reputation::Standing::kBanned: ++banned; break;
+      case reputation::Standing::kGood: break;
+    }
+  }
+  reg.gauge("rep.discouraged_players").set(static_cast<double>(discouraged));
+  reg.gauge("rep.banned_players").set(static_cast<double>(banned));
+  if (scores.count()) {
+    const auto q = scores.quantiles({0.99, 1.0});
+    reg.gauge("rep.score_mean").set(scores.mean());
+    reg.gauge("rep.score_p99").set(q[0]);
+    reg.gauge("rep.score_max").set(q[1]);
+  }
 }
 
 Samples WatchmenSession::merged_update_ages() const {

@@ -29,6 +29,7 @@
 #include "net/network.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "reputation/misbehavior_engine.hpp"
 #include "util/thread_pool.hpp"
 #include "verify/detector.hpp"
 
@@ -44,6 +45,16 @@ enum class NetProfile {
 struct SessionOptions {
   WatchmenConfig watchmen;
   verify::DetectorConfig detector;
+  /// Misbehavior engine (typed penalties, discouragement / instant-ban
+  /// tiers; reputation/misbehavior_engine.hpp). epoch_frames <= 0 resolves
+  /// to one proxy round. Scoring is always on — it only *observes* the
+  /// detector stream.
+  reputation::EngineConfig misbehavior;
+  /// Act on standing: discouraged/banned players lose proxy-pool and
+  /// emergency-failover eligibility at round boundaries. Off by default
+  /// because enforcement changes protocol behaviour (the schedules), which
+  /// would break bit-identical replay of recordings made without it.
+  bool misbehavior_enforcement = false;
   std::uint64_t seed = 42;
   NetProfile net = NetProfile::kKing;
   double fixed_latency_ms = 25.0;
@@ -122,6 +133,10 @@ class WatchmenSession {
   const ProxySchedule& schedule() const { return schedule_; }
   ProxySchedule& schedule() { return schedule_; }
   const verify::Detector& detector() const { return detector_; }
+  const reputation::MisbehaviorEngine& misbehavior() const {
+    return misbehavior_;
+  }
+  reputation::MisbehaviorEngine& misbehavior() { return misbehavior_; }
   const crypto::KeyRegistry& keys() const { return keys_; }
 
   /// Update-age samples pooled across all honest receivers (Fig. 7 input).
@@ -141,6 +156,12 @@ class WatchmenSession {
   void disconnect_locked(PlayerId p) REQUIRES(frame_mu_);
   void reconnect_locked(PlayerId p) REQUIRES(frame_mu_);
 
+  /// Round-boundary standing enforcement: newly discouraged/banned players
+  /// are dropped from the canonical schedule and every peer's pool (sticky;
+  /// the pool never shrinks below two eligible members). Runs before the
+  /// round's begin_frame so all peers adopt consistent weights.
+  void apply_standing_enforcement() REQUIRES(frame_mu_);
+
   const game::GameTrace* trace_;
   const game::GameMap* map_;
   SessionOptions opts_;
@@ -148,6 +169,7 @@ class WatchmenSession {
   ProxySchedule schedule_;
   std::unique_ptr<net::SimNetwork> net_;
   verify::Detector detector_;
+  reputation::MisbehaviorEngine misbehavior_;
   game::TraceReplayer replayer_;
   std::vector<std::unique_ptr<WatchmenPeer>> peers_;
   std::vector<interest::PlayerSets> prev_sets_;   ///< for IS hysteresis
@@ -157,6 +179,8 @@ class WatchmenSession {
   util::ThreadPool pool_;
   mutable util::Mutex frame_mu_;
   std::vector<bool> connected_ GUARDED_BY(frame_mu_);
+  /// Players already excluded from pools by standing enforcement.
+  std::vector<bool> rep_excluded_ GUARDED_BY(frame_mu_);
   Frame next_frame_ GUARDED_BY(frame_mu_) = 0;
   /// Collector registered with opts_.registry (deregistered on destruction
   /// — the registry may outlive this session). -1 when no registry is set.

@@ -5,7 +5,7 @@
 namespace watchmen::reputation {
 
 ReputationSystem::ReputationSystem(std::size_t n_players, ReputationConfig cfg)
-    : cfg_(cfg), tallies_(n_players) {}
+    : cfg_(cfg), tallies_(n_players), credibility_(n_players, 1.0) {}
 
 void ReputationSystem::report(PlayerId reporter, PlayerId subject, bool success,
                               double confidence) {
@@ -14,23 +14,33 @@ void ReputationSystem::report(PlayerId reporter, PlayerId subject, bool success,
 
   double w = std::clamp(confidence, 0.0, 1.0);
   if (cfg_.credibility_weighting) {
-    // A reporter's word is worth its own standing: a near-banned cheater
-    // cannot effectively bad-mouth honest players.
-    w *= reputation(reporter);
+    // A reporter's word is worth its standing as of the last epoch boundary:
+    // a near-banned cheater cannot effectively bad-mouth honest players, and
+    // reports within an epoch cannot influence each other's weight — the
+    // epoch outcome is order-independent.
+    w *= credibility_[reporter];
   }
   Tally& t = tallies_[subject];
   (success ? t.good : t.bad) += w;
 }
 
+void ReputationSystem::advance_epoch() {
+  for (PlayerId p = 0; p < tallies_.size(); ++p) {
+    credibility_[p] = reputation(p);
+  }
+}
+
 double ReputationSystem::reputation(PlayerId subject) const {
-  const Tally& t = tallies_.at(subject);
+  if (subject >= tallies_.size()) return 1.0;  // unknown: pristine
+  const Tally& t = tallies_[subject];
   const double total = t.good + t.bad;
   if (total <= 0.0) return 1.0;
   return t.good / total;
 }
 
 bool ReputationSystem::should_ban(PlayerId subject) const {
-  const Tally& t = tallies_.at(subject);
+  if (subject >= tallies_.size()) return false;
+  const Tally& t = tallies_[subject];
   if (t.good + t.bad < cfg_.min_interactions) return false;
   return reputation(subject) < cfg_.ban_threshold;
 }
@@ -47,7 +57,8 @@ std::vector<PlayerId> ReputationSystem::banned() const {
 }
 
 double ReputationSystem::total_weight(PlayerId subject) const {
-  const Tally& t = tallies_.at(subject);
+  if (subject >= tallies_.size()) return 0.0;
+  const Tally& t = tallies_[subject];
   return t.good + t.bad;
 }
 

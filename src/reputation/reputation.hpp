@@ -6,8 +6,11 @@
 // proportion of acceptable interactions drops below a threshold chosen from
 // the detector's success/false-positive rates. Reports are weighted by the
 // reporter's confidence and by the reporter's own credibility (their
-// current reputation), which damps bad-mouthing by cheaters — the simple
-// form of the robustness refinements the paper cites [20].
+// reputation as of the last epoch boundary), which damps bad-mouthing by
+// cheaters — the simple form of the robustness refinements the paper cites
+// [20]. Snapshotting credibility at epoch boundaries (advance_epoch) makes
+// an epoch's outcome independent of report order; the typed, attack-tested
+// successor to this accumulator lives in misbehavior_engine.hpp.
 
 #include <cstdint>
 #include <vector>
@@ -30,12 +33,18 @@ class ReputationSystem {
   ReputationSystem(std::size_t n_players, ReputationConfig cfg = {});
 
   /// Records an interaction tag. `confidence` in (0,1] scales the report
-  /// weight (e.g. the verifier's vantage confidence).
+  /// weight (e.g. the verifier's vantage confidence). Out-of-range ids and
+  /// self-reports are ignored.
   void report(PlayerId reporter, PlayerId subject, bool success,
               double confidence = 1.0);
 
+  /// Closes the current epoch: reporter credibility used by subsequent
+  /// report() calls is snapshotted from the tallies as they stand now.
+  /// Within an epoch, outcomes are independent of report order.
+  void advance_epoch();
+
   /// Weighted acceptable-interaction ratio in [0,1]; players with no
-  /// reports have perfect reputation (1.0).
+  /// reports — including out-of-range subjects — have perfect reputation.
   double reputation(PlayerId subject) const;
 
   bool should_ban(PlayerId subject) const;
@@ -53,6 +62,7 @@ class ReputationSystem {
 
   ReputationConfig cfg_;
   std::vector<Tally> tallies_;
+  std::vector<double> credibility_;  ///< epoch-boundary snapshot, starts 1.0
 };
 
 }  // namespace watchmen::reputation

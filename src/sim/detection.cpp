@@ -130,6 +130,15 @@ DetectionOutcome run_detection(const game::GameTrace& trace,
     if (p == cfg.cheater) continue;
     out.honest_messages += session.peer(p).metrics().sent_by_type[mt];
   }
+
+  // Reputation-layer verdicts (the engine aggregates the same report stream
+  // into standing; bench/misbehavior_sweep.cpp gates on these).
+  const reputation::MisbehaviorEngine& eng = session.misbehavior();
+  out.cheater_score = eng.score(cfg.cheater);
+  out.cheater_standing = eng.standing(cfg.cheater);
+  for (const PlayerId p : eng.discouraged_players()) {
+    if (p != cfg.cheater) ++out.honest_discouraged;
+  }
   return out;
 }
 

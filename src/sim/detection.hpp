@@ -44,6 +44,12 @@ struct DetectionOutcome {
   std::size_t detected = 0;         ///< ... that drew a high-confidence report
   std::size_t honest_messages = 0;  ///< same-type honest messages in the run
   std::size_t false_positives = 0;  ///< high-confidence reports vs honest players
+  /// Misbehavior-engine verdicts at end of run (reputation layer, §V-B):
+  /// the cheater's accumulated penalty score / standing, and how many honest
+  /// players lost standing (reputation-layer false positives).
+  double cheater_score = 0.0;
+  reputation::Standing cheater_standing = reputation::Standing::kGood;
+  std::size_t honest_discouraged = 0;
 
   double success() const {
     return injected == 0 ? 0.0

@@ -23,6 +23,9 @@ void Detector::report(const CheatReport& r) {
   log_.push_back(r);
   accumulate(by_suspect_[r.suspect], r);
   ++reports_by_type_[static_cast<std::size_t>(r.type)];
+  if (sink_) {
+    sink_(r, in_fault_window(r.frame) ? cfg_.fault_window_discount : 1.0);
+  }
 }
 
 void Detector::add_fault_window(Frame begin, Frame end) {

@@ -12,6 +12,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <initializer_list>
 #include <unordered_map>
 #include <utility>
@@ -48,6 +49,14 @@ class Detector {
 
   const DetectorConfig& config() const { return cfg_; }
 
+  /// Downstream punishment hook: every verdict is forwarded with the
+  /// loss-aware discount the detector would weight it by (the fault-window
+  /// multiplier, 1.0 outside declared windows), so a reputation engine
+  /// inherits the same chaos tolerance. The detector stays ignorant of what
+  /// the sink does — reputation depends on verify, never the reverse.
+  using PenaltySink = std::function<void(const CheatReport&, double discount)>;
+  void set_penalty_sink(PenaltySink sink) { sink_ = std::move(sink); }
+
   void report(const CheatReport& r);
 
   /// Declares [begin, end] (frames, inclusive) as a known network-fault
@@ -83,6 +92,7 @@ class Detector {
   void accumulate(SuspectSummary& s, const CheatReport& r) const;
 
   DetectorConfig cfg_;
+  PenaltySink sink_;
   std::vector<std::pair<Frame, Frame>> fault_windows_;
   std::unordered_map<PlayerId, SuspectSummary> by_suspect_;
   std::vector<CheatReport> log_;

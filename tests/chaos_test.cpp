@@ -21,10 +21,12 @@
 #include <tuple>
 #include <vector>
 
+#include "cheat/cheats.hpp"
 #include "core/session.hpp"
 #include "game/map.hpp"
 #include "game/trace.hpp"
 #include "net/fault.hpp"
+#include "reputation/misbehavior_engine.hpp"
 
 namespace watchmen::core {
 namespace {
@@ -435,6 +437,111 @@ TEST_F(ChaosSession, CrashedNodeRejoinsPoolAndIsNotBlamed) {
   EXPECT_EQ(flagged_connected(session), 0u);
   EXPECT_GT(session.peer(5).metrics().updates_received, before)
       << "the rejoined node must start receiving updates again";
+}
+
+// ---------------------------------------------------------------------------
+// Reputation-layer attack scenarios (DESIGN.md §5h). Full sessions with the
+// misbehavior engine enforcing standing, run here so the ASan/TSan chaos
+// steps cover the fabricated-report and crash-refund paths end to end; the
+// statistical sweep with the acceptance gates is bench/misbehavior_sweep.
+
+TEST_F(ChaosSession, CollusionCliqueCannotFrameHonestVictim) {
+  SessionOptions opts;
+  opts.watchmen = chaos_config();
+  opts.net = NetProfile::kFixed;
+  opts.fixed_latency_ms = 25.0;
+  opts.loss_rate = 0.01;
+  opts.misbehavior_enforcement = true;
+
+  // A third of the session fabricates witness reports framing player 0.
+  std::vector<std::unique_ptr<cheat::CollusionFrameCheat>> clique;
+  std::unordered_map<PlayerId, Misbehavior*> mbs;
+  for (PlayerId p = 8; p < 12; ++p) {
+    clique.push_back(std::make_unique<cheat::CollusionFrameCheat>(
+        7000 + p, /*rate=*/0.5, /*victim=*/0));
+    mbs[p] = clique.back().get();
+  }
+
+  WatchmenSession session(*small_trace_, *map_, opts, mbs);
+  session.run();
+
+  const reputation::MisbehaviorEngine& eng = session.misbehavior();
+  EXPECT_DOUBLE_EQ(eng.score(0), 0.0)
+      << "witness evidence corroborates, never convicts";
+  for (PlayerId p = 0; p < 8; ++p) {
+    EXPECT_EQ(eng.standing(p), reputation::Standing::kGood) << "peer " << p;
+  }
+}
+
+TEST_F(ChaosSession, SybilForgedVantageReboundsUnderBurstyLoss) {
+  SessionOptions opts;
+  opts.watchmen = chaos_config();
+  opts.net = NetProfile::kFixed;
+  opts.fixed_latency_ms = 25.0;
+  opts.loss_rate = 0.01;
+  opts.misbehavior_enforcement = true;
+  net::FaultPlan plan;
+  plan.bursts.push_back({time_of(100), time_of(260), {0.1, 0.4, 0.02, 0.9}});
+  opts.faults = plan;
+
+  // Three Sybils smear the honest population, escalating every report to a
+  // forged proxy-vantage claim.
+  std::vector<PlayerId> targets;
+  for (PlayerId p = 0; p < 9; ++p) targets.push_back(p);
+  std::vector<std::unique_ptr<cheat::SybilSwarmCheat>> sybils;
+  std::unordered_map<PlayerId, Misbehavior*> mbs;
+  for (PlayerId p = 9; p < 12; ++p) {
+    sybils.push_back(std::make_unique<cheat::SybilSwarmCheat>(
+        8000 + p, /*rate=*/0.1, targets, /*forge_proxy_vantage=*/1.0));
+    mbs[p] = sybils.back().get();
+  }
+
+  WatchmenSession session(*small_trace_, *map_, opts, mbs);
+  session.run();
+
+  const reputation::MisbehaviorEngine& eng = session.misbehavior();
+  EXPECT_GT(eng.forged_vantage_reports(), 0u);
+  for (const PlayerId t : targets) {
+    EXPECT_EQ(eng.standing(t), reputation::Standing::kGood) << "target " << t;
+  }
+  // The rebound penalties accrue on the swarm, not its targets.
+  double sybil_score = 0.0, target_score = 0.0;
+  for (PlayerId p = 9; p < 12; ++p) sybil_score += eng.score(p);
+  for (const PlayerId t : targets) target_score += eng.score(t);
+  EXPECT_GT(sybil_score, target_score);
+}
+
+TEST_F(ChaosSession, RatingWashCrashRejoinKeepsPreCrashScore) {
+  SessionOptions opts;
+  opts.watchmen = chaos_config();
+  opts.net = NetProfile::kFixed;
+  opts.fixed_latency_ms = 25.0;
+  opts.loss_rate = 0.01;
+  opts.misbehavior_enforcement = true;
+  net::FaultPlan plan;
+  plan.crashes.push_back({240, 0, 400});
+  opts.faults = plan;
+
+  cheat::RatingWashCheat wash(99, /*rate=*/0.15, /*speed_factor=*/6.0,
+                              /*crash_at=*/240);
+  std::unordered_map<PlayerId, Misbehavior*> mbs{{0, &wash}};
+
+  WatchmenSession session(*small_trace_, *map_, opts, mbs);
+  session.run_frames(240);
+  const double pre_crash = session.misbehavior().score(0);
+  EXPECT_GT(pre_crash, 0.0) << "the speed hack must have scored by now";
+
+  session.run_frames(161);  // through the rejoin at 400
+  const double post_rejoin = session.misbehavior().score(0);
+  // Silence-driven gap penalties are refunded; the cheating itself is not.
+  EXPECT_GE(post_rejoin, pre_crash - reputation::penalty::kPosition)
+      << "crash+rejoin must not launder more than one penalty unit";
+
+  session.run();
+  for (PlayerId p = 1; p < small_trace_->n_players; ++p) {
+    EXPECT_FALSE(session.detector().flagged(p))
+        << "honest peer " << p << " stays unflagged through the attack";
+  }
 }
 
 }  // namespace

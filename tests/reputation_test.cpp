@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "reputation/reputation.hpp"
 
 namespace watchmen::reputation {
@@ -59,16 +63,76 @@ TEST(Reputation, SelfReportsIgnored) {
 
 TEST(Reputation, BadMouthingDamped) {
   // A detected cheater smears an honest player; its low credibility makes
-  // the smear nearly weightless.
+  // the smear nearly weightless. Credibility is an epoch-boundary snapshot,
+  // so the cheater's standing must be established in an earlier epoch.
   ReputationSystem rep(4);
-  // Establish cheater 0's bad standing.
+  // Epoch 0: establish cheater 0's bad standing.
   for (int i = 0; i < 30; ++i) rep.report(1, 0, false);
   ASSERT_LT(rep.reputation(0), 0.1);
-  // Cheater bad-mouths honest player 2, who has a modest good history.
+  rep.advance_epoch();
+  // Epoch 1: cheater bad-mouths honest player 2 (modest good history).
   for (int i = 0; i < 10; ++i) rep.report(3, 2, true);
   for (int i = 0; i < 30; ++i) rep.report(0, 2, false);
   EXPECT_GT(rep.reputation(2), 0.8);
   EXPECT_FALSE(rep.should_ban(2));
+}
+
+TEST(Reputation, CredibilitySnapshotsAtEpochBoundary) {
+  // Within an epoch the smearer's *snapshot* credibility applies, even as
+  // its live tally collapses — reports cannot influence each other's weight
+  // mid-epoch.
+  ReputationSystem rep(4);
+  for (int i = 0; i < 30; ++i) rep.report(1, 0, false);  // 0 collapses live
+  for (int i = 0; i < 30; ++i) rep.report(0, 2, false);  // same epoch: full voice
+  EXPECT_LT(rep.reputation(2), 0.1) << "snapshot (1.0) applies, not live";
+  rep.advance_epoch();
+  for (int i = 0; i < 30; ++i) rep.report(0, 3, false);  // next epoch: muted
+  EXPECT_DOUBLE_EQ(rep.reputation(3), 1.0)
+      << "after the boundary the smearer has no voice left";
+}
+
+TEST(Reputation, PermutationInvarianceWithinEpoch) {
+  // Regression: report() used to read the reporter's *live* reputation, so
+  // permuting one epoch's report set changed the outcome. With the epoch
+  // snapshot, any arrival order yields the same reputations.
+  struct R {
+    PlayerId reporter, subject;
+    bool success;
+    double conf;
+  };
+  std::vector<R> reports;
+  for (int i = 0; i < 12; ++i) reports.push_back({1, 0, false, 1.0});
+  for (int i = 0; i < 9; ++i) reports.push_back({0, 2, false, 0.8});
+  for (int i = 0; i < 7; ++i) reports.push_back({3, 2, true, 1.0});
+  for (int i = 0; i < 5; ++i) reports.push_back({2, 1, false, 0.5});
+
+  const auto run = [&](const std::vector<std::size_t>& order) {
+    ReputationSystem rep(4);
+    for (std::size_t idx : order) {
+      const R& r = reports[idx];
+      rep.report(r.reporter, r.subject, r.success, r.conf);
+    }
+    std::vector<double> out;
+    for (PlayerId p = 0; p < 4; ++p) out.push_back(rep.reputation(p));
+    return out;
+  };
+
+  std::vector<std::size_t> order(reports.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const auto forward = run(order);
+  std::reverse(order.begin(), order.end());
+  const auto reversed = run(order);
+  // Deterministic shuffle (LCG), no RNG dependency in the test.
+  std::uint64_t s = 12345;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    std::swap(order[i - 1], order[(s >> 33) % i]);
+  }
+  const auto shuffled = run(order);
+  for (PlayerId p = 0; p < 4; ++p) {
+    EXPECT_NEAR(forward[p], reversed[p], 1e-12);
+    EXPECT_NEAR(forward[p], shuffled[p], 1e-12);
+  }
 }
 
 TEST(Reputation, WithoutCredibilityWeightingSmearsLand) {
@@ -97,6 +161,20 @@ TEST(Reputation, OutOfRangeSubjectsIgnored) {
   rep.report(0, 99, false);  // no crash, no effect
   rep.report(99, 1, false);
   EXPECT_DOUBLE_EQ(rep.total_weight(1), 0.0);
+}
+
+TEST(Reputation, QueriesAreTotalOnOutOfRangeIds) {
+  // Regression: reputation()/should_ban()/total_weight() used to throw via
+  // .at() on ids report() silently accepted. All paths are total now: an
+  // unknown subject reads as pristine.
+  ReputationSystem rep(2);
+  EXPECT_NO_THROW({
+    EXPECT_DOUBLE_EQ(rep.reputation(99), 1.0);
+    EXPECT_FALSE(rep.should_ban(99));
+    EXPECT_DOUBLE_EQ(rep.total_weight(99), 0.0);
+  });
+  rep.advance_epoch();  // snapshot path is total too
+  EXPECT_DOUBLE_EQ(rep.reputation(2), 1.0);
 }
 
 class BanThresholdSweep : public ::testing::TestWithParam<double> {};

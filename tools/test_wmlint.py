@@ -355,6 +355,64 @@ class RecordCorpusTest(unittest.TestCase):
             self.assertEqual(wmlint.check_record_corpus(Path(td)), [])
 
 
+class PenaltyReasonTest(unittest.TestCase):
+    ENUM = ("enum class PenaltyReason : std::uint8_t {\n"
+            "  kPositionViolation = 0,\n"
+            "  kWireViolation = 1,\n"
+            "};\n")
+
+    @staticmethod
+    def penalty_tree(enum: str, cpp: str, test: str) -> list:
+        with tempfile.TemporaryDirectory() as td:
+            root = Path(td)
+            (root / "src" / "reputation").mkdir(parents=True)
+            (root / "tests").mkdir()
+            (root / "src" / "reputation" / "misbehavior_engine.hpp").write_text(enum)
+            (root / "src" / "reputation" / "misbehavior_engine.cpp").write_text(cpp)
+            (root / "tests" / "misbehavior_test.cpp").write_text(test)
+            return wmlint.check_penalty_reason(root)
+
+    def test_cased_and_tested_is_clean(self):
+        fs = self.penalty_tree(
+            self.ENUM,
+            "case PenaltyReason::kPositionViolation:\n"
+            "case PenaltyReason::kWireViolation:\n",
+            "PenaltyReason::kPositionViolation PenaltyReason::kWireViolation\n")
+        self.assertEqual(fs, [])
+
+    def test_missing_string_case_flagged(self):
+        fs = self.penalty_tree(
+            self.ENUM,
+            "case PenaltyReason::kPositionViolation:\n",
+            "PenaltyReason::kPositionViolation PenaltyReason::kWireViolation\n")
+        self.assertEqual([f.check for f in fs], ["penalty-reason"])
+        self.assertIn("to_string", fs[0].msg)
+        self.assertIn("kWireViolation", fs[0].msg)
+
+    def test_untested_member_flagged(self):
+        fs = self.penalty_tree(
+            self.ENUM,
+            "case PenaltyReason::kPositionViolation:\n"
+            "case PenaltyReason::kWireViolation:\n",
+            "PenaltyReason::kPositionViolation\n")
+        self.assertEqual([f.check for f in fs], ["penalty-reason"])
+        self.assertIn("never named in tests/", fs[0].msg)
+
+    def test_allow_annotation(self):
+        enum = self.ENUM.replace(
+            "  kWireViolation = 1,\n",
+            "  kWireViolation = 1,  // wmlint: allow(penalty-reason)\n")
+        fs = self.penalty_tree(
+            enum,
+            "case PenaltyReason::kPositionViolation:\n",
+            "PenaltyReason::kPositionViolation\n")
+        self.assertEqual(fs, [])
+
+    def test_missing_files_skip_silently(self):
+        with tempfile.TemporaryDirectory() as td:
+            self.assertEqual(wmlint.check_penalty_reason(Path(td)), [])
+
+
 class CliTest(unittest.TestCase):
     def test_exit_codes(self):
         with tempfile.TemporaryDirectory() as td:

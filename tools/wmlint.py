@@ -29,6 +29,12 @@ record-corpus   Same rule for the flight-recorder enums (RosterCheat and
                 RecEventKind in src/obs/recorder.hpp): every member must
                 appear qualified in fuzz/gen_corpus.cpp so each .wmrec
                 variant has a well-formed fuzz seed.
+penalty-reason  Every PenaltyReason member (src/reputation/
+                misbehavior_engine.hpp) must be cased in the reason-string
+                table of misbehavior_engine.cpp and named in at least one
+                test under tests/: a penalty the metrics can't label or the
+                suite never exercises is a scoring path that can silently
+                rot.
 mutex-guarded   Every mutex declared in src/ (std::mutex or util::Mutex)
                 must be named by at least one GUARDED_BY/PT_GUARDED_BY in
                 the same file: an unreferenced mutex is invisible to the
@@ -370,6 +376,53 @@ def check_record_corpus(root: Path) -> list[Finding]:
     return out
 
 
+PENALTY_ENUM_RE = re.compile(r"enum\s+class\s+PenaltyReason\b")
+
+
+def check_penalty_reason(root: Path) -> list[Finding]:
+    """Every PenaltyReason member must be cased in the engine's reason-string
+    table and named in at least one test, so each typed penalty keeps a
+    metric label and regression coverage."""
+    hpp = root / "src" / "reputation" / "misbehavior_engine.hpp"
+    cpp = root / "src" / "reputation" / "misbehavior_engine.cpp"
+    tests_dir = root / "tests"
+    if not hpp.exists() or not cpp.exists() or not tests_dir.is_dir():
+        return []  # layout not present (e.g. partial checkout): nothing to do
+    lines = hpp.read_text(encoding="utf-8").split("\n")
+    members: list[tuple[int, str]] = []  # (line idx, member name)
+    in_enum = False
+    for i, line in enumerate(lines):
+        if not in_enum:
+            if PENALTY_ENUM_RE.search(line):
+                in_enum = True
+            continue
+        if "}" in line:
+            break
+        m = MSGTYPE_MEMBER_RE.match(line)
+        if m:
+            members.append((i, m.group(1)))
+    cpp_text = cpp.read_text(encoding="utf-8")
+    tests_text = "\n".join(p.read_text(encoding="utf-8")
+                           for p in sorted(tests_dir.glob("*.cpp")))
+    out = []
+    for i, name in members:
+        if allowed(lines, i, "penalty-reason"):
+            continue
+        if f"case PenaltyReason::{name}:" not in cpp_text:
+            out.append(Finding(
+                hpp, i + 1, "penalty-reason",
+                f"PenaltyReason::{name} missing from the to_string() table in "
+                "misbehavior_engine.cpp — every reason needs a stable metric "
+                "label (rep.penalty{reason=...})"))
+        if f"PenaltyReason::{name}" not in tests_text:
+            out.append(Finding(
+                hpp, i + 1, "penalty-reason",
+                f"PenaltyReason::{name} never named in tests/ — add a "
+                "regression test or annotate "
+                "`// wmlint: allow(penalty-reason)` with a rationale"))
+    return out
+
+
 def run_clang_format(root: Path) -> tuple[list[Finding], bool]:
     """Returns (findings, ran). Skips when clang-format is unavailable."""
     binary = shutil.which("clang-format")
@@ -451,6 +504,7 @@ def main(argv: list[str]) -> int:
         findings += lint_file(f, root)
     findings += check_msgtype_corpus(root)
     findings += check_record_corpus(root)
+    findings += check_penalty_reason(root)
 
     if args.format:
         fmt_findings, ran = run_clang_format(root)
