@@ -14,7 +14,7 @@
 #include "interest/delta.hpp"
 #include "interest/sets.hpp"
 #include "interest/visibility_cache.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "util/rng.hpp"
 
 using namespace watchmen;
@@ -251,16 +251,20 @@ void BM_ProxyOf(benchmark::State& state) {
 BENCHMARK(BM_ProxyOf);
 
 void BM_NetworkSendDeliver(benchmark::State& state) {
-  net::SimNetwork net(16, std::make_unique<net::FixedLatency>(1.0), 0.0, 1);
+  net::TransportConfig tc;
+  tc.n_nodes = 16;
+  tc.latency = std::make_unique<net::FixedLatency>(1.0);
+  tc.seed = 1;
+  const auto net = net::make_transport(std::move(tc));
   std::uint64_t delivered = 0;
   for (PlayerId p = 0; p < 16; ++p) {
-    net.set_handler(p, [&](const net::Envelope&) { ++delivered; });
+    net->set_handler(p, [&](const net::Envelope&) { ++delivered; });
   }
   auto payload = std::make_shared<const std::vector<std::uint8_t>>(88, 0x5a);
   TimeMs t = 0;
   for (auto _ : state) {
-    net.send(0, 1, payload);
-    net.run_until(++t + 2);
+    net->send(0, 1, payload);
+    net->run_until(++t + 2);
   }
   benchmark::DoNotOptimize(delivered);
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/session.hpp"
 #include "game/map.hpp"
 #include "game/trace.hpp"
 #include "interest/sets.hpp"
@@ -157,6 +158,27 @@ int main(int argc, char** argv) {
     std::swap(prev, cur);
   }
 
+  // --- control-plane latency tails (ISSUE 9): a short full-protocol run
+  // with the registry attached, read back through the same pull-model
+  // collector the session exports in production. delivery_age is the
+  // transport's send-to-deliver gap; handoff/subscribe latency is the
+  // receive-side frame-stamp age of each control message, so the numbers
+  // are comparable across the simulated and real-socket backends.
+  obs::Registry lat_reg;
+  {
+    core::SessionOptions sopts;
+    sopts.net = core::NetProfile::kKing;
+    sopts.registry = &lat_reg;
+    core::WatchmenSession session(fx.trace, fx.map, sopts);
+    session.run();
+    (void)lat_reg.snapshot_json();  // runs the collector, fills the gauges
+  }
+  const double delivery_p99 = lat_reg.gauge("net.delivery_age_ms_p99").value();
+  const double handoff_p99 =
+      lat_reg.gauge("peer.handoff_latency_ms_p99").value();
+  const double subscribe_p99 =
+      lat_reg.gauge("peer.subscribe_latency_ms_p99").value();
+
   const double speedup = before_ms / after_ms;
   obs::JsonWriter j;
   j.begin_object();
@@ -172,6 +194,9 @@ int main(int argc, char** argv) {
   j.kv("trace_events_emitted", tracer.total_events());
   j.kv("sets_counted", sets_computed.value());
   j.kv("set_mismatches", mismatches);
+  j.kv("delivery_age_ms_p99", delivery_p99);
+  j.kv("handoff_latency_ms_p99", handoff_p99);
+  j.kv("subscribe_latency_ms_p99", subscribe_p99);
   j.end_object();
   if (!bench::write_report(out_path, j.take(), "perf_report")) return 2;
 
@@ -180,5 +205,8 @@ int main(int argc, char** argv) {
               "-> %s\n",
               before_ms, after_ms, speedup, obs_ms, obs_overhead * 100.0,
               obs_ok ? "yes" : "NO", mismatches, out_path);
+  std::printf("latency p99: delivery %.1f ms, handoff %.1f ms, subscribe "
+              "%.1f ms\n",
+              delivery_p99, handoff_p99, subscribe_p99);
   return mismatches == 0 && obs_ok ? 0 : 1;
 }

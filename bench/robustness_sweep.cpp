@@ -46,6 +46,7 @@ struct SweepPoint {
   std::uint64_t acks = 0;
   std::uint64_t net_sent = 0;
   std::uint64_t net_dropped = 0;
+  double delivery_age_p99 = 0.0;  ///< ms, from the transport's delivery log
 };
 
 WatchmenConfig hardened_config() {
@@ -125,8 +126,10 @@ SweepPoint run_point(const game::GameTrace& trace, const game::GameMap& map,
     pt.acks += s.peer(p).metrics().acks_received;
   }
   pt.total_reports = s.detector().reports().size();
-  pt.net_sent = s.network().stats().sent;
-  pt.net_dropped = s.network().stats().dropped;
+  const net::NetStats ns = s.network().stats();
+  pt.net_sent = ns.sent;
+  pt.net_dropped = ns.dropped;
+  pt.delivery_age_p99 = ns.delivery_age_ms.quantile(0.99);
   return pt;
 }
 
@@ -153,12 +156,13 @@ int main(int argc, char** argv) {
             : 0.0;
     std::printf(
         "loss %.0f%%: mean age %.2f, p95 %.2f, tail %.2f (%.2fx baseline), "
-        "flagged %zu, reports %zu, retx %llu, dropped %llu/%llu\n",
+        "flagged %zu, reports %zu, retx %llu, dropped %llu/%llu, "
+        "delivery p99 %.1f ms\n",
         pt.intensity * 100.0, pt.mean_age, pt.p95_age, pt.tail_mean_age,
         pt.post_heal_age_ratio, pt.honest_flagged, pt.total_reports,
         static_cast<unsigned long long>(pt.retransmits),
         static_cast<unsigned long long>(pt.net_dropped),
-        static_cast<unsigned long long>(pt.net_sent));
+        static_cast<unsigned long long>(pt.net_sent), pt.delivery_age_p99);
   }
 
   // Issue acceptance, evaluated at the 20 % point.
@@ -191,6 +195,7 @@ int main(int argc, char** argv) {
     j.kv("acks", pt.acks);
     j.kv("net_sent", pt.net_sent);
     j.kv("net_dropped", pt.net_dropped);
+    j.kv("delivery_age_ms_p99", pt.delivery_age_p99);
     j.end_object();
   }
   j.end_array();

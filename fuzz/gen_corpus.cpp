@@ -120,6 +120,7 @@ int main(int argc, char** argv) {
     put(dir, "ack", sealed(core::MsgType::kAck, core::encode_ack_body(ack)));
     put(dir, "rejoin",
         sealed(core::MsgType::kRejoinNotice, core::encode_rejoin_body(18)));
+    put(dir, "heartbeat", sealed(core::MsgType::kHeartbeat, {}));
     put(dir, "subscriber_list",
         sealed(core::MsgType::kSubscriberList,
                core::encode_subscriber_list_body({1, 2, 5, 8, 13})));

@@ -21,6 +21,7 @@ const char* to_string(MsgType t) {
     case MsgType::kAck: return "ack";
     case MsgType::kRejoinNotice: return "rejoin-notice";
     case MsgType::kBatch: return "batch";
+    case MsgType::kHeartbeat: return "heartbeat";
   }
   return "?";
 }
@@ -157,6 +158,31 @@ std::vector<std::span<const std::uint8_t>> decode_batch(
     r.bytes(len);
   }
   if (!r.done()) throw DecodeError("trailing bytes after batch");
+  return out;
+}
+
+BatchPrefix decode_batch_prefix(std::span<const std::uint8_t> wire) noexcept {
+  BatchPrefix out;
+  try {
+    ByteReader r(wire);
+    if (checked_enum<MsgType>(r.u8(), kNumMsgTypes, "message type") !=
+        MsgType::kBatch) {
+      return out;
+    }
+    const auto n = r.varint();
+    if (n > kMaxBatchMessages) return out;
+    out.wires.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto len = r.varint();
+      if (len > r.remaining()) return out;  // truncated tail: keep the prefix
+      out.wires.push_back(wire.subspan(wire.size() - r.remaining(), len));
+      r.bytes(len);
+    }
+    out.complete = r.done();
+  } catch (const DecodeError&) {
+    // Header or a length varint itself was cut: whatever sub-wires were
+    // already collected are intact, return them.
+  }
   return out;
 }
 

@@ -42,8 +42,11 @@ enum class MsgType : std::uint8_t {
                         ///< node sends another in a frame, coalesced into a
                         ///< single datagram. Sub-messages keep their origin
                         ///< signatures intact (§IV unchanged).
+  kHeartbeat = 11,      ///< liveness beacon (empty body) between a player
+                        ///< and its proxy/proxied peers; feeds the receive
+                        ///< watchdog, never acked or retransmitted
 };
-constexpr int kNumMsgTypes = 11;
+constexpr int kNumMsgTypes = 12;
 
 const char* to_string(MsgType t);
 
@@ -110,6 +113,17 @@ std::vector<std::uint8_t> encode_batch(
 /// Throws DecodeError on malformed input.
 std::vector<std::span<const std::uint8_t>> decode_batch(
     std::span<const std::uint8_t> wire);
+
+/// Truncation-safe batch decode for real-network input, where a datagram
+/// can arrive cut short (fragment loss, receive-buffer clamp). Yields every
+/// complete leading sub-wire and reports whether the container was intact;
+/// each surviving sub-wire still carries its own signature, so a truncated
+/// tail can only cost messages, never corrupt one.
+struct BatchPrefix {
+  std::vector<std::span<const std::uint8_t>> wires;
+  bool complete = false;  ///< true iff the whole container parsed cleanly
+};
+BatchPrefix decode_batch_prefix(std::span<const std::uint8_t> wire) noexcept;
 
 // ----------------------------------------------------------------- bodies
 

@@ -14,7 +14,7 @@ Misbehavior g_honest;
 
 Misbehavior& honest_behavior() { return g_honest; }
 
-WatchmenPeer::WatchmenPeer(PlayerId id, WatchmenConfig cfg, net::SimNetwork& net,
+WatchmenPeer::WatchmenPeer(PlayerId id, WatchmenConfig cfg, net::Transport& net,
                            const crypto::KeyRegistry& keys,
                            const ProxySchedule& schedule,
                            const game::GameMap& map, ReportFn report,
@@ -67,39 +67,77 @@ void WatchmenPeer::net_send(
     slot.wires.push_back(std::move(wire));
     if (slot.wires.size() >= kMaxBatchMessages) {
       // Container full: coalesce what we have and start the slot over.
-      ByteWriter w;
-      w.u8(static_cast<std::uint8_t>(MsgType::kBatch));
-      w.varint(slot.wires.size());
-      for (const auto& sub : slot.wires) w.blob(*sub);
-      ++metrics_.batches_sent;
-      metrics_.batched_messages += slot.wires.size();
-      metrics_.batch_sizes.add(static_cast<double>(slot.wires.size()));
-      net_->send(id_, to, w.take());
-      slot.wires.clear();
+      flush_slot(slot);
     }
     return;
   }
   batch_buf_.push_back({to, {std::move(wire)}});
 }
 
+void WatchmenPeer::send_batch_group(
+    PlayerId to,
+    std::vector<std::shared_ptr<const std::vector<std::uint8_t>>>& group) {
+  if (group.empty()) return;
+  metrics_.batch_sizes.add(static_cast<double>(group.size()));
+  if (group.size() == 1) {
+    // A lone message rides bare: no container overhead, and the leading
+    // type byte keeps per-class stats exact.
+    net_->send(id_, to, std::move(group.front()));
+    group.clear();
+    return;
+  }
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kBatch));
+  w.varint(group.size());
+  for (const auto& sub : group) w.blob(*sub);
+  ++metrics_.batches_sent;
+  metrics_.batched_messages += group.size();
+  net_->send(id_, to, w.take());
+  group.clear();
+}
+
+void WatchmenPeer::flush_slot(BatchSlot& slot) {
+  if (slot.wires.empty()) return;
+  if (cfg_.mtu_bytes == 0) {
+    send_batch_group(slot.to, slot.wires);
+    return;
+  }
+  // MTU-aware split: greedily pack sub-wires into containers whose encoded
+  // size stays under cfg_.mtu_bytes. A sub-wire that alone busts the budget
+  // still goes out (bare, as its own group) — the transport's oversize
+  // accounting owns that case; silently holding it would lose the message
+  // with no signal at all.
+  const auto varint_len = [](std::size_t v) {
+    std::size_t n = 1;
+    while (v >= 0x80) {
+      v >>= 7;
+      ++n;
+    }
+    return n;
+  };
+  // Container fixed cost: type byte + count varint (<= 2 bytes for the
+  // 512-message cap).
+  constexpr std::size_t kContainerOverhead = 3;
+  std::vector<std::shared_ptr<const std::vector<std::uint8_t>>> group;
+  std::size_t group_bytes = kContainerOverhead;
+  for (auto& sub : slot.wires) {
+    const std::size_t cost = varint_len(sub->size()) + sub->size();
+    if (!group.empty() && group_bytes + cost > cfg_.mtu_bytes) {
+      send_batch_group(slot.to, group);
+      group_bytes = kContainerOverhead;
+    }
+    group.push_back(std::move(sub));
+    group_bytes += cost;
+  }
+  send_batch_group(slot.to, group);
+  slot.wires.clear();
+}
+
 void WatchmenPeer::flush_batches() {
   if (batch_buf_.empty()) return;
   for (BatchSlot& slot : batch_buf_) {
     if (slot.wires.empty()) continue;  // drained by an early full-slot flush
-    metrics_.batch_sizes.add(static_cast<double>(slot.wires.size()));
-    if (slot.wires.size() == 1) {
-      // A lone message rides bare: no container overhead, and the leading
-      // type byte keeps per-class stats exact.
-      net_->send(id_, slot.to, std::move(slot.wires.front()));
-      continue;
-    }
-    ByteWriter w;
-    w.u8(static_cast<std::uint8_t>(MsgType::kBatch));
-    w.varint(slot.wires.size());
-    for (const auto& sub : slot.wires) w.blob(*sub);
-    ++metrics_.batches_sent;
-    metrics_.batched_messages += slot.wires.size();
-    net_->send(id_, slot.to, w.take());
+    flush_slot(slot);
   }
   batch_buf_.clear();
 }
@@ -160,12 +198,62 @@ void WatchmenPeer::send_to_proxy(MsgType type, PlayerId subject, Frame frame,
 }
 
 bool WatchmenPeer::proxy_silent(PlayerId px) const {
-  if (cfg_.proxy_failover_silence <= 0 || px == id_ ||
-      px >= schedule_.num_players()) {
-    return false;
+  if (px == id_ || px >= schedule_.num_players()) return false;
+  const Frame silence = frame_ - std::max<Frame>(know_[px].last_heard, 0);
+  // The watchdog's Suspect threshold doubles as the emergency-failover
+  // trigger: with heartbeats flowing every heartbeat_period frames, a
+  // Suspect-grade silence is already several missed beacons, not jitter.
+  if (cfg_.liveness_watchdog && silence > cfg_.watchdog_suspect_frames) {
+    return true;
   }
-  const Frame heard = know_[px].last_heard;
-  return frame_ - std::max<Frame>(heard, 0) > cfg_.proxy_failover_silence;
+  if (cfg_.proxy_failover_silence <= 0) return false;
+  return silence > cfg_.proxy_failover_silence;
+}
+
+// ---------------------------------------------------- liveness watchdog
+
+Frame WatchmenPeer::silence_of(PlayerId p, Frame f) const {
+  return f - std::max<Frame>(know_[p].last_heard, 0);
+}
+
+void WatchmenPeer::run_watchdog(Frame f) {
+  if (!cfg_.liveness_watchdog) return;
+  if (watchdog_state_.empty()) {
+    watchdog_state_.assign(schedule_.num_players(), 0);
+  }
+  // Heartbeat on a per-player staggered cadence so beacons spread across
+  // frames instead of synchronizing the whole session onto one.
+  const Frame period = std::max<Frame>(1, cfg_.heartbeat_period);
+  if ((f + static_cast<Frame>(id_)) % period == 0) {
+    const PlayerId px = schedule_.proxy_at(id_, f);
+    const auto beacon = [&](PlayerId to) {
+      if (to == id_ || to >= schedule_.num_players()) return;
+      send_wire(to, make_sealed(MsgType::kHeartbeat, to, f, {}));
+    };
+    beacon(px);
+    for (const PlayerId q : proxied_players()) beacon(q);
+  }
+  // Grade the relationships the heartbeats cover: our current proxy and
+  // the players we proxy. Alive -> Suspect -> Dead from receive silence;
+  // any traffic (heartbeat or game) heals the grade back to Alive.
+  const auto grade = [&](PlayerId p) {
+    if (p == id_ || p >= schedule_.num_players()) return;
+    const Frame s = silence_of(p, f);
+    std::uint8_t next = static_cast<std::uint8_t>(PeerLiveness::kAlive);
+    if (s > cfg_.watchdog_dead_frames) {
+      next = static_cast<std::uint8_t>(PeerLiveness::kDead);
+    } else if (s > cfg_.watchdog_suspect_frames) {
+      next = static_cast<std::uint8_t>(PeerLiveness::kSuspect);
+    }
+    std::uint8_t& st = watchdog_state_[p];
+    if (next > st) {
+      if (st < 1) ++metrics_.watchdog_suspects;
+      if (next == 2) ++metrics_.watchdog_deaths;
+    }
+    st = next;
+  };
+  grade(schedule_.proxy_at(id_, f));
+  for (const PlayerId q : proxied_players()) grade(q);
 }
 
 // ----------------------------------------------------- reliable control
@@ -181,6 +269,9 @@ void WatchmenPeer::track_reliable(
   p.wire = std::move(wire);
   p.backoff = std::max<Frame>(1, cfg_.retransmit_backoff);
   p.next_retry = frame_ + p.backoff;
+  if (cfg_.retransmit_jitter) {
+    p.next_retry += retransmit_jitter(origin, seq, p.attempt, p.backoff);
+  }
   p.retries_left = cfg_.retransmit_budget;
   reliable_.push_back(std::move(p));
 }
@@ -201,7 +292,12 @@ void WatchmenPeer::flush_retransmits(Frame f) {
     ++metrics_.messages_sent;
     net_send(it->to, it->wire);
     it->backoff *= 2;
+    ++it->attempt;
     it->next_retry = f + it->backoff;
+    if (cfg_.retransmit_jitter) {
+      it->next_retry +=
+          retransmit_jitter(it->origin, it->seq, it->attempt, it->backoff);
+    }
     ++it;
   }
 }
@@ -329,6 +425,7 @@ void WatchmenPeer::begin_frame(Frame f) {
   }
   std::erase_if(grace_, [f](const auto& kv) { return kv.second.expires < f; });
 
+  run_watchdog(f);
   if (cfg_.reliable_control) flush_retransmits(f);
   flush_pending_subs(f);
 
@@ -754,14 +851,12 @@ void WatchmenPeer::on_message(const net::Envelope& env) {
   if (is_batch_wire(env.bytes())) {
     // Per-link batch container: unwrap hop-by-hop, then process each
     // sub-wire exactly as if it had arrived bare (same from / timing).
-    std::vector<std::span<const std::uint8_t>> subs;
-    try {
-      subs = decode_batch(env.bytes());
-    } catch (const DecodeError&) {
-      ++metrics_.batch_rejects;
-      return;
-    }
-    for (const auto sub : subs) handle_wire(env, sub);
+    // Truncation-safe: a datagram cut short on a real network still yields
+    // its complete leading sub-wires (each signature-checked individually);
+    // only the damaged tail is lost, and the damage is counted.
+    const BatchPrefix bp = decode_batch_prefix(env.bytes());
+    if (!bp.complete) ++metrics_.batch_rejects;
+    for (const auto sub : bp.wires) handle_wire(env, sub);
   } else {
     handle_wire(env, env.bytes());
   }
@@ -793,6 +888,14 @@ void WatchmenPeer::handle_wire(const net::Envelope& env,
     return;
   }
 
+  if (h.type == MsgType::kHeartbeat) {
+    // Pure liveness beacon: refresh the receive watchdog, nothing else. A
+    // relayed heartbeat proves nothing about the origin's path to us, so
+    // only the direct leg counts.
+    if (env.from == h.origin) know_[h.origin].last_heard = net_->clock().frame();
+    return;
+  }
+
   if (h.type == MsgType::kAck) {
     handle_ack(env, *parsed);
     return;
@@ -808,6 +911,12 @@ void WatchmenPeer::handle_wire(const net::Envelope& env,
   }
 
   if (h.type == MsgType::kHandoff) {
+    // Control-plane latency sample: frame stamps are sim-clock anchored on
+    // both transport backends, so (now - stamp) measures queueing, loss and
+    // retransmit delay uniformly. Retransmitted copies keep their original
+    // stamp, which is exactly the tail this distribution exists to expose.
+    metrics_.handoff_latency_ms.add(static_cast<double>(
+        std::max<TimeMs>(0, net_->clock().now() - time_of(h.frame))));
     handle_handoff(*parsed);
     return;
   }
@@ -846,6 +955,8 @@ void WatchmenPeer::handle_wire(const net::Envelope& env,
   }
 
   if (h.type == MsgType::kSubscribe) {
+    metrics_.subscribe_latency_ms.add(static_cast<double>(
+        std::max<TimeMs>(0, net_->clock().now() - time_of(h.frame))));
     if (env.from == h.origin) {
       // First hop: we are (supposed to be) the subscriber's proxy.
       proxy_handle_subscribe_first_hop(wire, *parsed);
@@ -913,7 +1024,8 @@ void WatchmenPeer::handle_as_proxy(const net::Envelope& env,
                                    const ParsedMessage& msg) {
   const MsgHeader& h = msg.header;
   auto it = proxied_.find(h.origin);
-  if (it == proxied_.end() && cfg_.proxy_failover_silence > 0 &&
+  if (it == proxied_.end() &&
+      (cfg_.proxy_failover_silence > 0 || cfg_.liveness_watchdog) &&
       schedule_.proxy_of(h.origin, round_) != id_ &&
       schedule_.proxy_of(h.origin, round_ + 1) == id_ &&
       !grace_.contains(h.origin)) {
@@ -1499,6 +1611,9 @@ void WatchmenPeer::rejoin(Frame f) {
   reliable_.clear();
   direct_targets_.clear();
   batch_buf_.clear();
+  // Everyone looks silent to a node that just woke up; regrade from scratch
+  // instead of carrying Dead verdicts into the new tenure.
+  watchdog_state_.clear();
   // The pre-crash anchor refers to a proxy tenure that has lapsed; restart
   // the anchored chain from the next keyframe.
   acked_frame_ = -1;

@@ -41,7 +41,8 @@
 #include "game/map.hpp"
 #include "interest/sets.hpp"
 #include "interest/subscription.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "verify/checks.hpp"
 #include "verify/report.hpp"
@@ -98,6 +99,29 @@ struct WatchmenConfig {
   /// (seeded with the predecessor summary it already holds, preserving the
   /// two-round follow-up invariant). 0 disables.
   Frame proxy_failover_silence = 0;
+  /// Deterministic de-synchronizing jitter on reliable retransmits: plain
+  /// exponential backoff re-aligns every peer's retries after a partition
+  /// heals into one storm. The jitter is a pure hash of (origin, seq,
+  /// attempt) — reproducible per seed/trace, non-aligned across peers (see
+  /// retransmit_jitter below). On by default: it only perturbs *when* a
+  /// retransmit fires, never whether.
+  bool retransmit_jitter = true;
+  /// Liveness watchdog (real-network hardening): this peer heartbeats its
+  /// current proxy and proxied players every heartbeat_period frames, and
+  /// grades every such relationship Alive -> Suspect -> Dead from receive
+  /// silence. Suspect triggers the emergency failover duplication (same
+  /// path as proxy_failover_silence); Dead is terminal until traffic
+  /// resumes. Off by default — when off, behaviour is bit-identical to the
+  /// pre-watchdog protocol.
+  bool liveness_watchdog = false;
+  Frame heartbeat_period = 10;        ///< ~2 heartbeats/s at 50 ms frames
+  Frame watchdog_suspect_frames = 25; ///< silence before Suspect (failover)
+  Frame watchdog_dead_frames = 75;    ///< silence before Dead
+  /// Max payload bytes per datagram the batcher may emit: batches split
+  /// into multiple containers under this bound (each sub-message still an
+  /// intact signed wire). 0 = unlimited (seed behaviour). Pair with
+  /// Transport::set_mtu to make the network enforce the same bound.
+  std::uint32_t mtu_bytes = 0;
   /// Witness-side starvation tolerances, loss-aware: the fraction of the
   /// expected forwarded stream a witness forgives before suspicion, and
   /// the hard floor (fraction of expected) under which the stream counts
@@ -158,6 +182,15 @@ struct PeerMetrics {
   std::uint64_t acks_received = 0;
   std::uint64_t reliable_expired = 0;    ///< retry budget exhausted
   std::uint64_t failover_adoptions = 0;  ///< emergency proxy takeovers
+  /// Liveness watchdog transitions observed (Alive->Suspect, ->Dead).
+  std::uint64_t watchdog_suspects = 0;
+  std::uint64_t watchdog_deaths = 0;
+  /// Control-plane latency in ms, measured receive-side as the gap between
+  /// a message's stamped frame and the local clock when it decodes — the
+  /// per-class latency-SLO inputs (ROADMAP "Latency SLOs in CI"). Includes
+  /// retransmit delay, and works identically on both transport backends.
+  Samples handoff_latency_ms;
+  Samples subscribe_latency_ms;
 
   // Wire-format overhaul (ISSUE 6).
   std::uint64_t batches_sent = 0;     ///< kBatch datagrams emitted (size >= 2)
@@ -236,11 +269,27 @@ struct RemoteKnowledge {
   int kill_claims_same_frame = 0; ///< splash multi-kills share a frame
 };
 
+/// Deterministic retransmit jitter: a pure hash of (origin, seq, attempt)
+/// mapped into [0, backoff/2]. Same trace + seed -> same retry schedule
+/// (replay-stable); different origins -> de-correlated retry instants, so a
+/// partition heal does not release every peer's backlog on the same frame.
+inline Frame retransmit_jitter(PlayerId origin, std::uint32_t seq,
+                               std::uint32_t attempt, Frame backoff) {
+  if (backoff <= 1) return 0;
+  const std::uint64_t h =
+      mix64((static_cast<std::uint64_t>(origin) << 40) ^
+            (static_cast<std::uint64_t>(seq) << 8) ^ attempt);
+  return static_cast<Frame>(h % static_cast<std::uint64_t>(backoff / 2 + 1));
+}
+
+/// Liveness grade the watchdog assigns a peer relationship.
+enum class PeerLiveness : std::uint8_t { kAlive = 0, kSuspect = 1, kDead = 2 };
+
 class WatchmenPeer {
  public:
   using ReportFn = std::function<void(const verify::CheatReport&)>;
 
-  WatchmenPeer(PlayerId id, WatchmenConfig cfg, net::SimNetwork& net,
+  WatchmenPeer(PlayerId id, WatchmenConfig cfg, net::Transport& net,
                const crypto::KeyRegistry& keys, const ProxySchedule& schedule,
                const game::GameMap& map, ReportFn report,
                Misbehavior* misbehavior = nullptr);
@@ -288,6 +337,13 @@ class WatchmenPeer {
 
   const RemoteKnowledge& knowledge_of(PlayerId p) const { return know_.at(p); }
 
+  /// Watchdog grade for p (kAlive when the watchdog is off).
+  PeerLiveness liveness_of(PlayerId p) const {
+    return watchdog_state_.empty() ? PeerLiveness::kAlive
+                                   : static_cast<PeerLiveness>(
+                                         watchdog_state_.at(p));
+  }
+
   /// Players this peer is currently proxying.
   std::vector<PlayerId> proxied_players() const;
 
@@ -331,6 +387,15 @@ class WatchmenPeer {
   /// end of every event slice (frame hooks and message deliveries) so batch
   /// timing matches the unbatched send instants exactly.
   void flush_batches();
+  /// Drains one destination slot: a single container when no MTU is set,
+  /// greedy MTU-bounded containers otherwise.
+  struct BatchSlot;
+  void flush_slot(BatchSlot& slot);
+  /// Sends one group of sub-wires (bare when lone, a kBatch container
+  /// otherwise) and clears it.
+  void send_batch_group(
+      PlayerId to,
+      std::vector<std::shared_ptr<const std::vector<std::uint8_t>>>& group);
   std::vector<std::uint8_t> make_sealed(MsgType type, PlayerId subject,
                                         Frame frame,
                                         std::span<const std::uint8_t> body);
@@ -358,6 +423,13 @@ class WatchmenPeer {
   // --- proxy failover ------------------------------------------------------
   /// True when `px`'s total silence exceeds the configured failover window.
   bool proxy_silent(PlayerId px) const;
+
+  // --- liveness watchdog ---------------------------------------------------
+  /// Frames since anything was heard from p (from frame f's viewpoint).
+  Frame silence_of(PlayerId p, Frame f) const;
+  /// Re-grades the proxy/proxied relationships from receive silence and
+  /// emits heartbeats on this peer's staggered cadence.
+  void run_watchdog(Frame f);
 
   // --- receive paths ------------------------------------------------------
   /// One sealed envelope's worth of processing. `wire` is the envelope's
@@ -435,7 +507,7 @@ class WatchmenPeer {
 
   PlayerId id_;
   WatchmenConfig cfg_;
-  net::SimNetwork* net_;
+  net::Transport* net_;
   const crypto::KeyRegistry* keys_;
   ProxySchedule schedule_;  ///< own copy: churn removals are applied locally
   const game::GameMap* map_;
@@ -537,6 +609,7 @@ class WatchmenPeer {
     Frame next_retry = 0;
     Frame backoff = 0;
     int retries_left = 0;
+    std::uint32_t attempt = 0;  ///< jitter input; increments per retransmit
   };
   std::vector<PendingReliable> reliable_;
   std::uint32_t last_sealed_seq_ = 0;  ///< seq of the latest make_sealed()
@@ -556,6 +629,10 @@ class WatchmenPeer {
     std::vector<std::shared_ptr<const std::vector<std::uint8_t>>> wires;
   };
   std::vector<BatchSlot> batch_buf_;
+
+  /// Watchdog grades per player (PeerLiveness values); sized only when
+  /// cfg_.liveness_watchdog is on, so the off path stays allocation-free.
+  std::vector<std::uint8_t> watchdog_state_;
 
   PeerMetrics metrics_;
 };

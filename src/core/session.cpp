@@ -27,6 +27,17 @@ reputation::EngineConfig engine_config(const SessionOptions& opts) {
   return cfg;
 }
 
+/// Lead classes the UDP send queue must never shed under backpressure: the
+/// reliable control plane (agreement state with its own retransmit budget)
+/// plus the acks that complete it.
+constexpr std::uint32_t control_class_mask() {
+  return (1u << static_cast<unsigned>(MsgType::kSubscribe)) |
+         (1u << static_cast<unsigned>(MsgType::kHandoff)) |
+         (1u << static_cast<unsigned>(MsgType::kChurnNotice)) |
+         (1u << static_cast<unsigned>(MsgType::kAck)) |
+         (1u << static_cast<unsigned>(MsgType::kRejoinNotice));
+}
+
 }  // namespace
 
 WatchmenSession::WatchmenSession(
@@ -43,10 +54,29 @@ WatchmenSession::WatchmenSession(
       pool_(opts.compute_threads),
       connected_(trace.n_players, true),
       rep_excluded_(trace.n_players, false) {
-  net_ = std::make_unique<net::SimNetwork>(
-      trace.n_players,
-      make_latency(opts.net, trace.n_players, opts.fixed_latency_ms, opts.seed),
-      opts.loss_rate, opts.seed);
+  if (opts.transport_factory) {
+    net_ = opts.transport_factory(trace.n_players);
+  } else {
+    net::TransportConfig tc;
+    tc.kind = opts.transport ? *opts.transport : net::transport_kind_from_env();
+    tc.n_nodes = trace.n_players;
+    tc.latency = make_latency(opts.net, trace.n_players, opts.fixed_latency_ms,
+                              opts.seed);
+    tc.loss_rate = opts.loss_rate;
+    tc.seed = opts.seed;
+    tc.control_class_mask = control_class_mask();
+    net_ = net::make_transport(std::move(tc));
+  }
+  if (net_->size() != trace.n_players) {
+    throw std::invalid_argument("session: transport/trace player mismatch");
+  }
+  if (opts.watchmen.mtu_bytes != 0) net_->set_mtu(opts.watchmen.mtu_bytes);
+
+  local_.assign(trace.n_players, opts.local_players.empty());
+  for (const PlayerId p : opts.local_players) {
+    if (p < trace.n_players) local_[p] = true;
+  }
+  next_frame_ = opts.start_frame;
 
   for (const auto& [p, w] : opts.pool_weights) schedule_.set_weight(p, w);
   for (const auto& [p, bps] : opts.upload_bps) net_->set_upload_bps(p, bps);
@@ -89,22 +119,29 @@ WatchmenSession::WatchmenSession(
     }
   }
 
-  peers_.reserve(trace.n_players);
+  peers_.resize(trace.n_players);
   for (PlayerId p = 0; p < trace.n_players; ++p) {
+    if (!local_[p]) continue;  // simulated by a sibling process
     Misbehavior* mb = nullptr;
     if (const auto it = misbehaviors.find(p); it != misbehaviors.end()) {
       mb = it->second;
     }
-    peers_.push_back(std::make_unique<WatchmenPeer>(
+    peers_[p] = std::make_unique<WatchmenPeer>(
         p, opts.watchmen, *net_, keys_, schedule_, map,
         [this](const verify::CheatReport& r) {
           if (opts_.tracer) opts_.tracer->instant("cheat_report", r.frame, r.suspect);
           detector_.report(r);
         },
-        mb));
+        mb);
     net_->set_handler(p, [this, p](const net::Envelope& env) {
       peers_[p]->on_message(env);
     });
+    if (opts.start_frame > 0) {
+      // A process entering mid-trace (wmproc re-fork after a kill) is a
+      // crash rejoin: the peer re-enters the pool through the agreed
+      // restore round and resets its pre-crash stream beliefs.
+      peers_[p]->rejoin(opts.start_frame);
+    }
   }
 
   if (opts_.registry) {
@@ -166,7 +203,7 @@ void WatchmenSession::run_frames(std::size_t n) {
     {
       const obs::Span span(tr, "handoff", f);
       for (PlayerId p = 0; p < trace_->n_players; ++p) {
-        if (connected_[p]) peers_[p]->begin_frame(f);
+        if (connected_[p] && peers_[p]) peers_[p]->begin_frame(f);
       }
     }
 
@@ -198,7 +235,7 @@ void WatchmenSession::run_frames(std::size_t n) {
       // meanwhile). The alias states that ownership transfer explicitly.
       const std::vector<bool>& live = connected_;
       pool_.parallel_for(n, [&](std::size_t p) {
-        if (!live[p]) return;
+        if (!live[p] || !peers_[p]) return;
         interest::compute_sets_into(static_cast<PlayerId>(p), tf.avatars, *map_,
                                     f, last_hit, opts_.watchmen.interest,
                                     &prev_sets_[p], &vis_cache_, frame_sets_[p],
@@ -208,7 +245,7 @@ void WatchmenSession::run_frames(std::size_t n) {
     {
       const obs::Span span(tr, "dissemination", f);
       for (PlayerId p = 0; p < n; ++p) {
-        if (!connected_[p]) continue;
+        if (!connected_[p] || !peers_[p]) continue;
         peers_[p]->produce(tf.avatars, frame_sets_[p], tf.events.kills);
         // The just-computed sets become the hysteresis input; the old buffer
         // is recycled as next frame's output (steady state allocates nothing).
@@ -222,7 +259,7 @@ void WatchmenSession::run_frames(std::size_t n) {
       net_->run_until(time_of(f + 1) - 1);
     }
     for (PlayerId p = 0; p < trace_->n_players; ++p) {
-      if (connected_[p]) peers_[p]->end_frame(f);
+      if (connected_[p] && peers_[p]) peers_[p]->end_frame(f);
     }
   }
   const util::MutexLock lock(frame_mu_);
@@ -257,10 +294,12 @@ void WatchmenSession::reconnect_locked(PlayerId p) {
   if (connected_.at(p)) return;
   connected_.at(p) = true;
   if (opts_.tracer) opts_.tracer->instant("reconnect", next_frame_, p);
-  net_->set_handler(p, [this, p](const net::Envelope& env) {
-    peers_[p]->on_message(env);
-  });
-  peers_[p]->rejoin(next_frame_);
+  if (peers_[p]) {
+    net_->set_handler(p, [this, p](const net::Envelope& env) {
+      peers_[p]->on_message(env);
+    });
+    peers_[p]->rejoin(next_frame_);
+  }
   // The crash-long silence read as an escape to its proxies; a completed
   // rejoin proves it was churn. Refund that evidence (targeted cheats
   // report under other check types and survive the absolution).
@@ -289,7 +328,7 @@ void WatchmenSession::apply_standing_enforcement() {
     if (opts_.tracer) opts_.tracer->instant("rep_excluded", next_frame_, p);
     if (schedule_.in_pool(p)) schedule_.set_weight(p, 0.0);
     for (PlayerId q = 0; q < n; ++q) {
-      peers_[q]->set_pool_standing(p, false);
+      if (peers_[q]) peers_[q]->set_pool_standing(p, false);
     }
   }
 }
@@ -310,6 +349,20 @@ void WatchmenSession::collect_metrics(obs::Registry& reg) const {
   reg.counter("net.delivered").set(ns.delivered);
   reg.counter("net.dropped").set(ns.dropped);
   reg.counter("net.bits_sent").set(ns.bits_sent);
+  // Real-network hardening counters (zero on a clean simulated run).
+  reg.counter("net.oversize").set(ns.oversize);
+  reg.counter("net.shed").set(ns.shed);
+  reg.counter("net.rx_rejects").set(ns.rx_rejects);
+  // In-flight age of every delivered message (the latency-SLO headline
+  // number). Summary gauges, not raw samples: registry Samples accumulate
+  // across snapshots and a pull collector re-adding them would double-count.
+  if (ns.delivery_age_ms.count()) {
+    const auto q = ns.delivery_age_ms.quantiles({0.50, 0.95, 0.99});
+    reg.gauge("net.delivery_age_ms_mean").set(ns.delivery_age_ms.mean());
+    reg.gauge("net.delivery_age_ms_p50").set(q[0]);
+    reg.gauge("net.delivery_age_ms_p95").set(q[1]);
+    reg.gauge("net.delivery_age_ms_p99").set(q[2]);
+  }
   for (std::size_t c = 0; c < net::NetStats::kClassBuckets; ++c) {
     if (ns.bits_sent_by_class[c] == 0 && ns.dropped_by_class[c] == 0) continue;
     const char* type =
@@ -331,8 +384,11 @@ void WatchmenSession::collect_metrics(obs::Registry& reg) const {
   std::uint64_t anchored_sent = 0, anchored_decodes = 0;
   std::uint64_t keyframes_decoded = 0, baseline_mismatches = 0;
   std::uint64_t state_acks_sent = 0, sub_diff_misses = 0;
+  std::uint64_t watchdog_suspects = 0, watchdog_deaths = 0;
   Samples staleness, update_ages, batch_sizes;
+  Samples handoff_latency, subscribe_latency;
   for (PlayerId p = 0; p < trace_->n_players; ++p) {
+    if (!peers_[p]) continue;  // simulated by a sibling process
     const PeerMetrics& m = peers_[p]->metrics();
     updates_received += m.updates_received;
     messages_sent += m.messages_sent;
@@ -353,6 +409,10 @@ void WatchmenSession::collect_metrics(obs::Registry& reg) const {
     baseline_mismatches += m.baseline_mismatches;
     state_acks_sent += m.state_acks_sent;
     sub_diff_misses += m.sub_diff_misses;
+    watchdog_suspects += m.watchdog_suspects;
+    watchdog_deaths += m.watchdog_deaths;
+    for (double v : m.handoff_latency_ms.values()) handoff_latency.add(v);
+    for (double v : m.subscribe_latency_ms.values()) subscribe_latency.add(v);
     for (double v : m.staleness_frames.values()) staleness.add(v);
     for (double v : m.update_age_frames.values()) update_ages.add(v);
     for (double v : m.batch_sizes.values()) batch_sizes.add(v);
@@ -370,6 +430,22 @@ void WatchmenSession::collect_metrics(obs::Registry& reg) const {
   reg.counter("peer.acks_received").set(acks_received);
   reg.counter("peer.reliable_expired").set(reliable_expired);
   reg.counter("peer.failover_adoptions").set(failover_adoptions);
+  reg.counter("peer.watchdog_suspects").set(watchdog_suspects);
+  reg.counter("peer.watchdog_deaths").set(watchdog_deaths);
+  // Receive-side control-plane latency (frame stamp to decode, including
+  // retransmit delay) — the per-class latency-SLO distributions.
+  if (handoff_latency.count()) {
+    const auto q = handoff_latency.quantiles({0.50, 0.99});
+    reg.gauge("peer.handoff_latency_ms_mean").set(handoff_latency.mean());
+    reg.gauge("peer.handoff_latency_ms_p50").set(q[0]);
+    reg.gauge("peer.handoff_latency_ms_p99").set(q[1]);
+  }
+  if (subscribe_latency.count()) {
+    const auto q = subscribe_latency.quantiles({0.50, 0.99});
+    reg.gauge("peer.subscribe_latency_ms_mean").set(subscribe_latency.mean());
+    reg.gauge("peer.subscribe_latency_ms_p50").set(q[0]);
+    reg.gauge("peer.subscribe_latency_ms_p99").set(q[1]);
+  }
 
   // Wire-format overhaul counters (no-ops unless the config flags are on).
   // The batch-size distribution is mirrored as summary gauges: registry
@@ -452,6 +528,7 @@ Samples WatchmenSession::merged_update_ages() const {
   const util::MutexLock lock(frame_mu_);  // peers quiescent at frame boundary
   Samples all;
   for (const auto& peer : peers_) {
+    if (!peer) continue;
     for (double v : peer->metrics().update_age_frames.values()) all.add(v);
   }
   return all;

@@ -15,7 +15,9 @@
 // registry runs collectors with its own lock released, which is what makes
 // the frame_mu_ -> registry.mu_ edge acyclic).
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -26,7 +28,7 @@
 #include "crypto/keys.hpp"
 #include "game/trace.hpp"
 #include "interest/visibility_cache.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "reputation/misbehavior_engine.hpp"
@@ -86,6 +88,22 @@ struct SessionOptions {
   /// instants. Null pointers compile the hooks down to cheap branches.
   obs::Registry* registry = nullptr;
   obs::Tracer* tracer = nullptr;
+  /// Transport backend. Unset resolves from the WATCHMEN_TRANSPORT
+  /// environment selector (sim when absent), which is how the unchanged
+  /// chaos suite re-runs over real UDP sockets (ctest chaos_test_udp).
+  std::optional<net::TransportKind> transport;
+  /// Overrides transport construction entirely; receives the player count.
+  /// The multi-process harness (tools/wmproc) injects a UdpTransport over
+  /// pre-bound inherited sockets here. Takes precedence over `transport`.
+  std::function<std::unique_ptr<net::Transport>(std::size_t)> transport_factory;
+  /// Players simulated by THIS process; empty means all of them. Non-local
+  /// players get no peer object — their traffic originates in sibling
+  /// processes that share the socket/port table.
+  std::vector<PlayerId> local_players;
+  /// First frame this session simulates. A re-forked wmproc child rejoining
+  /// mid-trace starts here; its local peers run crash recovery
+  /// (WatchmenPeer::rejoin) before the first frame.
+  Frame start_frame = 0;
 };
 
 class WatchmenSession {
@@ -128,8 +146,10 @@ class WatchmenSession {
 
   const WatchmenPeer& peer(PlayerId p) const { return *peers_.at(p); }
   WatchmenPeer& peer(PlayerId p) { return *peers_.at(p); }
-  const net::SimNetwork& network() const { return *net_; }
-  net::SimNetwork& network() { return *net_; }
+  /// True when p is simulated by this process (always, single-process).
+  bool is_local(PlayerId p) const { return local_.at(p); }
+  const net::Transport& network() const { return *net_; }
+  net::Transport& network() { return *net_; }
   const ProxySchedule& schedule() const { return schedule_; }
   ProxySchedule& schedule() { return schedule_; }
   const verify::Detector& detector() const { return detector_; }
@@ -167,7 +187,9 @@ class WatchmenSession {
   SessionOptions opts_;
   crypto::KeyRegistry keys_;
   ProxySchedule schedule_;
-  std::unique_ptr<net::SimNetwork> net_;
+  std::unique_ptr<net::Transport> net_;
+  /// Which players this process simulates (immutable after construction).
+  std::vector<bool> local_;
   verify::Detector detector_;
   reputation::MisbehaviorEngine misbehavior_;
   game::TraceReplayer replayer_;

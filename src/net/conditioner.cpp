@@ -1,0 +1,89 @@
+#include "net/conditioner.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace watchmen::net {
+
+LinkConditioner::LinkConditioner(std::size_t n_nodes,
+                                 std::unique_ptr<LatencyModel> latency,
+                                 double loss_rate, std::uint64_t seed)
+    : n_nodes_(n_nodes),
+      latency_(std::move(latency)),
+      loss_rate_(loss_rate),
+      rng_(substream_seed(seed, 0x6e657477ULL)),
+      fault_rng_(substream_seed(seed, 0x6661756cULL)),
+      upload_bps_(n_nodes, 0.0),
+      upload_free_at_(n_nodes, 0.0) {
+  if (!latency_) {
+    throw std::invalid_argument("LinkConditioner: null latency model");
+  }
+}
+
+void LinkConditioner::set_fault_plan(FaultPlan plan) {
+  plan_ = std::move(plan);
+  has_faults_ = !plan_.empty();
+  ge_bad_.assign(n_nodes_ * n_nodes_, 0);
+}
+
+void LinkConditioner::set_upload_bps(PlayerId node, double bps) {
+  upload_bps_.at(node) = bps;
+}
+
+bool LinkConditioner::fault_drop(PlayerId from, PlayerId to,
+                                 std::uint8_t msg_class, TimeMs now) {
+  if (plan_.blocks(from, to, now)) return true;
+  bool drop = false;
+  if (const GilbertElliott* ge = plan_.burst_at(now)) {
+    // Advance this directed link's chain by one step, then sample loss in
+    // the resulting state. Links are independent; bursts correlate drops
+    // in time on a link, which is exactly what defeats blind send-twice.
+    std::uint8_t& bad = ge_bad_[from * n_nodes_ + to];
+    if (bad != 0) {
+      if (fault_rng_.chance(ge->p_exit_bad)) bad = 0;
+    } else if (fault_rng_.chance(ge->p_enter_bad)) {
+      bad = 1;
+    }
+    if (fault_rng_.chance(bad != 0 ? ge->loss_bad : ge->loss_good)) drop = true;
+  }
+  if (const ClassDropWindow* c = plan_.class_drop_at(msg_class, now)) {
+    if (fault_rng_.chance(c->probability)) drop = true;
+  }
+  return drop;
+}
+
+LinkDecision LinkConditioner::decide(PlayerId from, PlayerId to,
+                                     std::uint8_t msg_class,
+                                     std::size_t wire_bits, TimeMs now_ms) {
+  // Upload serialization delay: the datagram leaves once the sender's link
+  // has drained everything queued before it.
+  const auto now = static_cast<double>(now_ms);
+  double departure = now;
+  if (upload_bps_[from] > 0.0) {
+    const double tx_ms =
+        static_cast<double>(wire_bits) / upload_bps_[from] * 1000.0;
+    departure = std::max(now, upload_free_at_[from]) + tx_ms;
+    upload_free_at_[from] = departure;
+  }
+
+  // The fate of the datagram is decided now (keeps the Rng stream — and
+  // thus determinism — independent of delivery order). The draw order below
+  // is load-bearing: baseline loss, fault drops, spike extra, latency
+  // sample — any reordering desynchronizes the streams from recordings and
+  // from the sibling backend.
+  LinkDecision d;
+  d.drop = rng_.chance(loss_rate_);
+  double extra_ms = 0.0;
+  if (has_faults_ && from != to) {
+    if (fault_drop(from, to, msg_class, now_ms)) d.drop = true;
+    extra_ms = plan_.extra_latency_ms(now_ms);
+  }
+
+  const double delay =
+      from == to ? 0.0 : latency_->sample(from, to, rng_) + extra_ms;
+  d.due = static_cast<TimeMs>(std::ceil(departure + delay));
+  return d;
+}
+
+}  // namespace watchmen::net

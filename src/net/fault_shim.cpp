@@ -1,0 +1,145 @@
+#include "net/fault_shim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace watchmen::net {
+
+using util::MutexLock;
+
+FaultShim::FaultShim(std::unique_ptr<Transport> inner,
+                     std::unique_ptr<LatencyModel> latency, double loss_rate,
+                     std::uint64_t seed)
+    : inner_(std::move(inner)),
+      cond_(inner_ ? inner_->size() : 0, std::move(latency), loss_rate, seed),
+      node_bits_(inner_ ? inner_->size() : 0, 0) {
+  if (!inner_) throw std::invalid_argument("FaultShim: null inner transport");
+}
+
+void FaultShim::set_upload_bps(PlayerId node, double bps) {
+  const MutexLock lock(mu_);
+  cond_.set_upload_bps(node, bps);
+}
+
+void FaultShim::set_fault_plan(FaultPlan plan) {
+  const MutexLock lock(mu_);
+  cond_.set_fault_plan(std::move(plan));
+}
+
+FaultPlan FaultShim::fault_plan() const {
+  const MutexLock lock(mu_);
+  return cond_.fault_plan();
+}
+
+void FaultShim::set_mtu(std::size_t bytes) {
+  const MutexLock lock(mu_);
+  mtu_bytes_ = bytes;
+}
+
+void FaultShim::set_oversize_handler(OversizeHandler handler) {
+  oversize_ = std::move(handler);
+}
+
+void FaultShim::send(PlayerId from, PlayerId to,
+                     std::shared_ptr<const std::vector<std::uint8_t>> payload,
+                     std::size_t payload_bits, TimeMs sent_at) {
+  const std::size_t n = inner_->size();
+  if (from >= n || to >= n) {
+    throw std::out_of_range("FaultShim::send: bad node id");
+  }
+  const std::size_t payload_bytes = payload ? payload->size() : 0;
+  if (payload_bits == 0 && payload) payload_bits = payload_bytes * 8;
+  const std::size_t wire_bits = payload_bits + kUdpOverheadBits;
+  const std::uint8_t cls =
+      (payload && !payload->empty() ? (*payload)[0] : 0) & 0x7f;
+  const TimeMs now_ms = clock_.now();
+  if (sent_at < 0) sent_at = now_ms;
+
+  {
+    const MutexLock lock(mu_);
+    // Mirror SimNetwork exactly: MTU rejection happens before any
+    // conditioner draw, so the Rng streams of surviving messages match.
+    if (mtu_bytes_ != 0 && payload_bytes > mtu_bytes_) {
+      ++stats_.oversize;
+    } else {
+      ++stats_.sent;
+      stats_.bits_sent += wire_bits;
+      stats_.bits_sent_by_class[std::min<std::size_t>(
+          cls, NetStats::kClassBuckets - 1)] += wire_bits;
+      node_bits_[from] += wire_bits;
+      const LinkDecision d = cond_.decide(from, to, cls, wire_bits, now_ms);
+      queue_.push(Pending{d.due, seq_++, d.drop, from, to, sent_at,
+                          payload_bits, cls, std::move(payload)});
+      return;
+    }
+  }
+  if (oversize_) oversize_(from, to, payload_bytes);
+}
+
+bool FaultShim::step_one(TimeMs t) {
+  Pending p;
+  {
+    const MutexLock lock(mu_);
+    for (;;) {
+      if (queue_.empty() || queue_.top().due > t) return false;
+      p = queue_.top();
+      queue_.pop();
+      clock_.advance_to(p.due);
+      if (p.dropped) {
+        // Counted at due time, exactly like SimNetwork: the loss "happens"
+        // in flight, invisibly to the sender.
+        ++stats_.dropped;
+        ++stats_.dropped_by_class[std::min<std::size_t>(
+            p.cls, NetStats::kClassBuckets - 1)];
+        continue;
+      }
+      ++stats_.delivered;
+      stats_.delivery_age_ms.add(static_cast<double>(p.due - p.sent_at));
+      break;
+    }
+  }
+  // Deliver at exactly `due` in inner time: advance the inner clock (and
+  // drain any stragglers), push the one datagram through, drain again so
+  // its handler runs before the next queue entry is considered. Re-entrant
+  // sends from the handler land on this shim's queue and keep the global
+  // (due, seq) order.
+  inner_->run_until(p.due);
+  inner_->send(p.from, p.to, std::move(p.payload), p.payload_bits, p.sent_at);
+  inner_->run_until(p.due);
+  return true;
+}
+
+void FaultShim::run_until(TimeMs t) {
+  while (step_one(t)) {
+  }
+  clock_.advance_to(t);
+  inner_->run_until(t);
+}
+
+NetStats FaultShim::stats() const {
+  NetStats out;
+  {
+    const MutexLock lock(mu_);
+    out = stats_;
+  }
+  // Socket-level counters live in the inner transport; everything the
+  // conditioner decides lives here. Merging gives callers one view.
+  const NetStats in = inner_->stats();
+  out.rx_rejects += in.rx_rejects;
+  out.shed += in.shed;
+  out.oversize += in.oversize;
+  return out;
+}
+
+std::uint64_t FaultShim::bits_sent_by(PlayerId node) const {
+  const MutexLock lock(mu_);
+  return node_bits_.at(node);
+}
+
+void FaultShim::reset_bit_counters() {
+  const MutexLock lock(mu_);
+  for (auto& b : node_bits_) b = 0;
+}
+
+}  // namespace watchmen::net

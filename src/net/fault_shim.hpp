@@ -1,0 +1,117 @@
+#pragma once
+// FaultShim: a Transport decorator that replays SimNetwork's exact
+// seed-deterministic loss/latency/fault decisions against another backend
+// (in practice: real UDP datagrams on loopback).
+//
+// Every send consults a LinkConditioner seeded identically to SimNetwork's
+// and is parked on a (due, seq)-ordered delay queue. run_until(t) pops due
+// entries in order; a dropped entry is only counted (the sender never
+// observes the loss, as over real UDP), a surviving entry is pushed
+// through the inner transport at exactly its due time — the shim advances
+// the inner clock to `due`, sends the single datagram, and drains the
+// inner sockets before touching the next entry, so handler invocation
+// order is identical to SimNetwork's event order. Handler re-entrant sends
+// (acks, retransmits, forwards) land back on the shim's queue, preserving
+// the (due, seq) discipline.
+//
+// The result, asserted by tests/transport_test.cpp: the same FaultPlan +
+// seed + send sequence produces identical NetStats — sent, delivered,
+// dropped, per-class attribution, delivery ages — on SimNetwork and on
+// FaultShim(UdpTransport), which is what lets the chaos suite run
+// unchanged over real sockets (ctest target chaos_test_udp).
+//
+// Thread-safety mirrors SimNetwork: mu_ guards the conditioner, the delay
+// queue and the counters; run_until and handlers belong to the single
+// driving thread, and the inner transport is only driven from there.
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "net/clock.hpp"
+#include "net/conditioner.hpp"
+#include "net/fault.hpp"
+#include "net/latency.hpp"
+#include "net/transport.hpp"
+#include "util/ids.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace watchmen::net {
+
+class FaultShim final : public Transport {
+ public:
+  using Transport::send;
+
+  /// Seeds the conditioner exactly as SimNetwork(n, latency, loss, seed)
+  /// would; `inner` must span the same node ids.
+  FaultShim(std::unique_ptr<Transport> inner,
+            std::unique_ptr<LatencyModel> latency, double loss_rate,
+            std::uint64_t seed);
+
+  SimClock& clock() override { return clock_; }
+  using Transport::clock;
+  std::size_t size() const override { return inner_->size(); }
+
+  void set_handler(PlayerId node, Handler handler) override {
+    inner_->set_handler(node, std::move(handler));
+  }
+
+  void set_upload_bps(PlayerId node, double bps) override EXCLUDES(mu_);
+  void set_fault_plan(FaultPlan plan) override EXCLUDES(mu_);
+  FaultPlan fault_plan() const override EXCLUDES(mu_);
+
+  void send(PlayerId from, PlayerId to,
+            std::shared_ptr<const std::vector<std::uint8_t>> payload,
+            std::size_t payload_bits = 0, TimeMs sent_at = -1) override
+      EXCLUDES(mu_);
+
+  void run_until(TimeMs t) override EXCLUDES(mu_);
+
+  /// The shim's own accounting (identical to SimNetwork's for the same
+  /// seed), plus the inner transport's socket-level oversize/shed/rx_reject
+  /// counters merged in.
+  NetStats stats() const override EXCLUDES(mu_);
+  std::uint64_t bits_sent_by(PlayerId node) const override EXCLUDES(mu_);
+  void reset_bit_counters() override EXCLUDES(mu_);
+
+  void set_mtu(std::size_t bytes) override EXCLUDES(mu_);
+  void set_oversize_handler(OversizeHandler handler) override;
+
+  Transport& inner() { return *inner_; }
+  const Transport& inner() const { return *inner_; }
+
+ private:
+  struct Pending {
+    TimeMs due;
+    std::uint64_t seq;  // FIFO tie-break
+    bool dropped;
+    PlayerId from;
+    PlayerId to;
+    TimeMs sent_at;
+    std::size_t payload_bits;
+    std::uint8_t cls;
+    std::shared_ptr<const std::vector<std::uint8_t>> payload;
+    bool operator>(const Pending& o) const {
+      return due != o.due ? due > o.due : seq > o.seq;
+    }
+  };
+
+  /// Pops the single next due entry; delivers through the inner transport
+  /// with mu_ released. Returns false when nothing is due at or before t.
+  bool step_one(TimeMs t) EXCLUDES(mu_);
+
+  const std::unique_ptr<Transport> inner_;
+  SimClock clock_;  ///< driving-thread owned (the authoritative sim time)
+  mutable util::Mutex mu_;
+  LinkConditioner cond_ GUARDED_BY(mu_);
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue_
+      GUARDED_BY(mu_);
+  std::uint64_t seq_ GUARDED_BY(mu_) = 0;
+  std::vector<std::uint64_t> node_bits_ GUARDED_BY(mu_);
+  NetStats stats_ GUARDED_BY(mu_);
+  std::size_t mtu_bytes_ GUARDED_BY(mu_) = 0;
+  OversizeHandler oversize_;  ///< driving-thread owned
+};
+
+}  // namespace watchmen::net

@@ -1,6 +1,6 @@
 #include "net/network.hpp"
 
-#include <cmath>
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -12,16 +12,9 @@ SimNetwork::SimNetwork(std::size_t n_nodes,
                        std::unique_ptr<LatencyModel> latency, double loss_rate,
                        std::uint64_t seed)
     : n_nodes_(n_nodes),
-      latency_(std::move(latency)),
-      loss_rate_(loss_rate),
-      rng_(substream_seed(seed, 0x6e657477ULL)),
-      fault_rng_(substream_seed(seed, 0x6661756cULL)),
+      cond_(n_nodes, std::move(latency), loss_rate, seed),
       handlers_(n_nodes),
-      upload_bps_(n_nodes, 0.0),
-      upload_free_at_(n_nodes, 0.0),
-      node_bits_(n_nodes, 0) {
-  if (!latency_) throw std::invalid_argument("SimNetwork: null latency model");
-}
+      node_bits_(n_nodes, 0) {}
 
 void SimNetwork::set_handler(PlayerId node, Handler handler) {
   handlers_.at(node) = std::move(handler);
@@ -29,46 +22,31 @@ void SimNetwork::set_handler(PlayerId node, Handler handler) {
 
 void SimNetwork::set_upload_bps(PlayerId node, double bps) {
   const MutexLock lock(mu_);
-  upload_bps_.at(node) = bps;
+  cond_.set_upload_bps(node, bps);
 }
 
 void SimNetwork::set_fault_plan(FaultPlan plan) {
   const MutexLock lock(mu_);
-  plan_ = std::move(plan);
-  has_faults_ = !plan_.empty();
-  ge_bad_.assign(n_nodes_ * n_nodes_, 0);
+  cond_.set_fault_plan(std::move(plan));
 }
 
 FaultPlan SimNetwork::fault_plan() const {
   const MutexLock lock(mu_);
-  return plan_;
+  return cond_.fault_plan();
 }
 
-bool SimNetwork::fault_drop(PlayerId from, PlayerId to, std::uint8_t msg_class,
-                            TimeMs now) {
-  if (plan_.blocks(from, to, now)) return true;
-  bool drop = false;
-  if (const GilbertElliott* ge = plan_.burst_at(now)) {
-    // Advance this directed link's chain by one step, then sample loss in
-    // the resulting state. Links are independent; bursts correlate drops
-    // in time on a link, which is exactly what defeats blind send-twice.
-    std::uint8_t& bad = ge_bad_[from * n_nodes_ + to];
-    if (bad != 0) {
-      if (fault_rng_.chance(ge->p_exit_bad)) bad = 0;
-    } else if (fault_rng_.chance(ge->p_enter_bad)) {
-      bad = 1;
-    }
-    if (fault_rng_.chance(bad != 0 ? ge->loss_bad : ge->loss_good)) drop = true;
-  }
-  if (const ClassDropWindow* c = plan_.class_drop_at(msg_class, now)) {
-    if (fault_rng_.chance(c->probability)) drop = true;
-  }
-  return drop;
+void SimNetwork::set_mtu(std::size_t bytes) {
+  const MutexLock lock(mu_);
+  mtu_bytes_ = bytes;
+}
+
+void SimNetwork::set_oversize_handler(OversizeHandler handler) {
+  oversize_ = std::move(handler);
 }
 
 void SimNetwork::send(PlayerId from, PlayerId to,
                       std::shared_ptr<const std::vector<std::uint8_t>> payload,
-                      std::size_t payload_bits) {
+                      std::size_t payload_bits, TimeMs sent_at) {
   if (from >= n_nodes_ || to >= n_nodes_) {
     throw std::out_of_range("SimNetwork::send: bad node id");
   }
@@ -81,48 +59,39 @@ void SimNetwork::send(PlayerId from, PlayerId to,
   const std::uint8_t lead_class =
       (payload && !payload->empty() ? (*payload)[0] : 0) & 0x7f;
   const TimeMs now_ms = clock_.now();
+  const std::size_t payload_bytes = payload ? payload->size() : 0;
 
-  const MutexLock lock(mu_);
-  ++stats_.sent;
-  stats_.bits_sent += wire_bits;
-  stats_.bits_sent_by_class[std::min<std::size_t>(
-      lead_class, NetStats::kClassBuckets - 1)] += wire_bits;
-  node_bits_[from] += wire_bits;
+  {
+    const MutexLock lock(mu_);
+    // MTU enforcement (when configured): the datagram is rejected before
+    // any conditioner draw, so enabling it never desynchronizes the Rng
+    // streams of messages that do fit.
+    if (mtu_bytes_ != 0 && payload_bytes > mtu_bytes_) {
+      ++stats_.oversize;
+    } else {
+      ++stats_.sent;
+      stats_.bits_sent += wire_bits;
+      stats_.bits_sent_by_class[std::min<std::size_t>(
+          lead_class, NetStats::kClassBuckets - 1)] += wire_bits;
+      node_bits_[from] += wire_bits;
 
-  // Upload serialization delay: the datagram leaves once the sender's link
-  // has drained everything queued before it.
-  const auto now = static_cast<double>(now_ms);
-  double departure = now;
-  if (upload_bps_[from] > 0.0) {
-    const double tx_ms = static_cast<double>(wire_bits) / upload_bps_[from] * 1000.0;
-    departure = std::max(now, upload_free_at_[from]) + tx_ms;
-    upload_free_at_[from] = departure;
+      const LinkDecision d =
+          cond_.decide(from, to, lead_class, wire_bits, now_ms);
+
+      Envelope env;
+      env.from = from;
+      env.to = to;
+      env.sent_at = sent_at >= 0 ? sent_at : now_ms;
+      env.delivered_at = d.due;
+      env.wire_bits = wire_bits;
+      env.payload = std::move(payload);
+      queue_.push(Pending{d.due, seq_++, d.drop, std::move(env)});
+      return;
+    }
   }
-
-  // The fate of the datagram is decided now (keeps the Rng stream — and
-  // thus determinism — independent of delivery order), but a lost message
-  // still occupies queue space until its due time and is only counted as
-  // dropped then: the sender cannot observe the loss.
-  const std::uint8_t msg_class = lead_class;
-  bool drop = rng_.chance(loss_rate_);
-  double extra_ms = 0.0;
-  if (has_faults_ && from != to) {
-    if (fault_drop(from, to, msg_class, now_ms)) drop = true;
-    extra_ms = plan_.extra_latency_ms(now_ms);
-  }
-
-  const double delay =
-      from == to ? 0.0 : latency_->sample(from, to, rng_) + extra_ms;
-  const auto due = static_cast<TimeMs>(std::ceil(departure + delay));
-
-  Envelope env;
-  env.from = from;
-  env.to = to;
-  env.sent_at = now_ms;
-  env.delivered_at = due;
-  env.wire_bits = wire_bits;
-  env.payload = std::move(payload);
-  queue_.push(Pending{due, seq_++, drop, std::move(env)});
+  // Oversize path: report outside the lock (the handler may log or re-send
+  // a split payload through this same transport).
+  if (oversize_) oversize_(from, to, payload_bytes);
 }
 
 bool SimNetwork::deliver_one(TimeMs t) {
@@ -151,6 +120,7 @@ bool SimNetwork::deliver_one(TimeMs t) {
         continue;  // a drop is not an event the driving thread observes
       }
       ++stats_.delivered;
+      stats_.delivery_age_ms.add(static_cast<double>(p.due - p.env.sent_at));
       env = std::move(p.env);
       break;
     }

@@ -1,5 +1,5 @@
 #pragma once
-// Discrete-event simulated network.
+// Discrete-event simulated network (the net::Transport reference backend).
 //
 // Models what the experiments need from UDP over the Internet:
 //  * pairwise one-way latency from a LatencyModel,
@@ -11,78 +11,46 @@
 //    configured upload rate, so over-budget senders see queueing delay —
 //    this is what makes bandwidth a real constraint in the scaling bench.
 //
+// All of those verdicts are drawn by the shared LinkConditioner
+// (net/conditioner.hpp), which FaultShim reuses to replay identical
+// decisions over real sockets.
+//
 // Payloads are shared between multicast recipients; `wire_bits` is the
 // modelled on-the-wire size (payload + UDP/IP overhead), used both for the
 // bandwidth meter and the serialization delay.
 //
 // Thread-safety (checked by clang -Wthread-safety, DESIGN.md §5g): mu_
-// guards the event queue, rngs, fault windows and all counters, so send()
-// and the stats readers may be called from any thread — the prerequisite
-// for the sharded scale-out, where shard threads inject cross-shard
-// traffic while a monitor thread snapshots stats. Delivery stays
-// single-threaded by contract: run_until() pops one due event per lock
-// acquisition and invokes the receiver's handler with mu_ RELEASED (the
-// deliver-under-lock smell from ISSUE 7 satellite 2 — a handler that calls
-// send() would self-deadlock otherwise), so handlers_ and clock_ belong to
-// the single driving thread and are deliberately unguarded. Cross-thread
-// senders must therefore send between run_until calls (shards run frames in
-// lock-step), because send() timestamps off clock_, which only run_until
-// advances.
+// guards the event queue, the conditioner (rngs, fault windows, upload
+// model) and all counters, so send() and the stats readers may be called
+// from any thread — the prerequisite for the sharded scale-out, where
+// shard threads inject cross-shard traffic while a monitor thread
+// snapshots stats. Delivery stays single-threaded by contract: run_until()
+// pops one due event per lock acquisition and invokes the receiver's
+// handler with mu_ RELEASED (the deliver-under-lock smell from ISSUE 7
+// satellite 2 — a handler that calls send() would self-deadlock
+// otherwise), so handlers_ and clock_ belong to the single driving thread
+// and are deliberately unguarded. Cross-thread senders must therefore send
+// between run_until calls (shards run frames in lock-step), because send()
+// timestamps off clock_, which only run_until advances.
 
-#include <array>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <queue>
-#include <span>
 #include <vector>
 
 #include "net/clock.hpp"
+#include "net/conditioner.hpp"
 #include "net/fault.hpp"
 #include "net/latency.hpp"
+#include "net/transport.hpp"
 #include "util/ids.hpp"
-#include "util/rng.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace watchmen::net {
 
-struct Envelope {
-  PlayerId from = kInvalidPlayer;
-  PlayerId to = kInvalidPlayer;
-  TimeMs sent_at = 0;      ///< when the application handed it to the stack
-  TimeMs delivered_at = 0; ///< when the receiver's handler runs
-  std::size_t wire_bits = 0;
-  std::shared_ptr<const std::vector<std::uint8_t>> payload;
-
-  std::span<const std::uint8_t> bytes() const {
-    return payload ? std::span<const std::uint8_t>(*payload)
-                   : std::span<const std::uint8_t>{};
-  }
-};
-
-struct NetStats {
-  /// Message-class buckets for drop attribution. The network classifies a
-  /// datagram by its first payload byte — for sealed Watchmen traffic that
-  /// is the MsgType — clamped into the last bucket when out of range, so
-  /// net/ stays ignorant of core/'s enum.
-  static constexpr std::size_t kClassBuckets = 16;
-
-  std::uint64_t sent = 0;
-  std::uint64_t delivered = 0;
-  std::uint64_t dropped = 0;
-  std::uint64_t bits_sent = 0;
-  std::array<std::uint64_t, kClassBuckets> dropped_by_class{};
-  /// On-the-wire bits by message class (same bucketing as dropped_by_class);
-  /// feeds the per-class bandwidth breakdown in the obs registry and wmtop.
-  std::array<std::uint64_t, kClassBuckets> bits_sent_by_class{};
-};
-
-/// Per-UDP-datagram overhead we model: 28 bytes of IP+UDP headers.
-constexpr std::size_t kUdpOverheadBits = 28 * 8;
-
-class SimNetwork {
+class SimNetwork : public Transport {
  public:
-  using Handler = std::function<void(const Envelope&)>;
+  using Transport::send;
 
   /// @param loss_rate   baseline i.i.d. drop probability per message
   SimNetwork(std::size_t n_nodes, std::unique_ptr<LatencyModel> latency,
@@ -90,47 +58,34 @@ class SimNetwork {
 
   // Clock reads belong to the driving thread (see header comment); the
   // mutable accessor exists for tests that pre-advance time.
-  SimClock& clock() { return clock_; }
-  const SimClock& clock() const { return clock_; }
-  std::size_t size() const { return n_nodes_; }
+  SimClock& clock() override { return clock_; }
+  using Transport::clock;
+  std::size_t size() const override { return n_nodes_; }
 
-  /// Driving-thread only: swapping a handler while run_until is delivering
-  /// to it is a contract violation, not a data race we lock against.
-  void set_handler(PlayerId node, Handler handler);
+  void set_handler(PlayerId node, Handler handler) override;
 
-  /// Per-node upload rate in bits/s; 0 means unconstrained (default).
-  void set_upload_bps(PlayerId node, double bps) EXCLUDES(mu_);
+  void set_upload_bps(PlayerId node, double bps) override EXCLUDES(mu_);
 
-  /// Installs a scripted fault schedule (see net/fault.hpp). Fault
-  /// randomness comes from its own Rng substream, so the same plan + seed
-  /// reproduces identical NetStats.
-  void set_fault_plan(FaultPlan plan) EXCLUDES(mu_);
-  FaultPlan fault_plan() const EXCLUDES(mu_);
+  void set_fault_plan(FaultPlan plan) override EXCLUDES(mu_);
+  FaultPlan fault_plan() const override EXCLUDES(mu_);
 
-  /// Queues a message. `payload_bits` defaults to 8*payload.size(); UDP/IP
-  /// overhead is added on top. Loss is decided here (deterministically)
-  /// but only takes effect at delivery time — senders cannot observe a
-  /// drop, just as over real UDP.
   void send(PlayerId from, PlayerId to,
             std::shared_ptr<const std::vector<std::uint8_t>> payload,
-            std::size_t payload_bits = 0) EXCLUDES(mu_);
+            std::size_t payload_bits = 0, TimeMs sent_at = -1) override
+      EXCLUDES(mu_);
 
-  void send(PlayerId from, PlayerId to, std::vector<std::uint8_t> payload) {
-    send(from, to,
-         std::make_shared<const std::vector<std::uint8_t>>(std::move(payload)));
-  }
+  void run_until(TimeMs t) override EXCLUDES(mu_);
 
-  /// Delivers all messages due up to and including time t, advancing the
-  /// clock. Driving-thread only (handlers run on this thread, unlocked).
-  void run_until(TimeMs t) EXCLUDES(mu_);
+  NetStats stats() const override EXCLUDES(mu_);
+  std::uint64_t bits_sent_by(PlayerId node) const override EXCLUDES(mu_);
+  void reset_bit_counters() override EXCLUDES(mu_);
 
-  /// Point-in-time copy — a consistent snapshot even while other threads
-  /// send. (Used to return a reference into live state; the annotation pass
-  /// flagged that as unpublishable once mu_ exists.)
-  NetStats stats() const EXCLUDES(mu_);
-  std::uint64_t bits_sent_by(PlayerId node) const EXCLUDES(mu_);
-  /// Resets the per-node bit counters (e.g. at a measurement-window boundary).
-  void reset_bit_counters() EXCLUDES(mu_);
+  /// Payloads larger than this many bytes are rejected at send — counted in
+  /// NetStats::oversize and reported to the oversize handler — instead of
+  /// being silently delivered as datagrams no real UDP socket could carry.
+  /// 0 (the default) disables the check, preserving pre-MTU behaviour.
+  void set_mtu(std::size_t bytes) override EXCLUDES(mu_);
+  void set_oversize_handler(OversizeHandler handler) override;
 
  private:
   struct Pending {
@@ -143,9 +98,6 @@ class SimNetwork {
     }
   };
 
-  bool fault_drop(PlayerId from, PlayerId to, std::uint8_t msg_class,
-                  TimeMs now) REQUIRES(mu_);
-
   /// Pops and delivers the single next event due at or before t. Returns
   /// false when none remains. The receiver's handler runs with mu_
   /// released.
@@ -153,24 +105,16 @@ class SimNetwork {
 
   const std::size_t n_nodes_;
   SimClock clock_;  ///< driving-thread owned (advanced only inside run_until)
-  std::unique_ptr<LatencyModel> latency_;
-  const double loss_rate_;
   mutable util::Mutex mu_;
-  Rng rng_ GUARDED_BY(mu_);
-  FaultPlan plan_ GUARDED_BY(mu_);
-  bool has_faults_ GUARDED_BY(mu_) = false;
-  Rng fault_rng_ GUARDED_BY(mu_);
-  // per directed link: chain in bad state
-  std::vector<std::uint8_t> ge_bad_ GUARDED_BY(mu_);
+  LinkConditioner cond_ GUARDED_BY(mu_);
   std::vector<Handler> handlers_;  ///< driving-thread owned
-  std::vector<double> upload_bps_ GUARDED_BY(mu_);
-  // per-node queue drain time (ms)
-  std::vector<double> upload_free_at_ GUARDED_BY(mu_);
   std::vector<std::uint64_t> node_bits_ GUARDED_BY(mu_);
   std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue_
       GUARDED_BY(mu_);
   std::uint64_t seq_ GUARDED_BY(mu_) = 0;
   NetStats stats_ GUARDED_BY(mu_);
+  std::size_t mtu_bytes_ GUARDED_BY(mu_) = 0;
+  OversizeHandler oversize_;  ///< driving-thread owned, like handlers_
 };
 
 }  // namespace watchmen::net

@@ -215,6 +215,56 @@ class MutexGuardedTest(unittest.TestCase):
         self.assertEqual(fs, [])
 
 
+class TransportFactoryTest(unittest.TestCase):
+    def test_direct_construction_flagged(self):
+        fs = lint_tree({"bench/x.cpp":
+                        "net::SimNetwork net(16, lat(), 0.0, 1);\n"})
+        self.assertIn("transport-factory", checks(fs))
+
+    def test_make_unique_flagged(self):
+        fs = lint_tree({"src/core/x.cpp":
+                        "auto n = std::make_unique<net::SimNetwork>(4);\n"})
+        self.assertIn("transport-factory", checks(fs))
+
+    def test_new_expression_flagged(self):
+        fs = lint_tree({"examples/x.cpp":
+                        "auto* n = new net::SimNetwork(4, lat(), 0.0, 1);\n"})
+        self.assertIn("transport-factory", checks(fs))
+
+    def test_factory_call_clean(self):
+        fs = lint_tree({"bench/x.cpp":
+                        "auto net = net::make_transport(std::move(tc));\n"})
+        self.assertEqual(fs, [])
+
+    def test_net_layer_is_exempt(self):
+        fs = lint_tree({"src/net/transport.cpp":
+                        "return std::make_unique<SimNetwork>(n, std::move(l),"
+                        " r, s);\n"})
+        self.assertEqual(checks(fs), [])
+
+    def test_tests_are_exempt(self):
+        fs = lint_tree({"tests/x.cpp":
+                        "SimNetwork net(4, lat(), 0.0, 1);\n"})
+        self.assertEqual(fs, [])
+
+    def test_comment_mention_clean(self):
+        fs = lint_tree({"src/core/x.cpp":
+                        "// mirrors SimNetwork (net/network.hpp) exactly\n"
+                        "int x = 0;\n"})
+        self.assertEqual(fs, [])
+
+    def test_reference_type_clean(self):
+        fs = lint_tree({"src/core/x.cpp":
+                        "void wire(net::SimNetwork& net);\n"})
+        self.assertEqual(fs, [])
+
+    def test_allow_annotation(self):
+        fs = lint_tree({"bench/x.cpp":
+                        "// wmlint: allow(transport-factory)\n"
+                        "net::SimNetwork net(16, lat(), 0.0, 1);\n"})
+        self.assertEqual(fs, [])
+
+
 class IncludeHygieneTest(unittest.TestCase):
     def test_missing_pragma_once(self):
         fs = lint_tree({"src/util/x.hpp": "#include <vector>\n"})

@@ -41,6 +41,12 @@ mutex-guarded   Every mutex declared in src/ (std::mutex or util::Mutex)
                 Clang thread-safety analysis (util/thread_annotations.hpp),
                 so -Wthread-safety proves nothing about the data it is
                 supposed to protect.
+transport-factory
+                No direct SimNetwork construction outside tests/ and
+                src/net/: production and bench code must go through
+                net::make_transport (net/transport.hpp) so the
+                WATCHMEN_TRANSPORT selector, the control-class shed
+                protection and the UDP/FaultShim wiring apply everywhere.
 format          (--format only) clang-format --dry-run over src/; skipped
                 with a notice when clang-format is not installed.
 
@@ -98,6 +104,18 @@ DECODER_BANNED = [
 ]
 
 QUOTED_INCLUDE_RE = re.compile(r'#\s*include\s+"([^"]+)"')
+
+# SimNetwork *construction*: `SimNetwork name(...)`, `SimNetwork(...)`,
+# `new SimNetwork`, `make_unique<SimNetwork>`. Mentions in comments, types
+# of references/pointers, and include lines don't match.
+TRANSPORT_CTOR_RE = re.compile(
+    r"(?:new\s+(?:net::)?SimNetwork\b"
+    r"|make_unique\s*<\s*(?:net::)?SimNetwork\b"
+    r"|\bSimNetwork\s+\w+\s*[({]"
+    r"|(?<![\w:])(?:net::)?SimNetwork\s*\()")
+# Directories whose files may build a SimNetwork directly: the transport
+# layer itself and the tests that probe it.
+TRANSPORT_EXEMPT_PREFIXES = ("src/net/", "tests/")
 
 # A mutex *object* declaration (member or local): type directly followed by
 # a name and `;`/`=`/`{`. References (`Mutex& mu_`), pointers, parameters and
@@ -246,6 +264,26 @@ def check_mutex_guarded(path: Path, rel: str, lines: list[str]) -> list[Finding]
             f"annotate the data it guards with GUARDED_BY({m.group(1)}) "
             "(util/thread_annotations.hpp) or add "
             "`// wmlint: allow(mutex-guarded)` with a rationale"))
+    return out
+
+
+def check_transport_factory(path: Path, rel: str,
+                            lines: list[str]) -> list[Finding]:
+    if rel.startswith(TRANSPORT_EXEMPT_PREFIXES):
+        return []
+    out = []
+    for i, line in enumerate(lines):
+        code = re.sub(r"//.*$", "", line)
+        if not TRANSPORT_CTOR_RE.search(code):
+            continue
+        if allowed(lines, i, "transport-factory"):
+            continue
+        out.append(Finding(
+            path, i + 1, "transport-factory",
+            "direct SimNetwork construction bypasses net::make_transport — "
+            "build a TransportConfig instead (net/transport.hpp) so the "
+            "backend selector and UDP wiring apply, or annotate "
+            "`// wmlint: allow(transport-factory)` with a rationale"))
     return out
 
 
@@ -460,6 +498,7 @@ def lint_file(path: Path, root: Path) -> list[Finding]:
     findings += check_wire_order(path, rel, lines)
     findings += check_decoder_abort(path, rel, lines)
     findings += check_mutex_guarded(path, rel, lines)
+    findings += check_transport_factory(path, rel, lines)
     findings += check_include_hygiene(path, rel, lines)
     findings += check_whitespace(path, rel, lines, raw)
     return findings
